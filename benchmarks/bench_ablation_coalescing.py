@@ -1,0 +1,68 @@
+"""Ablation: accuracy cost of line coalescing (Section 3.2.1).
+
+Measures the Wasserstein error of the coalesced distribution against
+an (effectively) uncoalesced reference as the line budget shrinks.
+The paper argues the error is bounded by the grid width δ =
+span / max_lines; the assertion checks the measured error stays below
+one grid width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.workloads import AREA_SEEDS, cartel_workload, congestion_scorer
+from repro.core.distribution import prepare_scored_prefix
+from repro.core.dp import dp_distribution
+from repro.stats.metrics import wasserstein_distance
+
+from conftest import P_TAU
+
+K = 5
+BUDGETS = (10, 25, 50, 100, 200)
+
+_prefix_cache: dict[str, object] = {}
+
+
+def _prefix():
+    if "p" not in _prefix_cache:
+        table = cartel_workload(seed=AREA_SEEDS[1], segments=80)
+        _prefix_cache["p"] = prepare_scored_prefix(
+            table, congestion_scorer(), K, p_tau=P_TAU
+        )
+        _prefix_cache["exact"] = dp_distribution(
+            _prefix_cache["p"], K, max_lines=1_000_000
+        )
+    return _prefix_cache["p"], _prefix_cache["exact"]
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_ablation_coalescing(benchmark, capsys, budget):
+    prefix, exact = _prefix()
+    approx = benchmark.pedantic(
+        lambda: dp_distribution(prefix, K, max_lines=budget),
+        rounds=1,
+        iterations=1,
+    )
+    error = wasserstein_distance(exact, approx)
+    grid_width = exact.support_span() / budget
+    assert error <= grid_width, (
+        f"coalescing error {error:.4f} exceeds grid width "
+        f"{grid_width:.4f} at budget {budget}"
+    )
+    assert approx.total_mass() == pytest.approx(
+        exact.total_mass(), abs=1e-9
+    )
+    with capsys.disabled():
+        print_series(
+            f"Coalescing ablation (budget={budget})",
+            [
+                {
+                    "max_lines": budget,
+                    "lines": len(approx),
+                    "wasserstein_error": error,
+                    "grid_width_bound": grid_width,
+                }
+            ],
+        )

@@ -1,0 +1,65 @@
+"""Ablation: Theorem-2 scan depth vs captured probability mass.
+
+Tightening p_tau scans deeper and loses less of the distribution's
+mass; the loss at depth n is bounded by the mass of the dropped
+vectors.  The assertion checks the monotone trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.workloads import AREA_SEEDS, cartel_workload, congestion_scorer
+from repro.core.distribution import (
+    prepare_scored_prefix,
+    top_k_score_distribution,
+)
+from repro.core.dp import dp_distribution
+
+K = 10
+P_TAUS = (1e-1, 1e-2, 1e-3)
+
+_rows: list[dict] = []
+_cache: dict[str, object] = {}
+
+
+def _table():
+    if "t" not in _cache:
+        _cache["t"] = cartel_workload(seed=AREA_SEEDS[2], segments=100)
+        _cache["full_mass"] = top_k_score_distribution(
+            _cache["t"], congestion_scorer(), K, p_tau=0.0
+        ).total_mass()
+    return _cache["t"], _cache["full_mass"]
+
+
+@pytest.mark.parametrize("p_tau", P_TAUS)
+def test_ablation_scan_depth(benchmark, p_tau):
+    table, full_mass = _table()
+    prefix = prepare_scored_prefix(
+        table, congestion_scorer(), K, p_tau=p_tau
+    )
+    pmf = benchmark.pedantic(
+        lambda: dp_distribution(prefix, K), rounds=1, iterations=1
+    )
+    _rows.append(
+        {
+            "p_tau": p_tau,
+            "scan_depth": len(prefix),
+            "mass": pmf.total_mass(),
+            "mass_lost": full_mass - pmf.total_mass(),
+        }
+    )
+
+
+def test_ablation_scan_depth_shape(benchmark, capsys):
+    benchmark.pedantic(lambda: list(_rows), rounds=1, iterations=1)
+    assert len(_rows) == len(P_TAUS)
+    ordered = sorted(_rows, key=lambda r: -r["p_tau"])
+    depths = [r["scan_depth"] for r in ordered]
+    masses = [r["mass"] for r in ordered]
+    assert depths == sorted(depths)
+    assert masses == sorted(masses)
+    assert all(r["mass_lost"] >= -1e-9 for r in ordered)
+    with capsys.disabled():
+        print_series("Scan-depth ablation", ordered)

@@ -1,0 +1,27 @@
+"""Figure 3: the toy table's top-2 total-score distribution.
+
+The paper's quoted facts are asserted: U-Top2 = <T2,T6> with score 118
+and probability 0.2; the expected score is 164.1; the actual top-2
+outscores U-Topk with probability 0.76; score 235 carries 0.12.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig03_toy_distribution
+from repro.bench.reporting import print_series
+
+
+def test_fig03_toy_distribution(benchmark, capsys):
+    rows = benchmark(fig03_toy_distribution)
+    pmf_rows = [r for r in rows if "U-Topk" not in r["vector"]]
+    by_score = {r["score"]: r["prob"] for r in pmf_rows}
+    assert by_score[118.0] == pytest.approx(0.2)
+    assert by_score[235.0] == pytest.approx(0.12)
+    mean = sum(r["score"] * r["prob"] for r in pmf_rows)
+    assert mean == pytest.approx(164.1)
+    above = sum(p for s, p in by_score.items() if s > 118.0)
+    assert above == pytest.approx(0.76)
+    with capsys.disabled():
+        print_series("Figure 3: toy top-2 score distribution", rows)

@@ -1,0 +1,52 @@
+"""Figure 8: top-k congestion-score distributions in three areas.
+
+For each simulated area the distribution is computed with the main
+algorithm, the U-Topk answer and the 3-Typical answers are located in
+it, and the paper's qualitative claims are asserted: U-Topk has a tiny
+probability and the typical scores straddle the distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.workloads import AREA_SEEDS, cartel_workload, congestion_scorer
+from repro.semantics.answers import typicality_report
+
+#: (area seed, k) per subplot — k = 5, 5, 10 as in the paper.
+SUBPLOTS = list(zip(AREA_SEEDS, (5, 5, 10)))
+
+
+@pytest.mark.parametrize("seed,k", SUBPLOTS)
+def test_fig08_area(benchmark, capsys, seed, k):
+    table = cartel_workload(seed=seed, segments=100)
+    scorer = congestion_scorer()
+    report = benchmark.pedantic(
+        lambda: typicality_report(table, scorer, k, 3),
+        rounds=1,
+        iterations=1,
+    )
+    pmf = report.pmf
+    assert report.u_topk is not None
+    # U-Topk's probability is tiny relative to the distribution mass.
+    assert report.u_topk.probability < 0.25
+    # Typical scores lie inside the support and ascend.
+    scores = [a.score for a in report.typical.answers]
+    assert scores == sorted(scores)
+    assert pmf.scores[0] <= scores[0] <= scores[-1] <= pmf.scores[-1]
+    with capsys.disabled():
+        print_series(
+            f"Figure 8 (seed={seed}, k={k})",
+            [
+                {
+                    "lines": len(pmf),
+                    "E[S]": pmf.expectation(),
+                    "std": pmf.std(),
+                    "u_topk_score": report.u_topk.total_score,
+                    "u_topk_prob": report.u_topk.probability,
+                    "u_topk_pctl": report.u_topk_percentile,
+                    "typical": "/".join(f"{s:.0f}" for s in scores),
+                }
+            ],
+        )

@@ -1,0 +1,53 @@
+"""Figure 9: Theorem-2 scan depth n as a function of k.
+
+The paper observes roughly linear growth of n with k at p_tau = 0.001;
+the assertions check monotonicity and (loose) linearity of the series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.workloads import AREA_SEEDS, cartel_workload, congestion_scorer
+from repro.core.scan_depth import scan_depth
+from repro.uncertain.scoring import ScoredTable
+
+KS = (10, 20, 30, 40, 50, 60)
+
+_scored_cache = {}
+
+
+def _scored():
+    if "scored" not in _scored_cache:
+        table = cartel_workload(seed=AREA_SEEDS[0], segments=400)
+        _scored_cache["scored"] = ScoredTable.from_table(
+            table, congestion_scorer()
+        )
+    return _scored_cache["scored"]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_fig09_scan_depth_single_k(benchmark, k):
+    scored = _scored()
+    depth = benchmark(lambda: scan_depth(scored, k, 1e-3))
+    assert depth >= k
+
+
+def test_fig09_series(benchmark, capsys):
+    scored = _scored()
+    rows = benchmark.pedantic(
+        lambda: [
+            {"k": k, "scan_depth": scan_depth(scored, k, 1e-3)}
+            for k in KS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    depths = [row["scan_depth"] for row in rows]
+    assert depths == sorted(depths)
+    # Roughly linear: the increment per 10 k stays within a 3x band.
+    increments = [b - a for a, b in zip(depths, depths[1:])]
+    assert max(increments) <= 3 * max(1, min(increments))
+    with capsys.disabled():
+        print_series("Figure 9: k vs scan depth (p_tau=0.001)", rows)

@@ -1,0 +1,59 @@
+"""Figure 11: execution time vs the portion of mutually exclusive
+tuples.
+
+The main algorithm runs one dynamic program per ending unit, so its
+cost grows with the fraction of tuples that belong to multi-member ME
+groups (Section 3.3.3's O(kmn)).  The sweep varies the fraction of
+multi-measurement segments in the CarTel simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.workloads import AREA_SEEDS, cartel_workload, congestion_scorer
+from repro.core.distribution import prepare_scored_prefix
+from repro.core.dp import dp_distribution
+
+from conftest import P_TAU
+
+PORTIONS = (0.1, 0.2, 0.3, 0.4, 0.5)
+K = 10
+
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("portion", PORTIONS)
+def test_fig11_me_portion(benchmark, portion):
+    table = cartel_workload(
+        seed=AREA_SEEDS[0], segments=120, me_fraction=portion
+    )
+    prefix = prepare_scored_prefix(
+        table, congestion_scorer(), K, p_tau=P_TAU
+    )
+    pmf = benchmark.pedantic(
+        lambda: dp_distribution(prefix, K),
+        rounds=1,
+        iterations=1,
+    )
+    assert not pmf.is_empty()
+    _rows.append(
+        {
+            "portion_config": portion,
+            "me_tuple_fraction": table.me_tuple_fraction(),
+            "scan_depth": len(prefix),
+            "me_members_in_prefix": prefix.me_member_count(),
+        }
+    )
+
+
+def test_fig11_series_printed(benchmark, capsys):
+    benchmark.pedantic(lambda: list(_rows), rounds=1, iterations=1)
+    fractions = [row["me_tuple_fraction"] for row in _rows]
+    assert fractions == sorted(fractions)
+    with capsys.disabled():
+        print_series(
+            "Figure 11 configurations (times in the benchmark table)",
+            _rows,
+        )

@@ -1,0 +1,38 @@
+"""Figure 12: execution time vs the maximum number of lines.
+
+The paper observes linear growth: once coalescing kicks in, per-cell
+work is proportional to the line budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.core.dp import dp_distribution
+
+LINE_BUDGETS = (50, 100, 200, 300, 400, 500)
+K = 10
+
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("max_lines", LINE_BUDGETS)
+def test_fig12_max_lines(benchmark, cartel_prefixes, max_lines):
+    prefix = cartel_prefixes[K]
+    pmf = benchmark.pedantic(
+        lambda: dp_distribution(prefix, K, max_lines=max_lines),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(pmf) <= max_lines
+    _rows.append({"max_lines": max_lines, "output_lines": len(pmf)})
+
+
+def test_fig12_series_printed(benchmark, capsys):
+    benchmark.pedantic(lambda: list(_rows), rounds=1, iterations=1)
+    with capsys.disabled():
+        print_series(
+            "Figure 12 configurations (times in the benchmark table)",
+            _rows,
+        )

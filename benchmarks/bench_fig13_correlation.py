@@ -1,0 +1,56 @@
+"""Figure 13: score/probability correlation shifts the distribution.
+
+Asserted shape (paper, Section 5.4): relative to independence, a
+positive ρ shifts the top-k score distribution right and a negative ρ
+shifts it left; the U-Topk result is atypical in all three cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.workloads import synthetic_workload
+from repro.semantics.answers import typicality_report
+
+K = 10
+RHOS = (0.0, 0.8, -0.8)
+
+_results: dict[float, dict] = {}
+
+
+def _report_row(rho: float) -> dict:
+    table = synthetic_workload(correlation=rho)
+    report = typicality_report(table, "score", K, 3)
+    pmf = report.pmf
+    assert report.u_topk is not None
+    return {
+        "rho": rho,
+        "E[S]": pmf.expectation(),
+        "std": pmf.std(),
+        "u_topk_score": report.u_topk.total_score,
+        "u_topk_pctl": report.u_topk_percentile,
+        "P(S>uTopk)": report.prob_above_u_topk,
+    }
+
+
+@pytest.mark.parametrize("rho", RHOS)
+def test_fig13_correlation(benchmark, rho):
+    row = benchmark.pedantic(
+        lambda: _report_row(rho), rounds=1, iterations=1
+    )
+    _results[rho] = row
+    # U-Topk is atypical: its percentile sits away from the centre.
+    assert not 0.35 <= row["u_topk_pctl"] <= 0.65
+
+
+def test_fig13_shape(benchmark, capsys):
+    benchmark.pedantic(lambda: dict(_results), rounds=1, iterations=1)
+    rows = [_results[rho] for rho in RHOS if rho in _results]
+    assert len(rows) == 3, "run the parametrized cases first"
+    by_rho = {row["rho"]: row for row in rows}
+    # Positive correlation shifts the distribution right, negative left.
+    assert by_rho[0.8]["E[S]"] > by_rho[0.0]["E[S]"]
+    assert by_rho[-0.8]["E[S]"] < by_rho[0.0]["E[S]"]
+    with capsys.disabled():
+        print_series("Figure 13: correlation vs distribution", rows)

@@ -1,0 +1,49 @@
+"""Figure 14: raising the score std-dev widens the distribution.
+
+Paper claim: increasing σ from 60 to 100 stretches the significant
+span of the top-k score distribution (≈350 → ≈1000 in the paper's
+units) and pushes U-Topk further from the typical scores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.workloads import synthetic_workload
+from repro.semantics.answers import typicality_report
+
+K = 10
+SIGMAS = (60.0, 100.0)
+
+_results: dict[float, dict] = {}
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+def test_fig14_sigma(benchmark, sigma):
+    def run():
+        table = synthetic_workload(score_std=sigma)
+        report = typicality_report(table, "score", K, 3)
+        assert report.u_topk is not None
+        return {
+            "sigma": sigma,
+            "E[S]": report.pmf.expectation(),
+            "std": report.pmf.std(),
+            "span90": report.pmf.span_containing(0.9),
+            "u_topk_dist_to_typical": report.distance_to_nearest_typical,
+        }
+
+    _results[sigma] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig14_shape(benchmark, capsys):
+    benchmark.pedantic(lambda: dict(_results), rounds=1, iterations=1)
+    assert len(_results) == 2, "run the parametrized cases first"
+    low, high = _results[60.0], _results[100.0]
+    assert high["span90"] > 1.3 * low["span90"]
+    assert high["std"] > low["std"]
+    with capsys.disabled():
+        print_series(
+            "Figure 14: score std-dev vs distribution width",
+            [low, high],
+        )

@@ -1,0 +1,48 @@
+"""Figure 16: growing the ME-group sizes.
+
+Paper claims: raising group sizes from 2-3 to 2-10 (a) widens the
+distribution substantially, (b) shifts it toward lower scores (only
+one tuple per group can make the top-k, so lower-ranked tuples get
+their chance), and (c) makes the U-Topk result drift to the low end of
+the distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_series
+from repro.bench.workloads import synthetic_workload
+from repro.semantics.answers import typicality_report
+
+K = 10
+SIZES = ((2, 3), (2, 10))
+
+_results: dict[tuple, dict] = {}
+
+
+@pytest.mark.parametrize("sizes", SIZES, ids=["sizes2-3", "sizes2-10"])
+def test_fig16_sizes(benchmark, sizes):
+    def run():
+        table = synthetic_workload(me_sizes=sizes)
+        report = typicality_report(table, "score", K, 3)
+        assert report.u_topk is not None
+        return {
+            "sizes": f"{sizes[0]}-{sizes[1]}",
+            "E[S]": report.pmf.expectation(),
+            "span90": report.pmf.span_containing(0.9),
+            "u_topk_pctl": report.u_topk_percentile,
+        }
+
+    _results[sizes] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig16_shape(benchmark, capsys):
+    benchmark.pedantic(lambda: dict(_results), rounds=1, iterations=1)
+    assert len(_results) == 2, "run the parametrized cases first"
+    small, large = _results[(2, 3)], _results[(2, 10)]
+    assert large["span90"] > 1.25 * small["span90"]  # (a) wider
+    assert large["E[S]"] < small["E[S]"]  # (b) lower scores
+    assert large["u_topk_pctl"] > 0.7 or large["u_topk_pctl"] < 0.3  # (c)
+    with capsys.disabled():
+        print_series("Figure 16: ME group sizes", [small, large])

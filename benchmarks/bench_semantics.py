@@ -1,0 +1,64 @@
+"""Supplementary benchmark: cost of the competing semantics.
+
+Not a paper figure, but useful context for adopters: what does each
+answer semantics cost on the same workload?  U-Topk (best-first
+search), the full score distribution + 3-Typical (this paper), and the
+marginal semantics (U-kRanks / PT-k / Global-Topk, which share the
+rank-marginal engine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dp import dp_distribution
+from repro.core.typical import select_typical
+from repro.semantics.global_topk import global_topk_scored
+from repro.semantics.pt_k import pt_k_scored
+from repro.semantics.u_kranks import u_kranks_scored
+from repro.semantics.u_topk import u_topk_scored
+
+K = 10
+
+
+def test_semantics_u_topk(benchmark, cartel_prefixes):
+    prefix = cartel_prefixes[K]
+    result = benchmark.pedantic(
+        lambda: u_topk_scored(prefix, K), rounds=1, iterations=1
+    )
+    assert result is not None
+
+
+def test_semantics_distribution_plus_typical(benchmark, cartel_prefixes):
+    prefix = cartel_prefixes[K]
+
+    def run():
+        pmf = dp_distribution(prefix, K)
+        return select_typical(pmf, 3)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.answers) == 3
+
+
+def test_semantics_u_kranks(benchmark, cartel_prefixes):
+    prefix = cartel_prefixes[K]
+    answers = benchmark.pedantic(
+        lambda: u_kranks_scored(prefix, K), rounds=1, iterations=1
+    )
+    assert len(answers) == K
+
+
+def test_semantics_pt_k(benchmark, cartel_prefixes):
+    prefix = cartel_prefixes[K]
+    answers = benchmark.pedantic(
+        lambda: pt_k_scored(prefix, K, 0.3), rounds=1, iterations=1
+    )
+    assert all(prob >= 0.3 for _, prob in answers)
+
+
+def test_semantics_global_topk(benchmark, cartel_prefixes):
+    prefix = cartel_prefixes[K]
+    answers = benchmark.pedantic(
+        lambda: global_topk_scored(prefix, K), rounds=1, iterations=1
+    )
+    assert len(answers) == K

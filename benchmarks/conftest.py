@@ -1,0 +1,40 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Workloads are session-scoped: dataset generation and scan-depth
+truncation happen once, so the timed regions isolate the algorithm
+under measurement (as in the paper, which reports pure execution
+times).
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+paper-style series each benchmark prints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    AREA_SEEDS,
+    cartel_workload,
+    congestion_scorer,
+)
+from repro.core.distribution import prepare_scored_prefix
+
+#: The paper's probability threshold (Section 5.3).
+P_TAU = 1e-3
+
+
+@pytest.fixture(scope="session")
+def cartel_area():
+    """The default simulated CarTel area used by Figures 10-12."""
+    return cartel_workload(seed=AREA_SEEDS[0], segments=120)
+
+
+@pytest.fixture(scope="session")
+def cartel_prefixes(cartel_area):
+    """Rank-ordered, Theorem-2-truncated prefixes keyed by k."""
+    scorer = congestion_scorer()
+    return {
+        k: prepare_scored_prefix(cartel_area, scorer, k, p_tau=P_TAU)
+        for k in (2, 3, 5, 10, 15, 20)
+    }

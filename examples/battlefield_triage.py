@@ -1,0 +1,105 @@
+"""Battlefield triage on a large soldier-monitoring table.
+
+Scales the paper's Example 1 up: dozens of soldiers, each with several
+mutually exclusive sensor estimates of medical need.  Medical staff
+want the k soldiers needing the most attention — but resource
+allocation depends on *how severe* the top-k really is, which is
+exactly the score-distribution question the paper poses.
+
+The example contrasts the category-(1) answers (U-Topk, c-Typical-
+Topk) with the category-(2) marginal semantics (U-kRanks, PT-k,
+Global-Topk) and shows why the marginal answers cannot drive the
+staffing decision (they may not be able to co-exist).
+
+Run:  python examples/battlefield_triage.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    c_typical_top_k,
+    global_topk,
+    pt_k,
+    top_k_score_distribution,
+    u_kranks,
+    u_topk,
+)
+from repro.datasets.soldier import generate_soldier_table
+from repro.stats.histogram import render_pmf
+
+K = 8
+C = 3
+SEED = 2009
+
+#: Dispatch a med-evac unit when the top-K severity plausibly exceeds
+#: this total (policy knob for the demo).
+SEVERITY_ALERT = 900.0
+
+
+def main() -> None:
+    table = generate_soldier_table(
+        60, readings_per_soldier=(1, 4), seed=SEED
+    )
+    print(f"Monitoring table: {table}")
+    print(f"ME tuple fraction: {table.me_tuple_fraction():.2f}")
+
+    pmf = top_k_score_distribution(table, "score", K)
+    print(f"\nTop-{K} severity distribution: {pmf.summary()}")
+
+    best = u_topk(table, "score", K)
+    typical = c_typical_top_k(table, "score", K, C)
+
+    if best is not None:
+        print(f"\nU-Top{K}: score {best.total_score:.1f} "
+              f"(probability {best.probability:.2e})")
+        print(f"  soldiers: {_soldiers(table, best.vector)}")
+        tail = pmf.prob_greater(best.total_score) / pmf.total_mass()
+        print(f"  P(actual top-{K} severity > U-Topk severity) = {tail:.2f}")
+
+    print(f"\n{C}-Typical-Top{K} answers "
+          f"(expected distance {typical.expected_distance:.1f}):")
+    for answer in typical.answers:
+        print(f"  score {answer.score:7.1f}  p={answer.prob:.4f}  "
+              f"soldiers {_soldiers(table, answer.vector)}")
+
+    # --- Category-(2) semantics for contrast --------------------------
+    print(f"\nU-kRanks (most probable tuple per rank):")
+    for answer in u_kranks(table, "score", K):
+        t = table[answer.tid]
+        print(f"  rank {answer.rank:>2}: {answer.tid} "
+              f"(soldier {t['soldier']}, score {t['score']}, "
+              f"p={answer.probability:.3f})")
+    ranked_tids = [a.tid for a in u_kranks(table, "score", K)]
+    if len(set(ranked_tids)) < len(ranked_tids):
+        print("  note: a tuple repeats across ranks — marginal answers"
+              " need not form a consistent vector.")
+
+    threshold = 0.3
+    members = pt_k(table, "score", K, threshold)
+    print(f"\nPT-{K} (top-k probability >= {threshold}): "
+          f"{[tid for tid, _ in members]}")
+    print(f"Global-Top{K}: "
+          f"{[tid for tid, _ in global_topk(table, 'score', K)]}")
+
+    # --- The decision the distribution enables ------------------------
+    alert_prob = pmf.prob_greater(SEVERITY_ALERT) / pmf.total_mass()
+    print(f"\nP(top-{K} total severity > {SEVERITY_ALERT:.0f}) "
+          f"= {alert_prob:.2f}")
+    action = "dispatch med-evac now" if alert_prob > 0.5 else \
+        "hold med-evac, monitor"
+    print(f"Decision: {action}")
+
+    markers = [(a.score, "typical") for a in typical.answers]
+    if best is not None:
+        markers.append((best.total_score, "U-Topk"))
+    print(f"\nSeverity distribution:")
+    print(render_pmf(pmf, buckets=14, markers=markers))
+
+
+def _soldiers(table, vector) -> list[int]:
+    """Soldier ids of a tuple vector."""
+    return [table[tid]["soldier"] for tid in vector or ()]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Choosing c: how many typical answers does a query need?
+
+The paper leaves the choice of c to the application and notes that
+re-selecting with a different c is much cheaper than recomputing the
+distribution.  This example shows the workflow with
+:class:`repro.TypicalSelector`: compute the distribution once, inspect
+the expected-distance profile across c, pick the elbow, and finally
+examine the high-score tail the way the paper's medical-triage
+scenario suggests.
+
+Run:  python examples/choosing_c.py
+"""
+
+from __future__ import annotations
+
+from repro import TypicalSelector, top_k_score_distribution
+from repro.datasets.cartel import generate_cartel_area
+from repro.uncertain.scoring import expression_scorer
+
+K = 5
+SEED = 23
+
+
+def main() -> None:
+    area = generate_cartel_area(seed=SEED)
+    scorer = expression_scorer("speed_limit / (length / delay)")
+
+    # One expensive computation...
+    pmf = top_k_score_distribution(area, scorer, K)
+    print(f"Distribution: {pmf.summary()}\n")
+
+    # ...then as many cheap re-selections as we like.
+    selector = TypicalSelector(pmf)
+    print("expected distance by c:")
+    for c, distance in enumerate(selector.distance_profile(max_c=8), 1):
+        bar = "#" * max(1, round(40 * distance / max(
+            selector.distance_profile(max_c=1)[0], 1e-9
+        )))
+        print(f"  c={c}: {distance:8.3f} {bar}")
+
+    chosen = selector.elbow(fraction_of_span=0.05)
+    print(f"\nelbow pick: c={len(chosen.answers)} "
+          f"(expected distance {chosen.expected_distance:.3f}, "
+          f"= {chosen.expected_distance / pmf.support_span():.1%} of span)")
+    for answer in chosen.answers:
+        print(f"  score {answer.score:9.2f}  p={answer.prob:.4f}  "
+              f"{answer.vector}")
+
+    # The paper's closing remark: applications may focus on the high
+    # score range of the distribution.
+    q90 = pmf.quantile(0.9)
+    tail = pmf.restricted_to(low=q90)
+    print(f"\nhigh-score tail (top decile, score >= {q90:.2f}):")
+    print(f"  mass {tail.total_mass():.4f}, "
+          f"E[S | tail] = {tail.expectation():.2f}")
+    worst = tail.mode()
+    print(f"  most likely severe outcome: score {worst.score:.2f} "
+          f"(p={worst.prob:.4f}) vector {worst.vector}")
+
+
+if __name__ == "__main__":
+    main()

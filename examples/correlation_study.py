@@ -1,0 +1,65 @@
+"""How data characteristics shape the top-k score distribution.
+
+A compact version of the paper's Section 5.4 study: sweeps the
+score/probability correlation ρ, the score variance σ and the
+ME-group sizes on synthetic data, reporting how each knob moves the
+top-k score distribution and how (a)typical the U-Topk answer is.
+
+Run:  python examples/correlation_study.py
+"""
+
+from __future__ import annotations
+
+from repro import typicality_report
+from repro.bench.reporting import format_table
+from repro.bench.workloads import synthetic_workload
+
+K = 10
+
+
+def study(label: str, table) -> dict:
+    """One configuration -> one summary row."""
+    report = typicality_report(table, "score", K, 3)
+    pmf = report.pmf
+    return {
+        "config": label,
+        "E[S]": pmf.expectation(),
+        "std": pmf.std(),
+        "span90": pmf.span_containing(0.9),
+        "u_topk": (
+            report.u_topk.total_score if report.u_topk else float("nan")
+        ),
+        "u_topk_pctl": report.u_topk_percentile,
+        "P(S>uTopk)": report.prob_above_u_topk,
+    }
+
+
+def main() -> None:
+    rows = []
+    print("Sweeping score/probability correlation (Figure 13)...")
+    for rho in (0.0, 0.8, -0.8):
+        rows.append(
+            study(f"rho={rho:+.1f}", synthetic_workload(correlation=rho))
+        )
+    print("Sweeping score std-dev (Figure 14)...")
+    rows.append(
+        study("sigma=100", synthetic_workload(score_std=100.0))
+    )
+    print("Sweeping ME group sizes (Figure 16)...")
+    rows.append(
+        study("me_sizes=2-10", synthetic_workload(me_sizes=(2, 10)))
+    )
+    print()
+    print(format_table(rows))
+    print(
+        "\nReading the table:\n"
+        "  * positive rho shifts E[S] up, negative rho down "
+        "(leading tuples more/less likely to exist);\n"
+        "  * larger sigma widens the span;\n"
+        "  * larger ME groups widen the span, lower the scores and "
+        "push U-Topk toward the low percentiles."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: the paper's motivating example, end to end.
+
+Reproduces Figures 1-3 of the paper on the soldier-monitoring toy
+table: enumerates the 18 possible worlds, computes the exact top-2
+total-score distribution, contrasts the U-Topk answer with the
+3-Typical-Top2 answers, and prints the ASCII analogue of Figure 3.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ScoredTable,
+    attribute_scorer,
+    c_typical_top_k,
+    top_k_score_distribution,
+    u_topk,
+)
+from repro.datasets.soldier import soldier_table
+from repro.stats.histogram import render_pmf
+from repro.uncertain.worlds import (
+    enumerate_worlds,
+    top_k_vectors_of_world,
+    world_count,
+)
+
+K = 2
+C = 3
+
+
+def main() -> None:
+    table = soldier_table()
+    print(f"Table: {table}")
+    print(f"Possible worlds: {world_count(table)}\n")
+
+    # --- Figure 2: possible worlds and their top-2 vectors -----------
+    scored = ScoredTable.from_table(table, attribute_scorer("score"))
+    print("Possible worlds (probability desc):")
+    worlds = sorted(enumerate_worlds(table), key=lambda w: -w.probability)
+    for index, world in enumerate(worlds, 1):
+        vectors = top_k_vectors_of_world(scored, world.tids, K)
+        top2 = ", ".join(vectors[0]) if vectors else "(fewer than 2 tuples)"
+        members = ", ".join(sorted(world.tids))
+        print(f"  W{index:<3} p={world.probability:<6.3f} {{{members}}}"
+              f"  top-2: {top2}")
+
+    # --- Figure 3: the top-2 total-score distribution ----------------
+    pmf = top_k_score_distribution(table, "score", K, p_tau=0.0)
+    print(f"\nTop-{K} score distribution: {pmf.summary()}")
+    for line in pmf:
+        print(f"  score {line.score:6.1f}  p={line.prob:<6.3f} "
+              f"vector {line.vector}")
+
+    # --- U-Topk vs c-Typical-Topk -------------------------------------
+    best = u_topk(table, "score", K, p_tau=0.0)
+    assert best is not None
+    print(f"\nU-Top{K}: vector {best.vector}, probability "
+          f"{best.probability:.3f}, total score {best.total_score:.1f}")
+    print(f"P(top-{K} score > U-Topk score) = "
+          f"{pmf.prob_greater(best.total_score):.2f}")
+    print(f"Expected top-{K} score = {pmf.expectation():.1f}")
+
+    result = c_typical_top_k(table, "score", K, C, p_tau=0.0)
+    print(f"\n{C}-Typical-Top{K} (expected distance "
+          f"{result.expected_distance:.1f}):")
+    for answer in result.answers:
+        print(f"  score {answer.score:6.1f}  p={answer.prob:<6.3f} "
+              f"vector {answer.vector}")
+
+    # --- The textual Figure 3 ----------------------------------------
+    markers = [(best.total_score, "U-Topk")] + [
+        (answer.score, "typical") for answer in result.answers
+    ]
+    print("\nScore distribution (ASCII analogue of Figure 3):")
+    print(render_pmf(pmf, buckets=12, markers=markers))
+
+
+if __name__ == "__main__":
+    main()

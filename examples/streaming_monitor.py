@@ -1,0 +1,74 @@
+"""Streaming triage: top-k severity over a sliding window.
+
+Carries the paper's score-distribution semantics into the uncertain-
+stream setting its related work points to (Jin et al., VLDB 2008):
+soldier-status estimates arrive continuously; at each reporting tick
+the medic console shows the top-k severity distribution of the most
+recent window, its typical answers, and raises an alarm when the
+probability of a severe top-k total crosses a threshold.
+
+Run:  python examples/streaming_monitor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SlidingWindowTopK
+
+WINDOW = 40
+K = 5
+TICK_EVERY = 20
+ALARM_SCORE = 520.0
+ALARM_PROB = 0.5
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    window = SlidingWindowTopK(
+        window=WINDOW, k=K, p_tau=1e-4, max_lines=150
+    )
+
+    print(f"window={WINDOW} tuples, k={K}; alarm when "
+          f"P(top-{K} severity > {ALARM_SCORE:.0f}) > {ALARM_PROB}\n")
+
+    # A battle that intensifies around arrival 120 and calms down.
+    for arrival in range(1, 241):
+        surge = 40.0 if 100 <= arrival < 160 else 0.0
+        estimates = int(rng.integers(1, 4))
+        weights = rng.dirichlet(np.ones(estimates)) * rng.uniform(0.7, 1.0)
+        label = f"soldier-{arrival}"  # one ME group per report
+        for index in range(estimates):
+            score = float(
+                np.clip(rng.normal(75.0 + surge, 25.0), 1.0, None)
+            )
+            window.append(
+                {"score": round(score, 1), "soldier": label},
+                probability=max(float(weights[index]), 1e-6),
+                group=label if estimates > 1 else None,
+            )
+        if arrival % TICK_EVERY:
+            continue
+        pmf = window.distribution()
+        alarm_prob = (
+            pmf.prob_greater(ALARM_SCORE) / pmf.total_mass()
+            if pmf.total_mass() > 0
+            else 0.0
+        )
+        typical = window.typical(3)
+        scores = "/".join(f"{a.score:.0f}" for a in typical.answers)
+        flag = "  << ALARM" if alarm_prob > ALARM_PROB else ""
+        print(
+            f"t={arrival:>3}  E[top-{K}]={pmf.expectation():7.1f}  "
+            f"typical {scores:>14}  "
+            f"P(>{ALARM_SCORE:.0f})={alarm_prob:5.2f}{flag}"
+        )
+
+    print("\nThe alarm locks in while the surge cohort is inside the "
+          "window and clears as it slides out; later flickers are "
+          "chance clusters of severe estimates — exactly the tail "
+          "probability the distribution quantifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — Top-k queries on uncertain data: score distributions and
+typical answers.
+
+A from-scratch reproduction of *"Top-k Queries on Uncertain Data: On
+Score Distribution and Typical Answers"* (Tingjian Ge, Stan Zdonik,
+Samuel Madden; SIGMOD 2009).
+
+Quickstart::
+
+    from repro import (
+        top_k_score_distribution, c_typical_top_k, u_topk,
+    )
+    from repro.datasets.soldier import soldier_table
+
+    table = soldier_table()
+    pmf = top_k_score_distribution(table, "score", k=2, p_tau=0.0)
+    print(pmf.summary())
+    result = c_typical_top_k(table, "score", k=2, c=3, p_tau=0.0)
+    for answer in result.answers:
+        print(answer.score, answer.prob, answer.vector)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core.distribution import (
+    c_typical_top_k,
+    top_k_score_distribution,
+)
+from repro.core.pmf import ScoreLine, ScorePMF
+from repro.core.selector import TypicalSelector
+from repro.core.typical import TypicalAnswer, TypicalResult, select_typical
+from repro.exceptions import (
+    AlgorithmError,
+    DataModelError,
+    DatasetError,
+    EmptyDistributionError,
+    InvalidProbabilityError,
+    MutualExclusionError,
+    QueryError,
+    QueryPlanError,
+    QuerySyntaxError,
+    ReproError,
+    ScoringError,
+)
+from repro.query.engine import Catalog, QueryResult, execute_query
+from repro.stream.window import SlidingWindowTopK
+from repro.semantics.answers import TypicalityReport, typicality_report
+from repro.semantics.expected_ranks import ExpectedRankAnswer, expected_rank_topk
+from repro.semantics.global_topk import global_topk
+from repro.semantics.pt_k import pt_k
+from repro.semantics.u_kranks import u_kranks
+from repro.semantics.u_topk import UTopkResult, u_topk
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.scoring import (
+    ScoredTable,
+    attribute_scorer,
+    expression_scorer,
+)
+from repro.uncertain.discretize import measurements_to_table
+from repro.uncertain.table import UncertainTable, table_from_rows
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core results
+    "top_k_score_distribution",
+    "c_typical_top_k",
+    "select_typical",
+    "ScorePMF",
+    "ScoreLine",
+    "TypicalAnswer",
+    "TypicalResult",
+    "TypicalSelector",
+    # data model
+    "UncertainTuple",
+    "UncertainTable",
+    "table_from_rows",
+    "ScoredTable",
+    "attribute_scorer",
+    "expression_scorer",
+    # baseline semantics
+    "u_topk",
+    "UTopkResult",
+    "u_kranks",
+    "pt_k",
+    "global_topk",
+    "expected_rank_topk",
+    "ExpectedRankAnswer",
+    "typicality_report",
+    "TypicalityReport",
+    # query layer
+    "Catalog",
+    "QueryResult",
+    "execute_query",
+    "SlidingWindowTopK",
+    "measurements_to_table",
+    # errors
+    "ReproError",
+    "DataModelError",
+    "InvalidProbabilityError",
+    "MutualExclusionError",
+    "ScoringError",
+    "AlgorithmError",
+    "EmptyDistributionError",
+    "QueryError",
+    "QuerySyntaxError",
+    "QueryPlanError",
+    "DatasetError",
+]

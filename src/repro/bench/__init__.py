@@ -1,0 +1,28 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+Each ``figXX_*`` function in :mod:`repro.bench.figures` reproduces one
+figure of Section 5 (plus the Figure 2/3 motivating example) and
+returns structured rows; :mod:`repro.bench.reporting` renders them the
+way the paper reports them.  The ``benchmarks/`` pytest-benchmark
+suite wraps these functions; they can also be run directly::
+
+    python -m repro.bench.figures          # run everything
+    python -m repro.bench.figures fig10    # one experiment
+"""
+
+from repro.bench.reporting import format_table, print_series
+from repro.bench.runner import time_callable
+from repro.bench.workloads import (
+    cartel_workload,
+    soldier_workload,
+    synthetic_workload,
+)
+
+__all__ = [
+    "format_table",
+    "print_series",
+    "time_callable",
+    "cartel_workload",
+    "soldier_workload",
+    "synthetic_workload",
+]

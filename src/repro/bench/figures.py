@@ -1,0 +1,434 @@
+"""Per-figure experiment implementations (Section 5 + Figures 2/3).
+
+Every function regenerates one figure's series and returns them as
+plain dict rows; run the module as a script to print them all::
+
+    python -m repro.bench.figures            # all experiments
+    python -m repro.bench.figures fig10 fig13
+
+Absolute runtimes differ from the paper's 2009 testbed; the
+reproduction targets the *shapes*: who wins, growth rates, direction
+of distribution shifts.  EXPERIMENTS.md records paper-vs-measured for
+each figure.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.bench.reporting import print_series
+from repro.bench.runner import time_callable
+from repro.bench.workloads import (
+    AREA_SEEDS,
+    cartel_workload,
+    congestion_scorer,
+    soldier_workload,
+    synthetic_workload,
+)
+from repro.core.distribution import (
+    prepare_scored_prefix,
+    top_k_score_distribution,
+)
+from repro.core.dp import dp_distribution, dp_distribution_without_lead_regions
+from repro.core.k_combo import k_combo_distribution
+from repro.core.scan_depth import scan_depth
+from repro.core.state_expansion import state_expansion_distribution
+from repro.core.typical import select_typical
+from repro.semantics.answers import typicality_report
+from repro.stats.metrics import wasserstein_distance
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from repro.uncertain.worlds import enumerate_worlds, top_k_vectors_of_world
+
+Row = Mapping[str, Any]
+
+#: p_tau of the paper's performance experiments (Section 5.3).
+P_TAU = 1e-3
+
+
+# ----------------------------------------------------------------------
+# Motivating example (Figures 2 and 3)
+# ----------------------------------------------------------------------
+def fig02_possible_worlds() -> list[Row]:
+    """Figure 2: the 18 possible worlds of the toy table with top-2."""
+    table = soldier_workload()
+    scored = ScoredTable.from_table(table, attribute_scorer("score"))
+    rows: list[Row] = []
+    for index, world in enumerate(
+        sorted(enumerate_worlds(table), key=lambda w: -w.probability), 1
+    ):
+        vectors = top_k_vectors_of_world(scored, world.tids, 2)
+        rows.append(
+            {
+                "world": f"W{index}",
+                "tuples": ",".join(sorted(world.tids)),
+                "prob": world.probability,
+                "top2": ",".join(vectors[0]) if vectors else "(short)",
+            }
+        )
+    return rows
+
+
+def fig03_toy_distribution() -> list[Row]:
+    """Figure 3: top-2 score distribution of the toy table.
+
+    Paper facts: U-Top2 = <T2,T6> (score 118, prob 0.2); expected
+    score 164.1; Pr(score > U-Topk) = 0.76; Pr(235) = 0.12.
+    """
+    report = typicality_report(
+        soldier_workload(), "score", 2, 3, p_tau=0.0
+    )
+    rows: list[Row] = [
+        {
+            "score": line.score,
+            "prob": line.prob,
+            "vector": ",".join(line.vector or ()),
+        }
+        for line in report.pmf
+    ]
+    assert report.u_topk is not None
+    rows.append(
+        {
+            "score": report.u_topk.total_score,
+            "prob": report.u_topk.probability,
+            "vector": "U-Topk=" + ",".join(report.u_topk.vector),
+        }
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Real-world (simulated CarTel) experiments: Figures 8-12
+# ----------------------------------------------------------------------
+def fig08_cartel_distribution() -> list[Row]:
+    """Figure 8: congestion-score distribution of top-k roads in three
+    areas; U-Topk sits atypically, 3-Typical spans the distribution."""
+    rows: list[Row] = []
+    for (seed, k) in zip(AREA_SEEDS, (5, 5, 10)):
+        table = cartel_workload(seed=seed)
+        report = typicality_report(table, congestion_scorer(), k, 3)
+        pmf = report.pmf
+        rows.append(
+            {
+                "area": f"seed={seed}",
+                "k": k,
+                "lines": len(pmf),
+                "E[S]": pmf.expectation(),
+                "std": pmf.std(),
+                "u_topk_score": (
+                    report.u_topk.total_score if report.u_topk else float("nan")
+                ),
+                "u_topk_pctl": report.u_topk_percentile,
+                "typical": "/".join(
+                    f"{a.score:.0f}" for a in report.typical.answers
+                ),
+                "P(S>uTopk)": report.prob_above_u_topk,
+            }
+        )
+    return rows
+
+
+def fig09_scan_depth(
+    ks: Sequence[int] = (10, 20, 30, 40, 50, 60),
+) -> list[Row]:
+    """Figure 9: Theorem-2 scan depth n grows roughly linearly in k."""
+    table = cartel_workload(seed=AREA_SEEDS[0], segments=400)
+    scored = ScoredTable.from_table(table, congestion_scorer())
+    return [
+        {"k": k, "scan_depth": scan_depth(scored, k, P_TAU)} for k in ks
+    ]
+
+
+def fig10_algorithms(
+    ks_main: Sequence[int] = (5, 10, 20, 30, 40),
+    ks_state_expansion: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    ks_k_combo: Sequence[int] = (1, 2, 3),
+) -> list[Row]:
+    """Figure 10: execution time vs k per algorithm.
+
+    The baselines blow up exponentially (the paper's point), so their
+    sweeps stop early — on 2009 hardware the paper capped them near
+    k = 20 at ~10^3 seconds; here the Python constant factor moves the
+    practical cap lower without changing the growth shape.
+
+    StateExpansion runs with a near-zero pruning threshold: on this
+    workload individual top-k vectors carry ~1e-4 probability, so the
+    paper's p_tau = 1e-3 would prune its output (and its state space)
+    to nothing, hiding the exponential growth the figure demonstrates.
+    """
+    table = cartel_workload(seed=AREA_SEEDS[0], segments=200)
+    scorer = congestion_scorer()
+    rows: list[Row] = []
+    for k in ks_main:
+        prefix = prepare_scored_prefix(table, scorer, k, p_tau=P_TAU)
+        timed = time_callable(lambda: dp_distribution(prefix, k))
+        rows.append(
+            {
+                "algorithm": "main (dp)",
+                "k": k,
+                "scan_depth": len(prefix),
+                "seconds": timed.seconds,
+            }
+        )
+    for k in ks_state_expansion:
+        prefix = prepare_scored_prefix(table, scorer, k, p_tau=P_TAU)
+        timed = time_callable(
+            lambda: state_expansion_distribution(prefix, k, p_tau=1e-6)
+        )
+        rows.append(
+            {
+                "algorithm": "StateExpansion",
+                "k": k,
+                "scan_depth": len(prefix),
+                "seconds": timed.seconds,
+            }
+        )
+    for k in ks_k_combo:
+        prefix = prepare_scored_prefix(table, scorer, k, p_tau=P_TAU)
+        timed = time_callable(lambda: k_combo_distribution(prefix, k))
+        rows.append(
+            {
+                "algorithm": "k-Combo",
+                "k": k,
+                "scan_depth": len(prefix),
+                "seconds": timed.seconds,
+            }
+        )
+    return rows
+
+
+def fig11_me_portion(
+    portions: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    k: int = 10,
+) -> list[Row]:
+    """Figure 11: runtime grows with the portion of ME tuples."""
+    rows: list[Row] = []
+    for portion in portions:
+        table = cartel_workload(
+            seed=AREA_SEEDS[0], segments=200, me_fraction=portion
+        )
+        prefix = prepare_scored_prefix(
+            table, congestion_scorer(), k, p_tau=P_TAU
+        )
+        timed = time_callable(lambda: dp_distribution(prefix, k))
+        rows.append(
+            {
+                "me_portion_config": portion,
+                "me_tuple_fraction": table.me_tuple_fraction(),
+                "scan_depth": len(prefix),
+                "seconds": timed.seconds,
+            }
+        )
+    return rows
+
+
+def fig12_coalesce_lines(
+    line_budgets: Sequence[int] = (50, 100, 200, 300, 400, 500),
+    k: int = 10,
+) -> list[Row]:
+    """Figure 12: runtime varies linearly with the max-lines budget."""
+    table = cartel_workload(seed=AREA_SEEDS[0], segments=200)
+    prefix = prepare_scored_prefix(table, congestion_scorer(), k, p_tau=P_TAU)
+    rows: list[Row] = []
+    for budget in line_budgets:
+        timed = time_callable(
+            lambda: dp_distribution(prefix, k, max_lines=budget)
+        )
+        rows.append(
+            {
+                "max_lines": budget,
+                "output_lines": len(timed.value),
+                "seconds": timed.seconds,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Synthetic experiments: Figures 13-16
+# ----------------------------------------------------------------------
+def _synthetic_report_row(label: str, table, k: int = 10) -> Row:
+    report = typicality_report(table, "score", k, 3)
+    pmf = report.pmf
+    return {
+        "config": label,
+        "E[S]": pmf.expectation(),
+        "std": pmf.std(),
+        "span90": pmf.span_containing(0.9),
+        "u_topk_score": (
+            report.u_topk.total_score if report.u_topk else float("nan")
+        ),
+        "u_topk_pctl": report.u_topk_percentile,
+        "typical": "/".join(
+            f"{a.score:.0f}" for a in report.typical.answers
+        ),
+    }
+
+
+def fig13_correlation(k: int = 10) -> list[Row]:
+    """Figure 13: ρ = +0.8 shifts the distribution right, ρ = −0.8
+    left, relative to independence; U-Topk is atypical in all three."""
+    rows: list[Row] = []
+    for rho in (0.0, 0.8, -0.8):
+        table = synthetic_workload(correlation=rho)
+        rows.append(_synthetic_report_row(f"rho={rho:+.1f}", table, k))
+    return rows
+
+
+def fig14_score_variance(k: int = 10) -> list[Row]:
+    """Figure 14: σ 60 → 100 widens the distribution span ~3x."""
+    rows: list[Row] = []
+    for sigma in (60.0, 100.0):
+        table = synthetic_workload(score_std=sigma)
+        rows.append(_synthetic_report_row(f"sigma={sigma:.0f}", table, k))
+    return rows
+
+
+def fig15_me_gaps(k: int = 10) -> list[Row]:
+    """Figure 15: widening the rank gaps between ME-group members
+    (1-8 → 1-40) leaves the distribution essentially unchanged."""
+    rows: list[Row] = []
+    for gaps in ((1, 8), (1, 40)):
+        table = synthetic_workload(me_gaps=gaps)
+        rows.append(
+            _synthetic_report_row(f"gaps={gaps[0]}-{gaps[1]}", table, k)
+        )
+    return rows
+
+
+def fig16_me_sizes(k: int = 10) -> list[Row]:
+    """Figure 16: growing ME groups (2-3 → 2-10) widens the
+    distribution, shifts it low, and pushes U-Topk to the low end."""
+    rows: list[Row] = []
+    for sizes in ((2, 3), (2, 10)):
+        table = synthetic_workload(me_sizes=sizes)
+        rows.append(
+            _synthetic_report_row(f"sizes={sizes[0]}-{sizes[1]}", table, k)
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations beyond the paper
+# ----------------------------------------------------------------------
+def ablation_lead_regions(k: int = 10) -> list[Row]:
+    """Section-3.3.3 refinement: one DP per lead region vs per tuple."""
+    table = cartel_workload(seed=AREA_SEEDS[0], segments=200)
+    prefix = prepare_scored_prefix(table, congestion_scorer(), k, p_tau=P_TAU)
+    with_regions = time_callable(lambda: dp_distribution(prefix, k))
+    without = time_callable(
+        lambda: dp_distribution_without_lead_regions(prefix, k)
+    )
+    error = wasserstein_distance(with_regions.value, without.value)
+    return [
+        {
+            "variant": "lead regions (Section 3.3.3)",
+            "seconds": with_regions.seconds,
+            "wasserstein_vs_other": error,
+        },
+        {
+            "variant": "per-tuple DPs (Section 3.3.2)",
+            "seconds": without.seconds,
+            "wasserstein_vs_other": error,
+        },
+    ]
+
+
+def ablation_coalescing(
+    line_budgets: Sequence[int] = (10, 25, 50, 100, 200, 400),
+    k: int = 5,
+) -> list[Row]:
+    """Accuracy cost of coalescing: Wasserstein error vs budget."""
+    table = cartel_workload(seed=AREA_SEEDS[1], segments=80)
+    scorer = congestion_scorer()
+    exact = top_k_score_distribution(
+        table, scorer, k, p_tau=P_TAU, max_lines=100_000
+    )
+    rows: list[Row] = []
+    for budget in line_budgets:
+        approx = top_k_score_distribution(
+            table, scorer, k, p_tau=P_TAU, max_lines=budget
+        )
+        rows.append(
+            {
+                "max_lines": budget,
+                "lines": len(approx),
+                "wasserstein_error": wasserstein_distance(exact, approx),
+                "mass_error": abs(
+                    exact.total_mass() - approx.total_mass()
+                ),
+                "mean_error": abs(
+                    exact.expectation() - approx.expectation()
+                ),
+            }
+        )
+    return rows
+
+
+def ablation_scan_depth(
+    k: int = 10,
+    p_taus: Sequence[float] = (1e-1, 1e-2, 1e-3, 1e-4),
+) -> list[Row]:
+    """Mass captured vs Theorem-2 threshold: tighter p_tau scans deeper
+    and loses less probability mass."""
+    table = cartel_workload(seed=AREA_SEEDS[2], segments=120)
+    scorer = congestion_scorer()
+    full = top_k_score_distribution(table, scorer, k, p_tau=0.0)
+    rows: list[Row] = []
+    for p_tau in p_taus:
+        prefix = prepare_scored_prefix(table, scorer, k, p_tau=p_tau)
+        pmf = dp_distribution(prefix, k)
+        rows.append(
+            {
+                "p_tau": p_tau,
+                "scan_depth": len(prefix),
+                "mass": pmf.total_mass(),
+                "mass_lost_vs_full": full.total_mass() - pmf.total_mass(),
+            }
+        )
+    return rows
+
+
+#: Experiment registry: name -> (title, zero-arg callable).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], list[Row]]]] = {
+    "fig02": ("Figure 2: possible worlds of the toy table", fig02_possible_worlds),
+    "fig03": ("Figure 3: toy top-2 score distribution", fig03_toy_distribution),
+    "fig08": ("Figure 8: CarTel-sim score distributions", fig08_cartel_distribution),
+    "fig09": ("Figure 9: k vs scan depth", fig09_scan_depth),
+    "fig10": ("Figure 10: k vs execution time per algorithm", fig10_algorithms),
+    "fig11": ("Figure 11: ME portion vs execution time", fig11_me_portion),
+    "fig12": ("Figure 12: max lines vs execution time", fig12_coalesce_lines),
+    "fig13": ("Figure 13: score/probability correlation", fig13_correlation),
+    "fig14": ("Figure 14: score variance", fig14_score_variance),
+    "fig15": ("Figure 15: ME member gaps", fig15_me_gaps),
+    "fig16": ("Figure 16: ME group sizes", fig16_me_sizes),
+    "ablation_lead_regions": (
+        "Ablation: lead-region batching", ablation_lead_regions
+    ),
+    "ablation_coalescing": (
+        "Ablation: coalescing accuracy", ablation_coalescing
+    ),
+    "ablation_scan_depth": (
+        "Ablation: scan depth vs captured mass", ablation_scan_depth
+    ),
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: run the named experiments (default: all)."""
+    names = list(argv if argv is not None else sys.argv[1:]) or list(
+        EXPERIMENTS
+    )
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        title, fn = EXPERIMENTS[name]
+        print_series(title, fn())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command> ...``)::
+
+    repro distribution table.csv --score score -k 5 --histogram 12
+    repro typical table.csv --score score -k 5 -c 3
+    repro query "SELECT * FROM t ORDER BY score DESC LIMIT 3" --table t=table.csv
+    repro generate cartel --out area.csv --seed 11 --segments 100
+    repro figures fig03 fig09
+
+Tables load from ``.csv`` (the reserved-column layout of
+:mod:`repro.io.csv_io`) or ``.json`` (:mod:`repro.io.json_io`).
+Scores are an attribute name, or any query-layer expression when the
+text is not a bare identifier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.distribution import (
+    DEFAULT_P_TAU,
+    c_typical_top_k,
+    top_k_score_distribution,
+)
+from repro.core.dp import DEFAULT_MAX_LINES
+from repro.exceptions import ReproError
+from repro.io.csv_io import read_table_csv, write_table_csv
+from repro.io.json_io import pmf_to_json, read_table_json, write_table_json
+from repro.query.engine import execute_query
+from repro.semantics.u_topk import u_topk
+from repro.stats.histogram import render_pmf
+from repro.uncertain.scoring import attribute_scorer, expression_scorer
+from repro.uncertain.table import UncertainTable
+
+
+def load_table(path: str | Path) -> UncertainTable:
+    """Load an uncertain table from a ``.csv`` or ``.json`` file."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        return read_table_json(path)
+    return read_table_csv(path, name=path.stem)
+
+
+def save_table(table: UncertainTable, path: str | Path) -> None:
+    """Write ``table`` as ``.csv`` or ``.json`` based on the suffix."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        write_table_json(table, path)
+    else:
+        write_table_csv(table, path)
+
+
+def resolve_cli_scorer(text: str):
+    """An attribute scorer for bare identifiers, else an expression."""
+    if text.replace("_", "a").isalnum() and not text[0].isdigit():
+        return attribute_scorer(text)
+    return expression_scorer(text)
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--p-tau",
+        type=float,
+        default=DEFAULT_P_TAU,
+        help="Theorem-2 truncation threshold (0 scans everything; "
+        f"default {DEFAULT_P_TAU})",
+    )
+    parser.add_argument(
+        "--max-lines",
+        type=int,
+        default=DEFAULT_MAX_LINES,
+        help=f"line-coalescing budget (default {DEFAULT_MAX_LINES})",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=("dp", "state_expansion", "k_combo"),
+        default="dp",
+        help="which Section-3 algorithm to run (default dp)",
+    )
+
+
+def cmd_distribution(args: argparse.Namespace) -> int:
+    """``repro distribution``: print a top-k score distribution."""
+    table = load_table(args.table)
+    scorer = resolve_cli_scorer(args.score)
+    pmf = top_k_score_distribution(
+        table,
+        scorer,
+        args.k,
+        p_tau=args.p_tau,
+        max_lines=args.max_lines,
+        algorithm=args.algorithm,
+    )
+    if args.json:
+        print(pmf_to_json(pmf))
+        return 0
+    print(pmf.summary())
+    markers = []
+    if args.u_topk:
+        best = u_topk(table, scorer, args.k, p_tau=args.p_tau)
+        if best is not None:
+            print(
+                f"U-Top{args.k}: score {best.total_score:.4g} "
+                f"(p={best.probability:.4g}) vector {best.vector}"
+            )
+            markers.append((best.total_score, "U-Topk"))
+    if args.histogram:
+        print(render_pmf(pmf, buckets=args.histogram, markers=markers))
+    else:
+        for line in pmf:
+            print(f"  {line.score:12.4f}  {line.prob:10.6f}")
+    return 0
+
+
+def cmd_typical(args: argparse.Namespace) -> int:
+    """``repro typical``: print c-Typical-Topk answers."""
+    table = load_table(args.table)
+    scorer = resolve_cli_scorer(args.score)
+    result = c_typical_top_k(
+        table,
+        scorer,
+        args.k,
+        args.c,
+        p_tau=args.p_tau,
+        max_lines=args.max_lines,
+        algorithm=args.algorithm,
+    )
+    print(
+        f"{args.c}-Typical-Top{args.k} "
+        f"(expected distance {result.expected_distance:.4g}):"
+    )
+    for answer in result.answers:
+        vector = ",".join(str(t) for t in answer.vector or ())
+        print(f"  score {answer.score:12.4f}  p={answer.prob:.6f}  "
+              f"[{vector}]")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: execute a SQL-like top-k query."""
+    catalog = {}
+    for binding in args.table:
+        name, _, path = binding.partition("=")
+        if not path:
+            raise ReproError(
+                f"--table expects name=path, got {binding!r}"
+            )
+        catalog[name] = load_table(path)
+    result = execute_query(
+        args.sql, catalog, p_tau=args.p_tau, max_lines=args.max_lines
+    )
+    print(result.pmf.summary())
+    if result.u_topk is not None:
+        print(
+            f"U-Topk: score {result.u_topk.total_score:.4g} "
+            f"(p={result.u_topk.probability:.4g})"
+        )
+    for row in result.answers:
+        print(f"typical score {row.score:.4f} (p={row.probability:.6f}):")
+        for t in row.tuples:
+            print(f"    {json.dumps(t, default=str)}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write a synthetic dataset to disk."""
+    if args.dataset == "soldier":
+        from repro.datasets.soldier import (
+            generate_soldier_table,
+            soldier_table,
+        )
+
+        table = (
+            soldier_table()
+            if args.size is None
+            else generate_soldier_table(args.size, seed=args.seed)
+        )
+    elif args.dataset == "cartel":
+        from repro.datasets.cartel import CartelConfig, generate_cartel_area
+
+        config = CartelConfig(segments=args.size or 120)
+        table = generate_cartel_area(config=config, seed=args.seed)
+    else:
+        from repro.datasets.synthetic import (
+            SyntheticConfig,
+            generate_synthetic_table,
+        )
+
+        config = SyntheticConfig(tuples=args.size or 300)
+        table = generate_synthetic_table(config, seed=args.seed)
+    save_table(table, args.out)
+    print(
+        f"wrote {len(table)} tuples "
+        f"({len(table.explicit_rules)} ME rules) to {args.out}"
+    )
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``repro figures``: run the paper-figure experiments."""
+    from repro.bench.figures import main as figures_main
+
+    return figures_main(args.names)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Top-k queries on uncertain data: score distributions and "
+            "typical answers (SIGMOD 2009 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "distribution", help="compute a top-k score distribution"
+    )
+    p.add_argument("table", help="table file (.csv or .json)")
+    p.add_argument("--score", required=True,
+                   help="attribute name or scoring expression")
+    p.add_argument("-k", type=int, required=True, help="top-k size")
+    p.add_argument("--histogram", type=int, default=0, metavar="BUCKETS",
+                   help="render an ASCII histogram with this many buckets")
+    p.add_argument("--u-topk", action="store_true",
+                   help="also compute and mark the U-Topk answer")
+    p.add_argument("--json", action="store_true",
+                   help="emit the distribution as JSON")
+    _add_common_options(p)
+    p.set_defaults(func=cmd_distribution)
+
+    p = sub.add_parser("typical", help="compute c-Typical-Topk answers")
+    p.add_argument("table", help="table file (.csv or .json)")
+    p.add_argument("--score", required=True,
+                   help="attribute name or scoring expression")
+    p.add_argument("-k", type=int, required=True, help="top-k size")
+    p.add_argument("-c", type=int, default=3,
+                   help="number of typical answers (default 3)")
+    _add_common_options(p)
+    p.set_defaults(func=cmd_typical)
+
+    p = sub.add_parser("query", help="run a SQL-like top-k query")
+    p.add_argument("sql", help="the query text")
+    p.add_argument("--table", action="append", default=[],
+                   metavar="NAME=PATH", help="bind a table file to a name")
+    _add_common_options(p)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("generate", help="generate a dataset file")
+    p.add_argument("dataset", choices=("soldier", "cartel", "synthetic"))
+    p.add_argument("--out", required=True, help="output path (.csv/.json)")
+    p.add_argument("--size", type=int, default=None,
+                   help="soldiers / segments / tuples (dataset-specific)")
+    p.add_argument("--seed", type=int, default=0, help="RNG seed")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("figures", help="run the paper-figure experiments")
+    p.add_argument("names", nargs="*",
+                   help="experiment names (default: all)")
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""The paper's core contribution.
+
+* :mod:`repro.core.pmf` — the score-distribution container
+  (:class:`ScorePMF`) returned to applications, with histogram access
+  at any granularity (usage (1) in Section 2.2).
+* :mod:`repro.core.coalesce` — the line-coalescing strategy
+  (Section 3.2.1) shared by all three algorithms.
+* :mod:`repro.core.scan_depth` — the Theorem-2 stopping condition.
+* :mod:`repro.core.state_expansion` / :mod:`repro.core.k_combo` — the
+  two baseline algorithms of Section 3.1.
+* :mod:`repro.core.dp` — the main dynamic-programming algorithm with
+  the mutual-exclusion (Section 3.3) and tie (Section 3.4) extensions.
+* :mod:`repro.core.typical` — c-Typical-Topk selection (Section 4).
+* :mod:`repro.core.distribution` — the public facade
+  (:func:`top_k_score_distribution`, :func:`c_typical_top_k`).
+"""
+
+from repro.core.pmf import ScoreLine, ScorePMF
+from repro.core.coalesce import coalesce_lines
+from repro.core.scan_depth import scan_depth, scan_depth_threshold
+from repro.core.state_expansion import state_expansion_distribution
+from repro.core.k_combo import k_combo_distribution
+from repro.core.dp import dp_distribution
+from repro.core.selector import TypicalSelector
+from repro.core.typical import TypicalAnswer, TypicalResult, select_typical
+from repro.core.distribution import (
+    c_typical_top_k,
+    top_k_score_distribution,
+)
+
+__all__ = [
+    "ScoreLine",
+    "ScorePMF",
+    "coalesce_lines",
+    "scan_depth",
+    "scan_depth_threshold",
+    "state_expansion_distribution",
+    "k_combo_distribution",
+    "dp_distribution",
+    "TypicalSelector",
+    "TypicalAnswer",
+    "TypicalResult",
+    "select_typical",
+    "c_typical_top_k",
+    "top_k_score_distribution",
+]

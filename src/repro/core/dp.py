@@ -1,0 +1,466 @@
+"""The main dynamic-programming algorithm (Sections 3.2–3.4).
+
+The distribution of top-j total scores "starting from row r" is built
+bottom-up: the distribution at ``(r, j)`` combines the one at
+``(r+1, j)`` (row r absent, probabilities scaled by ``1 - p_r``) with
+the one at ``(r+1, j-1)`` shifted by row r's score and scaled by
+``p_r`` (Figure 5).  Line coalescing (Section 3.2.1) bounds every
+intermediate distribution to a constant number of lines, giving the
+O(kn) bound for independent tuples.
+
+Mutual exclusion (Section 3.3) is handled by fixing the *last* (k-th)
+tuple of the vector: with the ending fixed, row order is irrelevant, so
+every other ME group can be compressed into a *rule tuple* whose "take"
+step adds each constituent ``(score, prob)`` separately and whose
+"skip" step multiplies by ``1 - (group mass above the ending)``.
+Vectors ending anywhere in a *lead-tuple region* (a maximal contiguous
+run of tuples that each rank first in their group) share one dynamic
+program whose *exit points* — the auxiliary column-0 cells of Figure 6
+— are enabled exactly at the region rows and blocked elsewhere.
+
+Ties (Section 3.4) need no structural change: the canonical
+``(score desc, prob desc)`` order of :class:`ScoredTable` makes the
+per-configuration probabilities come out right (Theorem 3) and the
+recorded representative vector the most probable one.
+
+Implementation notes
+--------------------
+Cell distributions are ``(scores, probs, vectors)`` triples with the
+numeric columns as ascending numpy arrays; representative vectors are
+shared cons-lists ``(tid, parent)`` so the "take" step prepends in
+O(1) per line.  Intermediate coalescing uses an equi-width grid over
+the cell's own span (weighted-mean score, summed probability, heavier
+line's vector per occupied bucket): every merge joins lines at most
+``cell span / max_lines`` apart, and since intermediate spans never
+exceed the final span (Section 3.2.1), the merge radius is bounded by
+the same δ as the paper's closest-pair strategy.  The public
+:func:`repro.core.coalesce.coalesce_lines` keeps the exact pairwise
+strategy for presentation-time coalescing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.pmf import ScorePMF
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable
+
+#: Default cap on the number of lines kept per distribution; the paper
+#: uses c' = 200 as its running example (Section 3.2.1).
+DEFAULT_MAX_LINES = 200
+
+#: A cell distribution: (scores ascending, probs, vectors) or None.
+_Cell = tuple
+
+
+class _Unit:
+    """One DP row: an independent tuple or a compressed rule tuple.
+
+    :ivar constituents: ``(score, prob, tid)`` per original tuple; a
+        plain tuple has exactly one constituent.
+    :ivar absent_prob: probability that no constituent exists
+        (``1 - sum of constituent probabilities``, clamped at 0).
+    """
+
+    __slots__ = ("constituents", "absent_prob")
+
+    def __init__(self, constituents: Sequence[tuple[float, float, Any]]):
+        self.constituents = tuple(constituents)
+        mass = sum(p for _, p, _ in constituents)
+        self.absent_prob = max(0.0, 1.0 - mass)
+
+
+def _cons_to_vector(cell) -> tuple:
+    """Unwind a cons-list ``(tid, parent)`` into a rank-ordered tuple."""
+    out = []
+    while cell is not None:
+        out.append(cell[0])
+        cell = cell[1]
+    return tuple(out)
+
+
+class _Arena:
+    """Chunked storage of representative vectors as integer ids.
+
+    Every "take" step of one dynamic program appends a *chunk*: all its
+    lines share the prepended tid, and each line records the id of its
+    parent vector.  Id 0 is the empty vector.  Vectors therefore live
+    as int64 arrays inside the DP (every per-line operation is numpy
+    fancy indexing) and only the final cell's handful of lines is ever
+    materialized into tid tuples.
+    """
+
+    __slots__ = ("tids", "parents", "bases", "size")
+
+    def __init__(self) -> None:
+        self.tids: list = [None]
+        self.parents: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        self.bases: list[int] = [0]
+        self.size: int = 1
+
+    def extend(self, tid, parent_ids: np.ndarray) -> np.ndarray:
+        """New ids for lines prepending ``tid`` onto ``parent_ids``."""
+        base = self.size
+        self.tids.append(tid)
+        self.parents.append(parent_ids)
+        self.bases.append(base)
+        self.size += len(parent_ids)
+        return np.arange(base, base + len(parent_ids), dtype=np.int64)
+
+    def vector(self, vec_id: int) -> tuple:
+        """Materialize an id into a rank-ordered tuple of tids."""
+        out = []
+        while vec_id != 0:
+            chunk = bisect_right(self.bases, vec_id) - 1
+            out.append(self.tids[chunk])
+            vec_id = int(self.parents[chunk][vec_id - self.bases[chunk]])
+        return tuple(out)
+
+
+def _segment_winners(probs: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Index of the heaviest line per segment (vectorized).
+
+    Sorting by (segment id, prob) puts each segment's heaviest line
+    last within its run, so the positions just before the next
+    segment's start are the per-segment argmaxes.
+    """
+    counts = np.diff(np.append(starts, len(probs)))
+    if counts.max() == 1:
+        return starts
+    segment_ids = np.repeat(np.arange(len(starts)), counts)
+    order = np.lexsort((probs, segment_ids))
+    return order[np.append(starts[1:], len(probs)) - 1]
+
+
+def _reduce_cell(
+    scores: np.ndarray,
+    probs: np.ndarray,
+    vectors: np.ndarray,
+    max_lines: int,
+) -> _Cell:
+    """Merge equal scores, then grid-coalesce to ``max_lines`` lines.
+
+    ``scores`` must already be ascending; ``vectors`` is an aligned
+    numpy array (int64 arena ids inside a DP, object tuples at the
+    cross-run merge).  Equal scores always merge (probabilities summed,
+    heavier line's vector kept — the step-3 merge rule of Section 3.2);
+    the grid pass runs only when the line budget is exceeded, and every
+    grid merge joins lines at most ``cell span / max_lines`` apart —
+    the same radius bound as the paper's closest-pair strategy, because
+    intermediate spans never exceed the final span (Section 3.2.1).
+    """
+    if len(scores) > 1:
+        dup = scores[1:] == scores[:-1]
+        if dup.any():
+            starts = np.flatnonzero(np.r_[True, ~dup])
+            vectors = vectors[_segment_winners(probs, starts)]
+            probs = np.add.reduceat(probs, starts)
+            scores = scores[starts]
+    if len(scores) > max_lines:
+        low = scores[0]
+        width = (scores[-1] - low) / max_lines
+        bucket = np.minimum(
+            ((scores - low) / width).astype(np.int64), max_lines - 1
+        )
+        starts = np.flatnonzero(np.r_[True, bucket[1:] != bucket[:-1]])
+        vectors = vectors[_segment_winners(probs, starts)]
+        weighted = np.add.reduceat(probs * scores, starts)
+        probs = np.add.reduceat(probs, starts)
+        scores = weighted / probs
+    return scores, probs, vectors
+
+
+def _combine(
+    unit: _Unit,
+    skip_cell: _Cell | None,
+    take_cell: _Cell | None,
+    arena: _Arena,
+    max_lines: int,
+) -> _Cell | None:
+    """One distribution-merging step (Section 3.2, steps 1-3).
+
+    ``skip_cell`` is ``D[r+1][j]`` (unit absent), ``take_cell`` is
+    ``D[r+1][j-1]`` (one constituent exists and is prepended).
+    """
+    parts: list[_Cell] = []
+    if skip_cell is not None and unit.absent_prob > 0.0:
+        scores, probs, vectors = skip_cell
+        parts.append((scores, probs * unit.absent_prob, vectors))
+    if take_cell is not None:
+        scores, probs, vectors = take_cell
+        for c_score, c_prob, c_tid in unit.constituents:
+            parts.append(
+                (
+                    scores + c_score,
+                    probs * c_prob,
+                    arena.extend(c_tid, vectors),
+                )
+            )
+    if not parts:
+        return None
+    if len(parts) == 1:
+        scores, probs, vectors = parts[0]
+    else:
+        scores = np.concatenate([part[0] for part in parts])
+        probs = np.concatenate([part[1] for part in parts])
+        vectors = np.concatenate([part[2] for part in parts])
+        order = np.argsort(scores, kind="stable")
+        scores = scores[order]
+        probs = probs[order]
+        vectors = vectors[order]
+    return _reduce_cell(scores, probs, vectors, max_lines)
+
+
+def _dp_run(
+    units: Sequence[_Unit],
+    k: int,
+    exit_enabled: Sequence[bool],
+    max_lines: int,
+) -> _Cell | None:
+    """One bottom-up dynamic program over ``units``.
+
+    ``exit_enabled[r]`` states whether a top-k vector may *end* with
+    the tuple at row ``r`` (i.e. whether the column-0 cell below row
+    ``r`` holds the enabling distribution ``(0, 1)`` instead of the
+    blocking ``(0, 0)`` of Section 3.3.2).
+
+    Returns the final cell — row 0, column k — with vectors already
+    materialized as tid tuples in an object array, or ``None`` when no
+    vector can be formed.
+    """
+    n = len(units)
+    if n < k:
+        return None
+    arena = _Arena()
+    exit_cell = (
+        np.zeros(1),
+        np.ones(1),
+        np.zeros(1, dtype=np.int64),
+    )
+    # below[j] holds D[r+1][j]; initially r+1 == n (virtual bottom row).
+    below: list[_Cell | None] = [None] * (k + 1)
+    for r in range(n - 1, -1, -1):
+        unit = units[r]
+        # Column 0 below row r: the exit point after picking row r last.
+        below[0] = exit_cell if exit_enabled[r] else None
+        cur: list[_Cell | None] = [None] * (k + 1)
+        # Only columns completable from above matter: rows 0..r-1 can
+        # supply at most r more picks (j >= k - r) and rows r..n-1 at
+        # most n - r picks (j <= n - r).
+        j_low = max(1, k - r)
+        j_high = min(k, n - r)
+        for j in range(j_low, j_high + 1):
+            cur[j] = _combine(unit, below[j], below[j - 1], arena, max_lines)
+        below = cur
+    final = below[k]
+    if final is None:
+        return None
+    scores, probs, ids = final
+    vectors = np.empty(len(ids), dtype=object)
+    for index, vec_id in enumerate(ids):
+        vectors[index] = arena.vector(int(vec_id))
+    return scores, probs, vectors
+
+
+def _compressed_units(
+    scored: ScoredTable,
+    cutoff: int,
+    exclude_group: int | None,
+) -> list[_Unit]:
+    """Rule tuples for the rows above ``cutoff`` (positions < cutoff).
+
+    Every ME group is reduced to its members ranked above the cutoff
+    (the truncation of Section 3.3.2) and compressed into one rule
+    tuple.  ``exclude_group`` (the ending tuple's own group) is removed
+    entirely: given that the ending tuple exists, its group mates are
+    absent with probability 1 and must not contribute ``1 - p``
+    factors.  Units are ordered by their highest-ranked member for
+    determinism (order is semantically irrelevant once the ending is
+    fixed).
+    """
+    members_by_group: dict[int, list[tuple[float, float, Any]]] = {}
+    order: list[int] = []
+    for pos in range(cutoff):
+        item = scored[pos]
+        if item.group == exclude_group:
+            continue
+        if item.group not in members_by_group:
+            members_by_group[item.group] = []
+            order.append(item.group)
+        members_by_group[item.group].append(
+            (item.score, item.prob, item.tid)
+        )
+    return [_Unit(members_by_group[g]) for g in order]
+
+
+def _merge_cells(cells: list[_Cell], max_lines: int) -> _Cell | None:
+    """Union of per-ending final cells, reduced to the line budget.
+
+    Equal scores merge exactly; the line budget is enforced by the same
+    grid coalescing as the intermediate distributions.
+    """
+    if not cells:
+        return None
+    if len(cells) == 1:
+        scores, probs, vectors = cells[0]
+    else:
+        scores = np.concatenate([cell[0] for cell in cells])
+        probs = np.concatenate([cell[1] for cell in cells])
+        vectors = np.concatenate([cell[2] for cell in cells])
+        order = np.argsort(scores, kind="stable")
+        scores = scores[order]
+        probs = probs[order]
+        vectors = vectors[order]
+    return _reduce_cell(scores, probs, vectors, max_lines)
+
+
+def _order_cell_vectors(cell: _Cell | None, scored: ScoredTable) -> _Cell | None:
+    """Re-order each vector into canonical rank order.
+
+    In the mutual-exclusion dynamic programs the rows are compressed
+    rule tuples ordered by their *highest* member, so a vector's tids
+    accumulate in unit order, which may interleave ranks; the vector's
+    tuple *set* is correct either way.  Presentation (and Definition 2)
+    wants rank order.
+    """
+    if cell is None:
+        return None
+    position = {scored[pos].tid: pos for pos in range(len(scored))}
+    scores, probs, vectors = cell
+    ordered = np.empty(len(vectors), dtype=object)
+    for index, vector in enumerate(vectors):
+        ordered[index] = tuple(sorted(vector, key=position.__getitem__))
+    return scores, probs, ordered
+
+
+def _cell_to_pmf(cell: _Cell | None) -> ScorePMF:
+    """Convert a DP cell into a public :class:`ScorePMF`."""
+    if cell is None:
+        return ScorePMF(())
+    scores, probs, vectors = cell
+    return ScorePMF(
+        (float(s), float(p), v) for s, p, v in zip(scores, probs, vectors)
+    )
+
+
+def dp_distribution(
+    scored: ScoredTable,
+    k: int,
+    *,
+    max_lines: int = DEFAULT_MAX_LINES,
+) -> ScorePMF:
+    """Top-k total-score distribution of a rank-ordered scored table.
+
+    ``scored`` should already be truncated to the Theorem-2 scan depth
+    (the :func:`repro.core.distribution.top_k_score_distribution`
+    facade does this).  Handles independent tuples, mutual exclusion
+    and score ties, per Sections 3.2–3.4.
+
+    :param scored: canonical rank-ordered input.
+    :param k: how many tuples a top-k vector holds (>= 1).
+    :param max_lines: coalescing budget per distribution.
+    :returns: the (possibly sub-unit-mass) score distribution, each
+        line carrying the most probable vector attaining its score.
+    """
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    n = len(scored)
+    if n < k:
+        return ScorePMF(())
+
+    if scored.me_member_count() == 0:
+        # Basic case (Section 3.2): tuples are independent; a single
+        # dynamic program with every exit point enabled suffices.
+        units = [
+            _Unit([(item.score, item.prob, item.tid)]) for item in scored
+        ]
+        return _cell_to_pmf(_dp_run(units, k, [True] * n, max_lines))
+
+    # Mutual-exclusion case (Section 3.3): one dynamic program per
+    # ending unit — each maximal lead-tuple region, and each non-lead
+    # tuple individually.
+    partial: list[_Cell] = []
+    for start, end in _ending_units(scored):
+        if end <= k - 1:
+            # A top-k vector's ending tuple sits at position >= k - 1.
+            continue
+        if end - start == 1 and not scored.is_lead(start):
+            pos = start
+            units = _compressed_units(scored, pos, scored[pos].group)
+            item = scored[pos]
+            units.append(_Unit([(item.score, item.prob, item.tid)]))
+            exits = [False] * len(units)
+            exits[-1] = True
+        else:
+            units = _compressed_units(scored, start, None)
+            exits = [False] * len(units)
+            for pos in range(start, end):
+                item = scored[pos]
+                units.append(_Unit([(item.score, item.prob, item.tid)]))
+                exits.append(True)
+        cell = _dp_run(units, k, exits, max_lines)
+        if cell is not None:
+            partial.append(cell)
+    merged = _order_cell_vectors(_merge_cells(partial, max_lines), scored)
+    return _cell_to_pmf(merged)
+
+
+def _ending_units(scored: ScoredTable) -> list[tuple[int, int]]:
+    """Ending units as half-open spans, in position order.
+
+    Lead-tuple regions come out as multi-position spans; every non-lead
+    tuple is its own single-position span.  Together the spans tile
+    ``[0, len(scored))``, so every possible ending position is covered
+    exactly once (no double counting across dynamic programs).
+    """
+    spans: list[tuple[int, int]] = []
+    pos = 0
+    n = len(scored)
+    while pos < n:
+        if scored.is_lead(pos):
+            end = pos + 1
+            while end < n and scored.is_lead(end):
+                end += 1
+            spans.append((pos, end))
+            pos = end
+        else:
+            spans.append((pos, pos + 1))
+            pos += 1
+    return spans
+
+
+def dp_distribution_without_lead_regions(
+    scored: ScoredTable,
+    k: int,
+    *,
+    max_lines: int = DEFAULT_MAX_LINES,
+) -> ScorePMF:
+    """Ablation: the "simple extension" of Section 3.3.2.
+
+    Runs one dynamic program per ending *tuple* (positions k-1 .. n-1),
+    never batching lead-tuple regions.  Semantically identical to
+    :func:`dp_distribution`; asymptotically slower when most tuples are
+    independent.  Used by ``benchmarks/bench_ablation_lead_regions.py``
+    to quantify the Section 3.3.3 refinement.
+    """
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    n = len(scored)
+    if n < k:
+        return ScorePMF(())
+    partial: list[_Cell] = []
+    for pos in range(k - 1, n):
+        item = scored[pos]
+        units = _compressed_units(scored, pos, item.group)
+        units.append(_Unit([(item.score, item.prob, item.tid)]))
+        exits = [False] * len(units)
+        exits[-1] = True
+        cell = _dp_run(units, k, exits, max_lines)
+        if cell is not None:
+            partial.append(cell)
+    merged = _order_cell_vectors(_merge_cells(partial, max_lines), scored)
+    return _cell_to_pmf(merged)

@@ -1,0 +1,76 @@
+"""The Theorem-2 stopping condition (scan depth).
+
+Tuples are scanned in rank order; once the accumulated probability mass
+above a tuple (excluding its own ME group) reaches
+
+    mu >= k + 1 + ln(1/p_tau) + sqrt(ln^2(1/p_tau) + 2 k ln(1/p_tau))
+
+no tuple from that point on can belong to the top-k with probability
+``p_tau`` or more, hence no top-k *vector* with probability >= p_tau is
+missed either.  The ``+ 1`` absorbs the non-monotonicity introduced by
+excluding the tuple's own ME group (whose mass is at most 1).
+
+The scan always stops at a tie-group boundary: tuples sharing a score
+either all satisfy the condition or none does, and the dynamic
+programs need whole tie groups.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable
+
+
+def scan_depth_threshold(k: int, p_tau: float) -> float:
+    """The right-hand side of the Theorem-2 inequality.
+
+    :param k: the query's k (>= 1).
+    :param p_tau: probability threshold in (0, 1); top-k vectors less
+        probable than this may be dropped.
+    """
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    if not 0.0 < p_tau < 1.0:
+        raise AlgorithmError(f"p_tau must be in (0, 1), got {p_tau!r}")
+    log_term = math.log(1.0 / p_tau)
+    return k + 1.0 + log_term + math.sqrt(
+        log_term * log_term + 2.0 * k * log_term
+    )
+
+
+def scan_depth(scored: ScoredTable, k: int, p_tau: float) -> int:
+    """Number of rank-ordered tuples the algorithms must examine.
+
+    Returns ``n`` such that tuples at positions ``0 .. n-1`` (in the
+    canonical sort order) suffice: every top-k vector with probability
+    >= ``p_tau`` lies entirely within them.  The returned depth is at
+    least ``min(k, len(scored))`` and never exceeds ``len(scored)``,
+    and always lands on a tie-group boundary.
+    """
+    threshold = scan_depth_threshold(k, p_tau)
+    total = len(scored)
+    # Accumulated probability of all tuples ranked strictly higher; the
+    # group contribution above the current tuple is subtracted per
+    # tuple (mu excludes the tuple's own ME group).
+    prefix_mass = 0.0
+    group_mass_above: dict[int, float] = {}
+    stop: int | None = None
+    for pos, item in enumerate(scored):
+        own_group_above = group_mass_above.get(item.group, 0.0)
+        mu = prefix_mass - own_group_above
+        if mu >= threshold and pos >= k:
+            stop = pos
+            break
+        prefix_mass += item.prob
+        group_mass_above[item.group] = own_group_above + item.prob
+    if stop is None:
+        return total
+    # Extend to the end of the stopping tuple's tie group.
+    return scored.tie_range_end(stop) if _mid_tie(scored, stop) else stop
+
+
+def _mid_tie(scored: ScoredTable, pos: int) -> bool:
+    """True when cutting at ``pos`` would split a tie group."""
+    return pos > 0 and scored[pos - 1].score == scored[pos].score

@@ -1,0 +1,101 @@
+"""Reusable c-Typical-Topk selection over one fixed distribution.
+
+The paper notes (end of Section 4) that once the score distribution is
+computed, trying different ``c`` values is much cheaper than re-running
+the distribution algorithm.  :class:`TypicalSelector` makes that
+explicit: it snapshots one distribution's prefix sums and answers
+``select(c)`` for any number of ``c`` values, caching results, and
+offers :meth:`elbow` — the smallest c whose expected distance drops
+below a target fraction of the distribution span (a practical recipe
+for choosing c that the paper leaves to the user).
+"""
+
+from __future__ import annotations
+
+from repro.core.pmf import ScorePMF
+from repro.core.typical import TypicalResult, select_typical
+from repro.exceptions import AlgorithmError, EmptyDistributionError
+
+
+class TypicalSelector:
+    """Answer c-Typical-Topk queries against one score distribution.
+
+    :param pmf: the top-k score distribution (computed once).
+
+    >>> from repro.datasets.soldier import soldier_table
+    >>> from repro.core.distribution import top_k_score_distribution
+    >>> pmf = top_k_score_distribution(soldier_table(), "score", 2, p_tau=0)
+    >>> selector = TypicalSelector(pmf)
+    >>> [a.score for a in selector.select(3).answers]
+    [118.0, 183.0, 235.0]
+    >>> selector.select(3) is selector.select(3)   # cached
+    True
+    """
+
+    def __init__(self, pmf: ScorePMF) -> None:
+        if pmf.is_empty():
+            raise EmptyDistributionError(
+                "cannot build a selector over an empty distribution"
+            )
+        self._pmf = pmf
+        self._cache: dict[int, TypicalResult] = {}
+
+    @property
+    def pmf(self) -> ScorePMF:
+        """The underlying distribution."""
+        return self._pmf
+
+    @property
+    def support_size(self) -> int:
+        """Number of distinct scores (the largest useful ``c``)."""
+        return len(self._pmf)
+
+    def select(self, c: int) -> TypicalResult:
+        """The c-Typical-Topk answers (cached per ``c``)."""
+        if c < 1:
+            raise AlgorithmError(f"c must be >= 1, got {c}")
+        if c not in self._cache:
+            self._cache[c] = select_typical(self._pmf, c)
+        return self._cache[c]
+
+    def distance_profile(self, max_c: int | None = None) -> list[float]:
+        """Expected distance for c = 1 .. max_c (non-increasing).
+
+        :param max_c: defaults to the support size.
+        """
+        limit = max_c if max_c is not None else self.support_size
+        if limit < 1:
+            raise AlgorithmError(f"max_c must be >= 1, got {limit}")
+        return [self.select(c).expected_distance for c in range(1, limit + 1)]
+
+    def elbow(
+        self,
+        *,
+        fraction_of_span: float = 0.05,
+        max_c: int | None = None,
+    ) -> TypicalResult:
+        """Smallest-c selection whose expected distance is small enough.
+
+        "Small enough" means at most ``fraction_of_span`` times the
+        distribution's support span — i.e. the typical answers pin a
+        random top-k score down to within that tolerance.  Falls back
+        to the largest tried ``c`` when no c reaches the target.
+
+        :param fraction_of_span: tolerance as a fraction of the span.
+        :param max_c: search bound (defaults to the support size).
+        """
+        if not 0.0 < fraction_of_span < 1.0:
+            raise AlgorithmError(
+                "fraction_of_span must be in (0, 1), got "
+                f"{fraction_of_span!r}"
+            )
+        span = self._pmf.support_span()
+        target = fraction_of_span * span
+        limit = max_c if max_c is not None else self.support_size
+        limit = max(1, min(limit, self.support_size))
+        result = self.select(1)
+        for c in range(1, limit + 1):
+            result = self.select(c)
+            if result.expected_distance <= target:
+                break
+        return result

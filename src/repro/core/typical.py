@@ -1,0 +1,229 @@
+"""c-Typical-Topk selection (Section 4, Figure 7).
+
+Given the top-k score distribution ``{(s_i, p_i, v_i)}`` (scores
+ascending), choose c of the scores so that for a random score S drawn
+from the distribution, the expected distance from S to the *closest*
+chosen score is minimal (Definition 1).  The chosen scores' recorded
+vectors are the c-Typical-Topk tuple vectors (Definition 2).
+
+This is the 1-dimensional c-median problem; following Hassin & Tamir
+the paper solves it with a two-function dynamic program in O(cn):
+
+    F_a(j) = min_{j <= k <= n}  [ sum_{b=j..k} p_b (s_k - s_b) + G_a(k) ]
+    G_a(j) = min_{j < k <= n+1} [ sum_{b=j..k-1} p_b (s_b - s_j)
+                                  + F_{a-1}(k) ]
+
+with G_1(j) = sum_{b=j..n} p_b (s_b - s_j) and F_a(n+1) = 0.  F is the
+optimum for the suffix {s_j..s_n}; G additionally fixes s_j as a chosen
+(typical) score.  Prefix sums P(j) = sum p_b and PS(j) = sum p_b s_b
+reduce each inner sum to O(1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, NamedTuple, Sequence
+
+from repro.core.pmf import ScorePMF
+from repro.exceptions import AlgorithmError, EmptyDistributionError
+
+#: Sentinel "infinity" for the DP tables.
+_INF = float("inf")
+
+
+class TypicalAnswer(NamedTuple):
+    """One typical top-k answer.
+
+    :ivar score: the typical total score s_i.
+    :ivar prob: probability mass of that score in the distribution.
+    :ivar vector: the most probable top-k tuple vector attaining it
+        (``None`` when the distribution did not track vectors).
+    """
+
+    score: float
+    prob: float
+    vector: tuple | None
+
+
+class TypicalResult(NamedTuple):
+    """Outcome of c-Typical-Topk selection.
+
+    :ivar answers: the c typical answers, scores ascending.
+    :ivar expected_distance: E[min_i |S - s_i|] with S drawn from the
+        (unnormalized) input distribution.
+    :ivar normalized_expected_distance: the same expectation against
+        the mass-normalized distribution (equals ``expected_distance``
+        divided by the total mass).
+    """
+
+    answers: tuple[TypicalAnswer, ...]
+    expected_distance: float
+    normalized_expected_distance: float
+
+
+def select_typical(pmf: ScorePMF, c: int) -> TypicalResult:
+    """Choose the c-Typical-Topk answers from a score distribution.
+
+    Runs the O(cn) two-function dynamic program of Figure 7.  When
+    ``c`` is at least the number of distinct scores, every score is
+    typical and the expected distance is 0.
+
+    :param pmf: the top-k score distribution (from
+        :func:`repro.core.distribution.top_k_score_distribution` or any
+        of the Section 3 algorithms).
+    :param c: number of typical answers to return (>= 1).
+    """
+    if c < 1:
+        raise AlgorithmError(f"c must be >= 1, got {c}")
+    n = len(pmf)
+    if n == 0:
+        raise EmptyDistributionError(
+            "cannot select typical answers from an empty distribution"
+        )
+    scores = pmf.scores
+    probs = pmf.probs
+    mass = sum(probs)
+    if mass <= 0.0:
+        raise EmptyDistributionError("distribution has zero mass")
+    if c >= n:
+        answers = tuple(
+            TypicalAnswer(line.score, line.prob, line.vector) for line in pmf
+        )
+        return TypicalResult(answers, 0.0, 0.0)
+
+    chosen = _typical_indices(scores, probs, c)
+    objective = expected_typical_distance(
+        scores, probs, [scores[i] for i in chosen]
+    )
+    answers = tuple(
+        TypicalAnswer(scores[i], probs[i], pmf.vectors[i]) for i in chosen
+    )
+    return TypicalResult(answers, objective, objective / mass)
+
+
+def _typical_indices(
+    scores: Sequence[float], probs: Sequence[float], c: int
+) -> list[int]:
+    """The Figure-7 dynamic program; returns chosen 0-based indices."""
+    n = len(scores)
+    # 1-based prefix sums: P[j] = p_1 + ... + p_j, PS likewise with s.
+    P = [0.0] * (n + 1)
+    PS = [0.0] * (n + 1)
+    for j in range(1, n + 1):
+        P[j] = P[j - 1] + probs[j - 1]
+        PS[j] = PS[j - 1] + probs[j - 1] * scores[j - 1]
+
+    def seg_below(j: int, k: int) -> float:
+        """sum_{b=j..k} p_b (s_k - s_b): cost of j..k served by s_k."""
+        return (P[k] - P[j - 1]) * scores[k - 1] - (PS[k] - PS[j - 1])
+
+    def seg_above(j: int, k: int) -> float:
+        """sum_{b=j..k-1} p_b (s_b - s_j): cost of j..k-1 served by s_j."""
+        return (PS[k - 1] - PS[j - 1]) - (P[k - 1] - P[j - 1]) * scores[j - 1]
+
+    # G[j] for the current level a; F[j] for the current level a
+    # (levels are filled a = 1..c, each overwriting the previous).
+    G = [0.0] * (n + 2)
+    F = [0.0] * (n + 2)
+    g_arg = [[0] * (n + 2) for _ in range(c + 1)]
+    f_arg = [[0] * (n + 2) for _ in range(c + 1)]
+
+    # Level a = 1 boundary: G_1(j) = cost of the whole suffix served by
+    # s_j from above.
+    for j in range(1, n + 1):
+        G[j] = seg_above(j, n + 1)
+        g_arg[1][j] = n + 1
+    F[n + 1] = 0.0
+
+    def fill_F(a: int) -> None:
+        """F_a(j) = min_{j<=k<=n} seg_below(j, k) + G_a(k)."""
+        for j in range(1, n + 1):
+            best = _INF
+            best_k = j
+            for k in range(j, n + 1):
+                value = seg_below(j, k) + G[k]
+                if value < best:
+                    best = value
+                    best_k = k
+            F[j] = best
+            f_arg[a][j] = best_k
+
+    fill_F(1)
+
+    prev_F = list(F)
+    for a in range(2, c + 1):
+        for j in range(1, n + 1):
+            best = _INF
+            best_k = j + 1
+            for k in range(j + 1, n + 2):
+                value = seg_above(j, k) + prev_F[k]
+                if value < best:
+                    best = value
+                    best_k = k
+            G[j] = best
+            g_arg[a][j] = best_k
+        fill_F(a)
+        prev_F = list(F)
+
+    # Trace back (lines 36-41 of Figure 7): at each level the F-argmin
+    # is the next typical score; its G-argmin is where the following
+    # suffix subproblem starts.
+    chosen: list[int] = []
+    j = 1
+    for a in range(c, 0, -1):
+        i = f_arg[a][j]
+        chosen.append(i - 1)
+        j = g_arg[a][i]
+        if j > n:
+            break
+    return chosen
+
+
+def expected_typical_distance(
+    scores: Sequence[float],
+    probs: Sequence[float],
+    typical_scores: Sequence[float],
+) -> float:
+    """E[min_i |S - s_i|] over the (unnormalized) distribution.
+
+    The quantity minimized by Definition 1; for the paper's toy example
+    with c = 3 it evaluates to 6.6.
+    """
+    if not typical_scores:
+        raise AlgorithmError("need at least one typical score")
+    anchors = sorted(typical_scores)
+    total = 0.0
+    for s, p in zip(scores, probs):
+        total += p * min(abs(s - a) for a in anchors)
+    return total
+
+
+def select_typical_brute_force(pmf: ScorePMF, c: int) -> TypicalResult:
+    """Reference implementation: try every c-subset of the support.
+
+    Exponential; used by tests to validate :func:`select_typical` on
+    small distributions.
+    """
+    if c < 1:
+        raise AlgorithmError(f"c must be >= 1, got {c}")
+    n = len(pmf)
+    if n == 0:
+        raise EmptyDistributionError("empty distribution")
+    if c >= n:
+        return select_typical(pmf, c)
+    scores = pmf.scores
+    probs = pmf.probs
+    mass = sum(probs)
+    best: tuple[float, tuple[int, ...]] | None = None
+    for subset in itertools.combinations(range(n), c):
+        objective = expected_typical_distance(
+            scores, probs, [scores[i] for i in subset]
+        )
+        if best is None or objective < best[0] - 1e-15:
+            best = (objective, subset)
+    assert best is not None
+    objective, subset = best
+    answers = tuple(
+        TypicalAnswer(scores[i], probs[i], pmf.vectors[i]) for i in subset
+    )
+    return TypicalResult(answers, objective, objective / mass)

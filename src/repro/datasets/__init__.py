@@ -1,0 +1,39 @@
+"""Dataset generators used by the paper's evaluation.
+
+* :mod:`repro.datasets.soldier` — the Figure-1 motivating example
+  (soldier physiologic-status monitoring) plus a generator of larger
+  tables of the same shape.
+* :mod:`repro.datasets.cartel` — a simulator standing in for the
+  proprietary CarTel road-delay dataset (Section 5.1); see DESIGN.md
+  for the substitution rationale.
+* :mod:`repro.datasets.synthetic` — the Section-5.4 bivariate-normal
+  generator with controllable score/probability correlation, score
+  variance and ME-group layout.
+"""
+
+from repro.datasets.soldier import soldier_table, generate_soldier_table
+from repro.datasets.cartel import (
+    CartelConfig,
+    RoadSegment,
+    generate_cartel_area,
+    generate_measurements,
+    segments_to_table,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    MEGroupLayout,
+    generate_synthetic_table,
+)
+
+__all__ = [
+    "soldier_table",
+    "generate_soldier_table",
+    "CartelConfig",
+    "RoadSegment",
+    "generate_cartel_area",
+    "generate_measurements",
+    "segments_to_table",
+    "SyntheticConfig",
+    "MEGroupLayout",
+    "generate_synthetic_table",
+]

@@ -1,0 +1,205 @@
+"""The Section-5.4 synthetic generator.
+
+Scores and probabilities are drawn from a bivariate normal with a
+configurable correlation coefficient ρ (the paper studies ρ = 0, 0.8
+and −0.8) and score standard deviation σ (60 and 100 in Figures 13/14).
+Probabilities are clipped into (0, 1].  ME groups are laid out over the
+score-sorted sequence with controllable member *gaps* (how many tuples
+apart consecutive members of a group sit — Figure 15) and group *sizes*
+(Figure 16); group masses are rescaled below 1 when needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.table import UncertainTable
+
+
+@dataclass(frozen=True)
+class MEGroupLayout:
+    """How mutual-exclusion groups are laid over the sorted tuples.
+
+    :ivar size_range: inclusive (min, max) tuples per ME group; the
+        paper's baseline uses sizes 2–3, Figure 16 grows them to 2–10.
+    :ivar gap_range: inclusive (min, max) distance, in tuples of the
+        score-sorted order, between consecutive members of a group;
+        the baseline uses 1–8, Figure 15 grows it to 1–40.
+    :ivar fraction: fraction of tuples that participate in ME groups
+        (0 disables grouping entirely).
+    """
+
+    size_range: tuple[int, int] = (2, 3)
+    gap_range: tuple[int, int] = (1, 8)
+    fraction: float = 0.5
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on inconsistent settings."""
+        lo, hi = self.size_range
+        if not 2 <= lo <= hi:
+            raise DatasetError(f"bad ME size_range {self.size_range!r}")
+        glo, ghi = self.gap_range
+        if not 1 <= glo <= ghi:
+            raise DatasetError(f"bad ME gap_range {self.gap_range!r}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise DatasetError(
+                f"ME fraction must be in [0, 1], got {self.fraction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the synthetic dataset.
+
+    :ivar tuples: number of uncertain tuples.
+    :ivar score_mean: mean of the score marginal.
+    :ivar score_std: standard deviation σ of the score marginal
+        (Figure 13 uses 60, Figure 14 raises it to 100).
+    :ivar prob_mean: mean of the probability marginal.
+    :ivar prob_std: standard deviation of the probability marginal.
+    :ivar correlation: score/probability correlation ρ ∈ [-1, 1].
+    :ivar prob_floor: probabilities are clipped to
+        ``[prob_floor, 1]`` (membership probabilities must be > 0).
+    :ivar me_layout: ME-group layout; ``None`` means independent
+        tuples.
+    """
+
+    tuples: int = 300
+    score_mean: float = 150.0
+    score_std: float = 60.0
+    prob_mean: float = 0.5
+    prob_std: float = 0.15
+    correlation: float = 0.0
+    prob_floor: float = 0.02
+    me_layout: MEGroupLayout | None = MEGroupLayout()
+
+    def validate(self) -> None:
+        """Raise :class:`DatasetError` on inconsistent settings."""
+        if self.tuples < 1:
+            raise DatasetError(f"tuples must be >= 1, got {self.tuples}")
+        if self.score_std < 0 or self.prob_std < 0:
+            raise DatasetError("standard deviations must be >= 0")
+        if not -1.0 <= self.correlation <= 1.0:
+            raise DatasetError(
+                f"correlation must be in [-1, 1], got {self.correlation!r}"
+            )
+        if not 0.0 < self.prob_floor <= 1.0:
+            raise DatasetError(
+                f"prob_floor must be in (0, 1], got {self.prob_floor!r}"
+            )
+        if self.me_layout is not None:
+            self.me_layout.validate()
+
+
+def _draw_scores_and_probs(
+    config: SyntheticConfig, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample the bivariate-normal (score, probability) pairs."""
+    mean = [config.score_mean, config.prob_mean]
+    cov_xy = config.correlation * config.score_std * config.prob_std
+    cov = [
+        [config.score_std**2, cov_xy],
+        [cov_xy, config.prob_std**2],
+    ]
+    draws = rng.multivariate_normal(mean, cov, size=config.tuples)
+    scores = draws[:, 0]
+    probs = np.clip(draws[:, 1], config.prob_floor, 1.0)
+    return scores, probs
+
+
+def _assign_me_groups(
+    count: int,
+    layout: MEGroupLayout,
+    rng: np.random.Generator,
+) -> list[list[int]]:
+    """Pick index sets (over score-sorted positions) forming ME groups.
+
+    Walks the sorted order; with probability ``fraction`` a position
+    seeds a group whose subsequent members sit ``gap`` positions apart
+    (gap drawn per member).  Positions already used are skipped.
+    """
+    used = [False] * count
+    groups: list[list[int]] = []
+    size_lo, size_hi = layout.size_range
+    gap_lo, gap_hi = layout.gap_range
+    for start in range(count):
+        if used[start]:
+            continue
+        if rng.random() >= layout.fraction:
+            continue
+        size = int(rng.integers(size_lo, size_hi + 1))
+        members = [start]
+        pos = start
+        while len(members) < size:
+            pos += int(rng.integers(gap_lo, gap_hi + 1))
+            # Slide forward past occupied positions.
+            while pos < count and used[pos]:
+                pos += 1
+            if pos >= count:
+                break
+            members.append(pos)
+        if len(members) >= 2:
+            for index in members:
+                used[index] = True
+            groups.append(members)
+    return groups
+
+
+def generate_synthetic_table(
+    config: SyntheticConfig | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+    name: str = "synthetic",
+) -> UncertainTable:
+    """Generate the Section-5.4 synthetic uncertain table.
+
+    Tuples carry a single ``score`` attribute; tids are ``T1``..``Tn``
+    in score-descending order (so ME-group gaps are expressed in rank
+    distance, as in the paper's description of Figures 15/16).  Group
+    probability masses exceeding 1 are rescaled to 1 - 1e-9.
+
+    >>> table = generate_synthetic_table(seed=1)
+    >>> len(table)
+    300
+    """
+    config = config or SyntheticConfig()
+    config.validate()
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    scores, probs = _draw_scores_and_probs(config, rng)
+    order = np.argsort(-scores)
+    scores = scores[order]
+    probs = probs[order]
+
+    group_indices: list[list[int]] = []
+    if config.me_layout is not None and config.me_layout.fraction > 0.0:
+        group_indices = _assign_me_groups(
+            config.tuples, config.me_layout, rng
+        )
+        # Rescale saturated groups so the ME mass constraint holds.
+        for members in group_indices:
+            mass = float(probs[members].sum())
+            if mass > 1.0:
+                probs[members] *= (1.0 - 1e-9) / mass
+
+    tuples = [
+        UncertainTuple(
+            f"T{index + 1}",
+            {"score": float(scores[index])},
+            float(probs[index]),
+        )
+        for index in range(config.tuples)
+    ]
+    rules: list[tuple[Any, ...]] = [
+        tuple(f"T{index + 1}" for index in members)
+        for members in group_indices
+    ]
+    return UncertainTable(tuples, rules, name=name)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so
+applications can catch a single base class.  More specific subclasses
+exist for the major subsystems (data model, query layer, algorithms) so
+tests and callers can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DataModelError(ReproError):
+    """Invalid uncertain-table construction (bad probabilities, rules...)."""
+
+
+class InvalidProbabilityError(DataModelError):
+    """A membership probability is outside the half-open interval (0, 1]."""
+
+
+class MutualExclusionError(DataModelError):
+    """A mutual-exclusion rule is malformed (overlap, mass > 1, ...)."""
+
+
+class ScoringError(ReproError):
+    """A scoring function failed or returned a non-numeric value."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm was invoked with invalid parameters."""
+
+
+class EmptyDistributionError(AlgorithmError):
+    """An operation requires a non-empty score distribution."""
+
+
+class QueryError(ReproError):
+    """Base class for the SQL-like query layer."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be tokenized or parsed."""
+
+
+class QueryPlanError(QueryError):
+    """The parsed query cannot be executed (unknown table/column...)."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator was configured inconsistently."""

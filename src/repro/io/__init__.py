@@ -1,0 +1,24 @@
+"""Persistence for uncertain tables and score distributions.
+
+* :mod:`repro.io.csv_io` — uncertain tables as CSV with reserved
+  ``_tid`` / ``_prob`` / ``_group`` columns.
+* :mod:`repro.io.json_io` — tables and :class:`ScorePMF` results as
+  JSON documents.
+"""
+
+from repro.io.csv_io import read_table_csv, write_table_csv
+from repro.io.json_io import (
+    pmf_from_json,
+    pmf_to_json,
+    read_table_json,
+    write_table_json,
+)
+
+__all__ = [
+    "read_table_csv",
+    "write_table_csv",
+    "pmf_from_json",
+    "pmf_to_json",
+    "read_table_json",
+    "write_table_json",
+]

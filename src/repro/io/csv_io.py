@@ -1,0 +1,98 @@
+"""CSV persistence for uncertain tables.
+
+Layout: one row per uncertain tuple.  Three reserved columns carry the
+uncertainty metadata:
+
+* ``_tid`` — tuple identifier;
+* ``_prob`` — membership probability;
+* ``_group`` — ME-group label (empty for singleton groups).
+
+Every other column is a tuple attribute.  Values are round-tripped as
+int/float where they parse as such, else kept as strings.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import DataModelError
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.table import UncertainTable
+
+#: Reserved metadata column names.
+TID_COLUMN = "_tid"
+PROB_COLUMN = "_prob"
+GROUP_COLUMN = "_group"
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort typed parse: int, then float, then string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def write_table_csv(table: UncertainTable, path: str | Path) -> None:
+    """Write ``table`` to ``path`` in the reserved-column CSV layout."""
+    attribute_names = table.attribute_names()
+    header = [TID_COLUMN, PROB_COLUMN, GROUP_COLUMN, *attribute_names]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for t in table:
+            gid = table.group_of(t.tid)
+            group_label = (
+                f"g{gid}" if len(table.group_members(gid)) > 1 else ""
+            )
+            writer.writerow(
+                [
+                    t.tid,
+                    repr(t.probability),
+                    group_label,
+                    *[t.get(name, "") for name in attribute_names],
+                ]
+            )
+
+
+def read_table_csv(path: str | Path, *, name: str = "uncertain") -> UncertainTable:
+    """Read a table previously written by :func:`write_table_csv`.
+
+    Also accepts hand-written CSVs that follow the layout; ``_tid`` is
+    optional (row numbers are used when absent).
+    """
+    tuples: list[UncertainTuple] = []
+    groups: dict[str, list[Any]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or PROB_COLUMN not in reader.fieldnames:
+            raise DataModelError(
+                f"{path}: missing required column {PROB_COLUMN!r}"
+            )
+        for index, row in enumerate(reader):
+            prob_text = row.pop(PROB_COLUMN, "")
+            try:
+                prob = float(prob_text)
+            except (TypeError, ValueError):
+                raise DataModelError(
+                    f"{path} row {index}: bad probability {prob_text!r}"
+                ) from None
+            raw_tid = row.pop(TID_COLUMN, None)
+            tid: Any = _parse_value(raw_tid) if raw_tid else index
+            group_label = row.pop(GROUP_COLUMN, "") or ""
+            attributes = {
+                key: _parse_value(value)
+                for key, value in row.items()
+                if value != "" and key is not None
+            }
+            tuples.append(UncertainTuple(tid, attributes, prob))
+            if group_label:
+                groups.setdefault(group_label, []).append(tid)
+    rules = [tuple(members) for members in groups.values() if len(members) > 1]
+    return UncertainTable(tuples, rules, name=name)

@@ -1,0 +1,39 @@
+"""A small SQL-like top-k query layer over uncertain tables.
+
+The paper's CarTel experiment issues::
+
+    SELECT segment_id,
+           speed_limit / (length / delay) AS congestion_score
+    FROM area
+    ORDER BY congestion_score DESC
+    LIMIT k
+
+This subpackage provides just enough of SQL to run that query class:
+``SELECT`` projections with aliases, arithmetic/boolean expressions,
+``WHERE`` filters, ``ORDER BY <expr> [DESC] LIMIT k`` ranking, plus the
+uncertainty-specific clauses ``WITH TYPICAL c`` and ``USING <algo>``.
+Execution produces the score distribution and typical answers of the
+core library.
+
+* :mod:`repro.query.tokens` — tokenizer.
+* :mod:`repro.query.ast_nodes` — expression and query AST.
+* :mod:`repro.query.parser` — recursive-descent parser.
+* :mod:`repro.query.engine` — catalog + executor.
+"""
+
+from repro.query.ast_nodes import TopKQuery
+from repro.query.engine import Catalog, QueryResult, execute_query
+from repro.query.parser import parse_expression, parse_query
+from repro.query.tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "TopKQuery",
+    "Catalog",
+    "QueryResult",
+    "execute_query",
+    "parse_expression",
+    "parse_query",
+    "Token",
+    "TokenType",
+    "tokenize",
+]

@@ -1,0 +1,266 @@
+"""Expression and query AST for the SQL-like layer.
+
+Expression nodes evaluate against an
+:class:`~repro.uncertain.model.UncertainTuple` (attribute references
+resolve through the tuple's mapping).  Evaluation is strict about
+types: arithmetic on non-numbers and comparisons across incompatible
+types raise :class:`~repro.exceptions.QueryPlanError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import QueryPlanError
+from repro.uncertain.model import UncertainTuple
+
+_NUMERIC = (int, float)
+
+
+def _require_number(value: Any, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, _NUMERIC):
+        raise QueryPlanError(f"{what} requires a number, got {value!r}")
+    return value
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def evaluate(self, row: UncertainTuple) -> Any:
+        """Evaluate against one tuple."""
+        raise NotImplementedError
+
+    def column_names(self) -> set[str]:
+        """All attribute names this expression references."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, boolean or NULL."""
+
+    value: Any
+
+    def evaluate(self, row: UncertainTuple) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a tuple attribute by name."""
+
+    name: str
+
+    def evaluate(self, row: UncertainTuple) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise QueryPlanError(
+                f"unknown column {self.name!r} (tuple {row.tid!r})"
+            ) from None
+
+    def column_names(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary minus or NOT."""
+
+    op: str
+    operand: Expression
+
+    def evaluate(self, row: UncertainTuple) -> Any:
+        value = self.operand.evaluate(row)
+        if self.op == "-":
+            return -_require_number(value, "unary '-'")
+        if self.op == "NOT":
+            return not bool(value)
+        raise QueryPlanError(f"unknown unary operator {self.op!r}")
+
+    def column_names(self) -> set[str]:
+        return self.operand.column_names()
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: UncertainTuple) -> Any:
+        op = self.op
+        if op == "AND":
+            return bool(self.left.evaluate(row)) and bool(
+                self.right.evaluate(row)
+            )
+        if op == "OR":
+            return bool(self.left.evaluate(row)) or bool(
+                self.right.evaluate(row)
+            )
+        lhs = self.left.evaluate(row)
+        rhs = self.right.evaluate(row)
+        if op in ("+", "-", "*", "/", "%"):
+            a = _require_number(lhs, f"operator {op!r}")
+            b = _require_number(rhs, f"operator {op!r}")
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                if b == 0:
+                    raise QueryPlanError("division by zero")
+                return a / b
+            if b == 0:
+                raise QueryPlanError("modulo by zero")
+            return a % b
+        if op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            return self._compare(op, lhs, rhs)
+        raise QueryPlanError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _compare(op: str, lhs: Any, rhs: Any) -> bool:
+        if op == "=":
+            return lhs == rhs
+        if op in ("!=", "<>"):
+            return lhs != rhs
+        both_numbers = (
+            isinstance(lhs, _NUMERIC)
+            and isinstance(rhs, _NUMERIC)
+            and not isinstance(lhs, bool)
+            and not isinstance(rhs, bool)
+        )
+        both_strings = isinstance(lhs, str) and isinstance(rhs, str)
+        if not (both_numbers or both_strings):
+            raise QueryPlanError(
+                f"cannot order {lhs!r} against {rhs!r} with {op!r}"
+            )
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        return lhs >= rhs
+
+    def column_names(self) -> set[str]:
+        return self.left.column_names() | self.right.column_names()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+#: Built-in scalar functions, by upper-cased name: (arity, callable).
+FUNCTIONS: dict[str, tuple[int, Callable[..., float]]] = {
+    "ABS": (1, abs),
+    "SQRT": (1, math.sqrt),
+    "LN": (1, math.log),
+    "LOG10": (1, math.log10),
+    "EXP": (1, math.exp),
+    "ROUND": (2, lambda x, d: round(x, int(d))),
+    "POW": (2, math.pow),
+    "LEAST": (2, min),
+    "GREATEST": (2, max),
+}
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Call to a built-in scalar function."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def evaluate(self, row: UncertainTuple) -> Any:
+        try:
+            arity, fn = FUNCTIONS[self.name]
+        except KeyError:
+            raise QueryPlanError(f"unknown function {self.name!r}") from None
+        if len(self.args) != arity:
+            raise QueryPlanError(
+                f"{self.name} expects {arity} argument(s), "
+                f"got {len(self.args)}"
+            )
+        values = [
+            _require_number(arg.evaluate(row), f"function {self.name}")
+            for arg in self.args
+        ]
+        try:
+            return fn(*values)
+        except ValueError as exc:
+            raise QueryPlanError(f"{self.name}: {exc}") from exc
+
+    def column_names(self) -> set[str]:
+        names: set[str] = set()
+        for arg in self.args:
+            names |= arg.column_names()
+        return names
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: an expression with an optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        """Column name in the output row."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        return str(self.expression)
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """A parsed top-k query.
+
+    :ivar select: projection list (empty means ``SELECT *``).
+    :ivar table: FROM table name.
+    :ivar where: optional filter predicate.
+    :ivar order_by: the scoring expression (an ORDER BY alias resolves
+        to its SELECT expression during parsing).
+    :ivar descending: ORDER BY direction; the paper's semantics rank by
+        descending score, so ascending queries negate the score.
+    :ivar limit: the k of the top-k.
+    :ivar typical: c of ``WITH TYPICAL c`` (None when absent).
+    :ivar algorithm: ``USING <algo>`` override (None = default "dp").
+    """
+
+    select: tuple[SelectItem, ...]
+    table: str
+    where: Expression | None
+    order_by: Expression
+    descending: bool
+    limit: int
+    typical: int | None = None
+    algorithm: str | None = None
+    select_star: bool = field(default=False)
+
+    def score_expression(self) -> Expression:
+        """The effective scoring expression (negated when ascending)."""
+        if self.descending:
+            return self.order_by
+        return UnaryOp("-", self.order_by)

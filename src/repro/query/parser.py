@@ -1,0 +1,294 @@
+"""Recursive-descent parser for the SQL-like query language.
+
+Grammar (informal)::
+
+    query      := SELECT select_list FROM ident [WHERE expr]
+                  ORDER BY expr [ASC | DESC] LIMIT int
+                  [WITH TYPICAL int] [USING ident]
+    select_list := '*' | item (',' item)*
+    item        := expr [AS ident] | expr ident
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | comparison
+    comparison  := additive ((= | != | <> | < | <= | > | >=) additive)?
+    additive    := multiplicative ((+ | -) multiplicative)*
+    multiplicative := unary ((* | / | %) unary)*
+    unary       := - unary | primary
+    primary     := NUMBER | STRING | TRUE | FALSE | NULL
+                 | ident '(' args ')' | ident | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QuerySyntaxError
+from repro.query.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    SelectItem,
+    TopKQuery,
+    UnaryOp,
+)
+from repro.query.tokens import Token, TokenType, tokenize
+
+_COMPARISONS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- cursor helpers -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.END:
+            self.index += 1
+        return token
+
+    def accept_keyword(self, *keywords: str) -> Token | None:
+        token = self.peek()
+        if token.type is TokenType.KEYWORD and token.value in keywords:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.accept_keyword(keyword)
+        if token is None:
+            raise self.error(f"expected {keyword}")
+        return token
+
+    def accept_operator(self, *ops: str) -> Token | None:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value in ops:
+            return self.advance()
+        return None
+
+    def accept_punct(self, ch: str) -> Token | None:
+        token = self.peek()
+        if token.type is TokenType.PUNCT and token.value == ch:
+            return self.advance()
+        return None
+
+    def expect_punct(self, ch: str) -> Token:
+        token = self.accept_punct(ch)
+        if token is None:
+            raise self.error(f"expected {ch!r}")
+        return token
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise self.error("expected an identifier")
+        self.advance()
+        return str(token.value)
+
+    def error(self, message: str) -> QuerySyntaxError:
+        token = self.peek()
+        found = (
+            "end of input" if token.type is TokenType.END else repr(token.value)
+        )
+        return QuerySyntaxError(
+            f"{message}, found {found} at position {token.position}"
+        )
+
+    # -- expressions ----------------------------------------------------
+    def parse_expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        node = self._and_expr()
+        while self.accept_keyword("OR"):
+            node = BinaryOp("OR", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> Expression:
+        node = self._not_expr()
+        while self.accept_keyword("AND"):
+            node = BinaryOp("AND", node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        node = self._additive()
+        token = self.accept_operator(*_COMPARISONS)
+        if token:
+            node = BinaryOp(str(token.value), node, self._additive())
+        return node
+
+    def _additive(self) -> Expression:
+        node = self._multiplicative()
+        while True:
+            token = self.accept_operator("+", "-")
+            if not token:
+                return node
+            node = BinaryOp(str(token.value), node, self._multiplicative())
+
+    def _multiplicative(self) -> Expression:
+        node = self._unary()
+        while True:
+            token = self.accept_operator("*", "/", "%")
+            if not token:
+                return node
+            node = BinaryOp(str(token.value), node, self._unary())
+
+    def _unary(self) -> Expression:
+        if self.accept_operator("-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.KEYWORD and token.value in (
+            "TRUE",
+            "FALSE",
+            "NULL",
+        ):
+            self.advance()
+            return Literal(
+                {"TRUE": True, "FALSE": False, "NULL": None}[token.value]
+            )
+        if token.type is TokenType.IDENT:
+            self.advance()
+            name = str(token.value)
+            if self.accept_punct("("):
+                args: list[Expression] = []
+                if not self.accept_punct(")"):
+                    args.append(self.parse_expression())
+                    while self.accept_punct(","):
+                        args.append(self.parse_expression())
+                    self.expect_punct(")")
+                return FunctionCall(name.upper(), tuple(args))
+            return ColumnRef(name)
+        if self.accept_punct("("):
+            node = self.parse_expression()
+            self.expect_punct(")")
+            return node
+        raise self.error("expected an expression")
+
+    # -- the query ------------------------------------------------------
+    def parse_query(self) -> TopKQuery:
+        self.expect_keyword("SELECT")
+        select: list[SelectItem] = []
+        select_star = False
+        if self.accept_operator("*"):
+            select_star = True
+        else:
+            select.append(self._select_item())
+            while self.accept_punct(","):
+                select.append(self._select_item())
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        self.expect_keyword("ORDER")
+        self.expect_keyword("BY")
+        order_by = self.parse_expression()
+        descending = True
+        if self.accept_keyword("ASC"):
+            descending = False
+        elif self.accept_keyword("DESC"):
+            descending = True
+        self.expect_keyword("LIMIT")
+        limit_token = self.peek()
+        if limit_token.type is not TokenType.NUMBER or not isinstance(
+            limit_token.value, int
+        ):
+            raise self.error("LIMIT expects an integer")
+        self.advance()
+        limit = int(limit_token.value)
+        if limit < 1:
+            raise QuerySyntaxError(f"LIMIT must be >= 1, got {limit}")
+        typical = None
+        if self.accept_keyword("WITH"):
+            self.expect_keyword("TYPICAL")
+            c_token = self.peek()
+            if c_token.type is not TokenType.NUMBER or not isinstance(
+                c_token.value, int
+            ):
+                raise self.error("WITH TYPICAL expects an integer")
+            self.advance()
+            typical = int(c_token.value)
+            if typical < 1:
+                raise QuerySyntaxError(
+                    f"WITH TYPICAL must be >= 1, got {typical}"
+                )
+        algorithm = None
+        if self.accept_keyword("USING"):
+            algorithm = self.expect_ident().lower()
+        if self.peek().type is not TokenType.END:
+            raise self.error("unexpected trailing input")
+
+        # An ORDER BY alias refers back to its SELECT expression.
+        if isinstance(order_by, ColumnRef):
+            for item in select:
+                if item.alias == order_by.name:
+                    order_by = item.expression
+                    break
+        return TopKQuery(
+            select=tuple(select),
+            table=table,
+            where=where,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+            typical=typical,
+            algorithm=algorithm,
+            select_star=select_star,
+        )
+
+    def _select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().type is TokenType.IDENT:
+            alias = self.expect_ident()
+        return SelectItem(expression, alias)
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression.
+
+    >>> str(parse_expression("speed_limit / (length / delay)"))
+    '(speed_limit / (length / delay))'
+    """
+    parser = _Parser(text)
+    node = parser.parse_expression()
+    if parser.peek().type is not TokenType.END:
+        raise parser.error("unexpected trailing input")
+    return node
+
+
+def parse_query(text: str) -> TopKQuery:
+    """Parse a full top-k query.
+
+    >>> q = parse_query(
+    ...     "SELECT segment_id, speed_limit / (length / delay) "
+    ...     "AS congestion_score FROM area "
+    ...     "ORDER BY congestion_score DESC LIMIT 5"
+    ... )
+    >>> q.table, q.limit
+    ('area', 5)
+    """
+    return _Parser(text).parse_query()

@@ -1,0 +1,151 @@
+"""Tokenizer for the SQL-like query language.
+
+Produces a flat token stream; the parser does the rest.  Keywords are
+case-insensitive; identifiers keep their case.  Comments (``-- ...``)
+run to end of line.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, NamedTuple
+
+from repro.exceptions import QuerySyntaxError
+
+#: Reserved words, upper-cased.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "ORDER", "BY", "LIMIT", "AS",
+        "ASC", "DESC", "AND", "OR", "NOT", "TRUE", "FALSE", "NULL",
+        "WITH", "TYPICAL", "USING",
+    }
+)
+
+
+class TokenType(enum.Enum):
+    """Lexical categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+class Token(NamedTuple):
+    """One lexical token.
+
+    :ivar type: the :class:`TokenType`.
+    :ivar value: keyword (upper-cased), identifier, literal value or
+        operator text.
+    :ivar position: character offset in the source (for errors).
+    """
+
+    type: TokenType
+    value: object
+    position: int
+
+
+#: Multi-character operators first so they win over single characters.
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`QuerySyntaxError` on garbage.
+
+    >>> [t.value for t in tokenize("SELECT x FROM t")][:3]
+    ['SELECT', 'x', 'FROM']
+    """
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = text[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and text[i] in "+-":
+                        i += 1
+                else:
+                    break
+            literal = text[start:i]
+            try:
+                value: object = (
+                    float(literal)
+                    if seen_dot or seen_exp
+                    else int(literal)
+                )
+            except ValueError:
+                raise QuerySyntaxError(
+                    f"bad numeric literal {literal!r} at {start}"
+                ) from None
+            yield Token(TokenType.NUMBER, value, start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chars = []
+            while i < n:
+                if text[i] == "'":
+                    if text[i : i + 2] == "''":  # escaped quote
+                        chars.append("'")
+                        i += 2
+                        continue
+                    break
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise QuerySyntaxError(f"unterminated string at {start}")
+            i += 1
+            yield Token(TokenType.STRING, "".join(chars), start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                yield Token(TokenType.OPERATOR, op, i)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            yield Token(TokenType.PUNCT, ch, i)
+            i += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r} at {i}")
+    yield Token(TokenType.END, None, n)

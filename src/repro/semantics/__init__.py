@@ -1,0 +1,49 @@
+"""Competing top-k semantics used as baselines by the paper.
+
+Category (1) — vectors of compatible tuples:
+
+* :mod:`repro.semantics.u_topk` — U-Topk of Soliman, Ilyas & Chang:
+  the single most probable top-k vector.
+* (the paper's own c-Typical-Topk lives in :mod:`repro.core.typical`.)
+
+Category (2) — per-tuple marginal semantics:
+
+* :mod:`repro.semantics.u_kranks` — U-kRanks: per rank position, the
+  most probable tuple.
+* :mod:`repro.semantics.pt_k` — PT-k of Hua et al.: all tuples whose
+  probability of being in the top-k reaches a threshold.
+* :mod:`repro.semantics.global_topk` — Global-Topk of Zhang &
+  Chomicki: the k tuples with the highest top-k probability.
+
+:mod:`repro.semantics.marginals` holds the shared rank-marginal engine
+(a Poisson-binomial dynamic program over ME groups).
+"""
+
+from repro.semantics.marginals import (
+    rank_distribution,
+    top_k_probability,
+    top_k_probabilities,
+)
+from repro.semantics.u_topk import UTopkResult, u_topk, vector_top_k_probability
+from repro.semantics.u_kranks import URankAnswer, u_kranks
+from repro.semantics.pt_k import pt_k
+from repro.semantics.global_topk import global_topk
+from repro.semantics.answers import typicality_report, TypicalityReport
+from repro.semantics.expected_ranks import ExpectedRankAnswer, expected_rank_topk
+
+__all__ = [
+    "rank_distribution",
+    "top_k_probability",
+    "top_k_probabilities",
+    "UTopkResult",
+    "u_topk",
+    "vector_top_k_probability",
+    "URankAnswer",
+    "u_kranks",
+    "pt_k",
+    "global_topk",
+    "typicality_report",
+    "TypicalityReport",
+    "ExpectedRankAnswer",
+    "expected_rank_topk",
+]

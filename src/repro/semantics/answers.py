@@ -1,0 +1,93 @@
+"""Typicality analysis: where does an answer sit in the distribution?
+
+The paper's experiments repeatedly ask "where does the U-Topk vector
+stand in the top-k score distribution, and where do the c typical
+vectors stand?" (Figures 3, 8, 13–16).  :func:`typicality_report`
+packages that comparison: it computes the score distribution, the
+U-Topk answer and the c-Typical-Topk answers, and quantifies the
+atypicality of U-Topk (tail mass beyond its score, distance to the
+expected score in standard deviations, distance to the nearest typical
+score).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.distribution import (
+    DEFAULT_P_TAU,
+    ScorerLike,
+    top_k_score_distribution,
+)
+from repro.core.dp import DEFAULT_MAX_LINES
+from repro.core.pmf import ScorePMF
+from repro.core.typical import TypicalResult, select_typical
+from repro.semantics.u_topk import UTopkResult, u_topk
+from repro.uncertain.table import UncertainTable
+
+
+class TypicalityReport(NamedTuple):
+    """Joint view of the distribution, U-Topk and c-Typical answers.
+
+    :ivar pmf: the top-k total-score distribution.
+    :ivar u_topk: the U-Topk answer (None if not computable).
+    :ivar typical: the c-Typical-Topk answers.
+    :ivar prob_above_u_topk: P(top-k score > U-Topk score) — 0.76 in
+        the paper's toy example.
+    :ivar u_topk_z_score: (U-Topk score - E[S]) / std(S); large
+        magnitude means atypical.
+    :ivar u_topk_percentile: normalized CDF position of the U-Topk
+        score in [0, 1].
+    :ivar distance_to_nearest_typical: |U-Topk score - closest typical
+        score|.
+    """
+
+    pmf: ScorePMF
+    u_topk: UTopkResult | None
+    typical: TypicalResult
+    prob_above_u_topk: float
+    u_topk_z_score: float
+    u_topk_percentile: float
+    distance_to_nearest_typical: float
+
+
+def typicality_report(
+    table: UncertainTable,
+    scorer: ScorerLike,
+    k: int,
+    c: int = 3,
+    *,
+    p_tau: float = DEFAULT_P_TAU,
+    max_lines: int = DEFAULT_MAX_LINES,
+) -> TypicalityReport:
+    """Build a :class:`TypicalityReport` for ``table``.
+
+    >>> from repro.datasets.soldier import soldier_table
+    >>> report = typicality_report(soldier_table(), "score", 2, 3, p_tau=0)
+    >>> round(report.prob_above_u_topk, 2)
+    0.76
+    """
+    pmf = top_k_score_distribution(
+        table, scorer, k, p_tau=p_tau, max_lines=max_lines
+    )
+    typical = select_typical(pmf, c)
+    answer = u_topk(table, scorer, k, p_tau=p_tau)
+    if answer is None:
+        return TypicalityReport(
+            pmf, None, typical, 0.0, 0.0, 0.0, float("nan")
+        )
+    mass = pmf.total_mass()
+    prob_above = pmf.prob_greater(answer.total_score) / mass if mass else 0.0
+    std = pmf.std()
+    z = (
+        (answer.total_score - pmf.expectation()) / std
+        if std > 0.0
+        else 0.0
+    )
+    percentile = pmf.cdf(answer.total_score)
+    nearest = min(
+        abs(answer.total_score - a.score) for a in typical.answers
+    )
+    return TypicalityReport(
+        pmf, answer, typical, prob_above, z, percentile, nearest
+    )

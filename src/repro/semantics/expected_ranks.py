@@ -1,0 +1,116 @@
+"""Expected-rank semantics (extension beyond the paper's baselines).
+
+A contemporary alternative to the probability-centric semantics
+(Cormode, Li & Yi, "Semantics of Ranking Queries for Probabilistic
+Data and Expected Ranks", ICDE 2009): rank every tuple by its
+*expected rank* across possible worlds and return the k smallest.
+
+We use the "existing worlds" convention: in a world where ``t`` exists
+its rank is 1 + (number of existing higher-ranked tuples); in worlds
+where ``t`` does not exist it is charged the rank it would have had,
+|world| + 1 being a common alternative — here we charge the expected
+number of existing *other* tuples plus 1, which keeps the computation
+closed-form under the ME model and preserves the ordering behaviour
+the semantics is known for (certain high scorers first, uncertain
+high scorers traded off against certain mid scorers).
+
+Included as an extension because the paper's related-work discussion
+(Section 6) situates its contribution against exactly this family of
+score-and-probability-sensitive semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+from repro.core.distribution import (
+    DEFAULT_P_TAU,
+    ScorerLike,
+    prepare_scored_prefix,
+)
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable
+from repro.uncertain.table import UncertainTable
+
+
+class ExpectedRankAnswer(NamedTuple):
+    """One expected-rank answer.
+
+    :ivar tid: tuple id.
+    :ivar expected_rank: the tuple's expected rank (lower is better).
+    :ivar probability: the tuple's membership probability.
+    """
+
+    tid: Any
+    expected_rank: float
+    probability: float
+
+
+def _expected_higher_count(scored: ScoredTable, pos: int) -> float:
+    """Expected number of existing tuples ranked above ``pos``.
+
+    Conditioned on the tuple at ``pos`` existing: its own ME group's
+    above-``pos`` members cannot co-exist with it, so they contribute
+    nothing; all other groups contribute their above-``pos`` mass.
+    """
+    item = scored[pos]
+    total = 0.0
+    for index in range(pos):
+        other = scored[index]
+        if other.group == item.group:
+            continue
+        total += other.prob
+    return total
+
+
+def _expected_existing_others(scored: ScoredTable, pos: int) -> float:
+    """Expected number of existing tuples other than ``pos``'s own
+    (unconditional on the target tuple, excluding its ME group)."""
+    item = scored[pos]
+    return sum(
+        scored[index].prob
+        for index in range(len(scored))
+        if scored[index].group != item.group
+    )
+
+
+def expected_rank(scored: ScoredTable, pos: int) -> float:
+    """Expected rank of the tuple at position ``pos``.
+
+    E[rank] = p * (1 + E[#higher existing | t exists])
+            + (1 - p) * (1 + E[#existing others])
+
+    — when the tuple exists it competes against the higher-ranked
+    existing tuples; when it does not, it is charged a rank below all
+    existing tuples (the standard penalty that keeps low-probability
+    tuples from dominating).
+    """
+    item = scored[pos]
+    present = 1.0 + _expected_higher_count(scored, pos)
+    absent = 1.0 + _expected_existing_others(scored, pos)
+    return item.prob * present + (1.0 - item.prob) * absent
+
+
+def expected_rank_topk(
+    table: UncertainTable,
+    scorer: ScorerLike,
+    k: int,
+    *,
+    p_tau: float = DEFAULT_P_TAU,
+    depth: int | None = None,
+) -> list[ExpectedRankAnswer]:
+    """The k tuples with the smallest expected rank.
+
+    :returns: answers sorted by expected rank ascending.
+    """
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    scored = prepare_scored_prefix(table, scorer, k, p_tau=p_tau, depth=depth)
+    answers = [
+        ExpectedRankAnswer(
+            scored[pos].tid, expected_rank(scored, pos), scored[pos].prob
+        )
+        for pos in range(len(scored))
+    ]
+    answers.sort(key=lambda a: a.expected_rank)
+    return answers[:k]

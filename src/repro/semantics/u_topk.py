@@ -1,0 +1,180 @@
+"""U-Topk (Soliman, Ilyas & Chang): the most probable top-k vector.
+
+The answer is the k-tuple vector maximizing the probability of being
+the top-k across all possible worlds.  We implement the optimal
+best-first search over rank-order prefixes: a state is a prefix of the
+canonical order together with the subset of its tuples chosen so far;
+extending a state multiplies its probability by conditional *hazard*
+factors (see :mod:`repro.core.state_expansion`), which are at most 1,
+so probabilities decrease monotonically along a branch and the first
+completed state popped from the max-heap is optimal (A* with a trivial
+admissible heuristic).
+
+Ties: the paper notes U-Topk is undefined under non-injective scoring;
+we resolve ties with the same canonical ``(score desc, prob desc)``
+order as everything else, i.e. the returned vector maximizes the
+probability of being the *first-k-existing* configuration.  For
+injective scores this coincides with the original definition.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, NamedTuple
+
+from repro.core.distribution import (
+    DEFAULT_P_TAU,
+    ScorerLike,
+    prepare_scored_prefix,
+)
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable
+from repro.uncertain.table import UncertainTable
+
+
+class UTopkResult(NamedTuple):
+    """The U-Topk answer.
+
+    :ivar vector: tids of the most probable top-k vector, rank order.
+    :ivar probability: its probability of being the top-k.
+    :ivar total_score: its total score (used by the typicality
+        comparisons of Section 5).
+    """
+
+    vector: tuple[Any, ...]
+    probability: float
+    total_score: float
+
+
+def u_topk(
+    table: UncertainTable,
+    scorer: ScorerLike,
+    k: int,
+    *,
+    p_tau: float = DEFAULT_P_TAU,
+    depth: int | None = None,
+    state_limit: int = 2_000_000,
+) -> UTopkResult | None:
+    """Compute the U-Topk answer of ``table`` under ``scorer``.
+
+    :param p_tau: scan-depth threshold (Theorem 2 applies to U-Topk
+        too: a vector needs probability mass to win).
+    :param depth: explicit scan-depth override.
+    :param state_limit: safety valve on the number of expanded states;
+        exceeded only on adversarial inputs where every vector has
+        near-zero probability.
+    :returns: the result, or ``None`` when no complete k-vector has
+        positive probability within the scanned prefix.
+    """
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    scored = prepare_scored_prefix(table, scorer, k, p_tau=p_tau, depth=depth)
+    return u_topk_scored(scored, k, state_limit=state_limit)
+
+
+def u_topk_scored(
+    scored: ScoredTable,
+    k: int,
+    *,
+    state_limit: int = 2_000_000,
+) -> UTopkResult | None:
+    """U-Topk over an already rank-ordered (and truncated) input."""
+    n = len(scored)
+    if n < k:
+        return None
+    # Hazard factors per position (see state_expansion): conditional on
+    # "no group mate above was chosen / all unchosen ones absent".
+    take = [0.0] * n
+    skip = [0.0] * n
+    multi = [False] * n
+    mass_above: dict[int, float] = {}
+    for pos in range(n):
+        item = scored[pos]
+        if len(scored.group_positions(item.group)) > 1:
+            multi[pos] = True
+            before = mass_above.get(item.group, 0.0)
+            mass_above[item.group] = before + item.prob
+            denom = 1.0 - before
+            take[pos] = item.prob / denom
+            skip[pos] = max(0.0, (denom - item.prob) / denom)
+        else:
+            take[pos] = item.prob
+            skip[pos] = 1.0 - item.prob
+
+    # Heap entries: (-prob, tiebreak, pos, count, chosen, groups).
+    counter = itertools.count()
+    heap: list[tuple] = [(-1.0, next(counter), 0, 0, (), frozenset())]
+    expanded = 0
+    while heap:
+        neg_prob, _, pos, count, chosen, groups = heapq.heappop(heap)
+        prob = -neg_prob
+        if prob <= 0.0:
+            break
+        if count == k:
+            vector = tuple(scored[p].tid for p in chosen)
+            score = sum(scored[p].score for p in chosen)
+            return UTopkResult(vector, prob, score)
+        expanded += 1
+        if expanded > state_limit:
+            raise AlgorithmError(
+                f"u_topk exceeded the state limit of {state_limit}; "
+                "raise state_limit or lower the scan depth"
+            )
+        if pos >= n or n - pos < k - count:
+            continue
+        item = scored[pos]
+        consumed = multi[pos] and item.group in groups
+        if not consumed and take[pos] > 0.0:
+            new_groups = groups | {item.group} if multi[pos] else groups
+            heapq.heappush(
+                heap,
+                (
+                    -(prob * take[pos]),
+                    next(counter),
+                    pos + 1,
+                    count + 1,
+                    chosen + (pos,),
+                    new_groups,
+                ),
+            )
+        skip_prob = prob if consumed else prob * skip[pos]
+        if skip_prob > 0.0:
+            heapq.heappush(
+                heap,
+                (-skip_prob, next(counter), pos + 1, count, chosen, groups),
+            )
+    return None
+
+
+def vector_top_k_probability(
+    scored: ScoredTable, positions: tuple[int, ...]
+) -> float:
+    """Exact probability that the tuples at ``positions`` (ascending)
+    form the first-k-existing configuration.
+
+    Closed form: product of the chosen tuples' probabilities times, for
+    every ME group without a chosen member, ``1 - (group mass ranked
+    above the last chosen position)``.  Used by tests as an independent
+    check of the search's state probabilities.
+    """
+    if not positions:
+        raise AlgorithmError("empty vector")
+    cutoff = positions[-1]
+    chosen_groups: set[int] = set()
+    prob = 1.0
+    for pos in positions:
+        item = scored[pos]
+        if item.group in chosen_groups:
+            return 0.0
+        chosen_groups.add(item.group)
+        prob *= item.prob
+    masses: dict[int, float] = {}
+    for pos in range(cutoff):
+        item = scored[pos]
+        if item.group in chosen_groups:
+            continue
+        masses[item.group] = masses.get(item.group, 0.0) + item.prob
+    for mass in masses.values():
+        prob *= max(0.0, 1.0 - mass)
+    return prob

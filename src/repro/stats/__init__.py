@@ -1,0 +1,38 @@
+"""Statistics utilities over score distributions.
+
+* :mod:`repro.stats.moments` — moments/entropy over raw (score, prob)
+  arrays.
+* :mod:`repro.stats.metrics` — distances between two distributions
+  (total variation, 1-Wasserstein, Kolmogorov–Smirnov); used to
+  quantify the coalescing accuracy trade-off.
+* :mod:`repro.stats.histogram` — ASCII rendering of PMFs for the
+  examples and benchmark reports (the textual analogue of the paper's
+  figures).
+"""
+
+from repro.stats.moments import (
+    distribution_entropy,
+    distribution_mean,
+    distribution_skewness,
+    distribution_std,
+    distribution_variance,
+)
+from repro.stats.metrics import (
+    kolmogorov_smirnov_distance,
+    total_variation_distance,
+    wasserstein_distance,
+)
+from repro.stats.histogram import render_histogram, render_pmf
+
+__all__ = [
+    "distribution_entropy",
+    "distribution_mean",
+    "distribution_skewness",
+    "distribution_std",
+    "distribution_variance",
+    "kolmogorov_smirnov_distance",
+    "total_variation_distance",
+    "wasserstein_distance",
+    "render_histogram",
+    "render_pmf",
+]

@@ -1,0 +1,69 @@
+"""ASCII rendering of score distributions.
+
+The examples and benchmark reports print the textual analogue of the
+paper's figures: a horizontal-bar histogram of the top-k score
+distribution with the U-Topk and typical scores marked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.pmf import ScorePMF
+
+#: Character budget of the longest bar.
+_BAR_WIDTH = 48
+
+
+def render_histogram(
+    buckets: Sequence[tuple[float, float, float]],
+    *,
+    markers: Iterable[tuple[float, str]] = (),
+    width: int = _BAR_WIDTH,
+) -> str:
+    """Render ``(low, high, prob)`` buckets as ASCII bars.
+
+    :param markers: ``(score, label)`` pairs; each label is appended to
+        the bucket containing its score (e.g. ``(118.0, "U-Topk")``).
+    :param width: character budget of the tallest bar.
+    """
+    if not buckets:
+        return "(empty distribution)"
+    peak = max(prob for _, _, prob in buckets) or 1.0
+    marks = list(markers)
+    lines = []
+    for low, high, prob in buckets:
+        bar = "#" * max(1, round(width * prob / peak)) if prob > 0 else ""
+        labels = [
+            label
+            for score, label in marks
+            if low <= score < high or (high == buckets[-1][1] and score == high)
+        ]
+        suffix = ("  <-- " + ", ".join(labels)) if labels else ""
+        lines.append(f"[{low:10.2f}, {high:10.2f})  {prob:7.4f} {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def render_pmf(
+    pmf: ScorePMF,
+    *,
+    buckets: int = 24,
+    markers: Iterable[tuple[float, str]] = (),
+    width: int = _BAR_WIDTH,
+) -> str:
+    """Render a :class:`ScorePMF` as an equi-width ASCII histogram.
+
+    >>> from repro.core.pmf import ScorePMF
+    >>> print(render_pmf(ScorePMF([(1, 0.5, None), (2, 0.5, None)]),
+    ...                  buckets=2))  # doctest: +ELLIPSIS
+    [      1.00, ...
+    """
+    if pmf.is_empty():
+        return "(empty distribution)"
+    span = pmf.support_span()
+    if span <= 0.0:
+        line = pmf[0]
+        return f"[{line.score:10.2f}]  {line.prob:7.4f} " + "#" * width
+    return render_histogram(
+        pmf.histogram(span / buckets), markers=markers, width=width
+    )

@@ -1,0 +1,75 @@
+"""Moments of discrete (score, probability) distributions.
+
+Thin numpy wrappers used by the statistics helpers, the benchmark
+reporting and tests.  All functions normalize by the total mass, so
+truncated distributions (mass < 1) are treated as conditional
+distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDistributionError
+
+
+def _as_arrays(
+    scores: Sequence[float], probs: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    s = np.asarray(scores, dtype=float)
+    p = np.asarray(probs, dtype=float)
+    if s.size == 0 or p.sum() <= 0.0:
+        raise EmptyDistributionError("distribution is empty or massless")
+    if s.shape != p.shape:
+        raise EmptyDistributionError(
+            f"scores and probs differ in length: {s.shape} vs {p.shape}"
+        )
+    return s, p / p.sum()
+
+
+def distribution_mean(
+    scores: Sequence[float], probs: Sequence[float]
+) -> float:
+    """Mean of the normalized distribution."""
+    s, p = _as_arrays(scores, probs)
+    return float(np.dot(s, p))
+
+
+def distribution_variance(
+    scores: Sequence[float], probs: Sequence[float]
+) -> float:
+    """Variance of the normalized distribution (clamped at 0)."""
+    s, p = _as_arrays(scores, probs)
+    mean = float(np.dot(s, p))
+    return max(float(np.dot((s - mean) ** 2, p)), 0.0)
+
+
+def distribution_std(
+    scores: Sequence[float], probs: Sequence[float]
+) -> float:
+    """Standard deviation of the normalized distribution."""
+    return float(np.sqrt(distribution_variance(scores, probs)))
+
+
+def distribution_skewness(
+    scores: Sequence[float], probs: Sequence[float]
+) -> float:
+    """Skewness; 0 for symmetric or degenerate distributions."""
+    s, p = _as_arrays(scores, probs)
+    mean = float(np.dot(s, p))
+    var = float(np.dot((s - mean) ** 2, p))
+    if var <= 0.0:
+        return 0.0
+    third = float(np.dot((s - mean) ** 3, p))
+    return third / var**1.5
+
+
+def distribution_entropy(
+    scores: Sequence[float], probs: Sequence[float]
+) -> float:
+    """Shannon entropy (nats) of the normalized distribution."""
+    _, p = _as_arrays(scores, probs)
+    nonzero = p[p > 0.0]
+    return float(-(nonzero * np.log(nonzero)).sum())

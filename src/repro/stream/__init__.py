@@ -1,0 +1,14 @@
+"""Sliding-window top-k over uncertain streams (extension).
+
+The paper's related work (Section 6) points to Jin et al., "Sliding-
+Window Top-k Queries on Uncertain Streams" (VLDB 2008).  This
+subpackage carries the paper's *score-distribution* semantics into
+that setting: :class:`~repro.stream.window.SlidingWindowTopK`
+maintains the most recent W uncertain tuples (with their ME groups)
+and serves the top-k score distribution and c-Typical answers of the
+current window.
+"""
+
+from repro.stream.window import SlidingWindowTopK, WindowSnapshot
+
+__all__ = ["SlidingWindowTopK", "WindowSnapshot"]

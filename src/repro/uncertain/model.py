@@ -1,0 +1,131 @@
+"""Core data-model objects: the uncertain tuple.
+
+The paper's data model (Section 2.1) is the widely used tuple
+independent/disjoint model from the probabilistic-database literature:
+each tuple carries a *membership probability* ``p`` with ``0 < p <= 1``
+and may belong to a *mutual exclusion* (ME) group, of which at most one
+member appears in any possible world.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Iterator, Mapping
+
+from repro.exceptions import InvalidProbabilityError
+
+#: Tolerance used when validating probabilities and group masses.  The
+#: generators in :mod:`repro.datasets` produce probabilities via floating
+#: point arithmetic; tiny overshoots above 1 are clamped rather than
+#: rejected.
+PROBABILITY_EPSILON = 1e-9
+
+
+def validate_probability(value: float, *, context: str = "tuple") -> float:
+    """Validate a membership probability, returning it as ``float``.
+
+    Values within :data:`PROBABILITY_EPSILON` above 1 are clamped to 1;
+    anything else outside ``(0, 1]`` raises
+    :class:`~repro.exceptions.InvalidProbabilityError`.
+
+    :param value: candidate probability.
+    :param context: short label used in the error message.
+    """
+    p = float(value)
+    if p != p:  # NaN check without importing math
+        raise InvalidProbabilityError(f"{context}: probability is NaN")
+    if p > 1.0:
+        if p <= 1.0 + PROBABILITY_EPSILON:
+            return 1.0
+        raise InvalidProbabilityError(f"{context}: probability {p!r} > 1")
+    if p <= 0.0:
+        raise InvalidProbabilityError(f"{context}: probability {p!r} <= 0")
+    return p
+
+
+class UncertainTuple:
+    """A single uncertain tuple: attributes plus a membership probability.
+
+    Instances are immutable and hashable; identity is carried by ``tid``
+    (the tuple identifier, unique within a table).  Attribute values are
+    exposed both through :meth:`__getitem__` and the read-only
+    :attr:`attributes` mapping.
+
+    >>> t = UncertainTuple("T1", {"soldier": 1, "score": 49}, 0.4)
+    >>> t["score"]
+    49
+    >>> t.probability
+    0.4
+    """
+
+    __slots__ = ("_tid", "_attributes", "_probability")
+
+    def __init__(
+        self,
+        tid: Any,
+        attributes: Mapping[str, Any],
+        probability: float,
+    ) -> None:
+        self._tid = tid
+        self._attributes = MappingProxyType(dict(attributes))
+        self._probability = validate_probability(
+            probability, context=f"tuple {tid!r}"
+        )
+
+    @property
+    def tid(self) -> Any:
+        """The tuple identifier (unique within its table)."""
+        return self._tid
+
+    @property
+    def attributes(self) -> Mapping[str, Any]:
+        """Read-only view of the attribute mapping."""
+        return self._attributes
+
+    @property
+    def probability(self) -> float:
+        """Membership probability ``p`` with ``0 < p <= 1``."""
+        return self._probability
+
+    def __getitem__(self, name: str) -> Any:
+        return self._attributes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return attribute ``name`` or ``default`` when missing."""
+        return self._attributes.get(name, default)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over attribute names."""
+        return iter(self._attributes.keys())
+
+    def with_probability(self, probability: float) -> "UncertainTuple":
+        """Return a copy of this tuple with a different probability."""
+        return UncertainTuple(self._tid, self._attributes, probability)
+
+    def with_attributes(self, **updates: Any) -> "UncertainTuple":
+        """Return a copy with some attribute values replaced or added."""
+        merged = dict(self._attributes)
+        merged.update(updates)
+        return UncertainTuple(self._tid, merged, self._probability)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UncertainTuple):
+            return NotImplemented
+        return (
+            self._tid == other._tid
+            and self._probability == other._probability
+            and dict(self._attributes) == dict(other._attributes)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._tid, self._probability))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in self._attributes.items())
+        return (
+            f"UncertainTuple({self._tid!r}, {{{attrs}}}, "
+            f"p={self._probability:g})"
+        )

@@ -1,0 +1,104 @@
+"""Monte-Carlo possible-world sampling.
+
+For tables too large to enumerate, :class:`WorldSampler` draws worlds
+i.i.d. from the possible-worlds distribution.  The sampled top-k score
+histogram converges to the exact distribution computed by
+:mod:`repro.core`; integration tests use this as an independent,
+randomized cross-check of the dynamic-programming algorithms at sizes
+where exact enumeration is infeasible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable, Scorer
+from repro.uncertain.table import UncertainTable
+from repro.uncertain.worlds import top_k_of_world
+
+
+class WorldSampler:
+    """Draws possible worlds from an uncertain table.
+
+    Each ME group is an independent categorical distribution over its
+    members plus the empty outcome.  Sampling one world costs
+    O(#groups).
+
+    :param table: the uncertain table.
+    :param seed: seed or :class:`numpy.random.Generator` for
+        reproducible sampling.
+    """
+
+    def __init__(
+        self, table: UncertainTable, seed: int | np.random.Generator | None = None
+    ) -> None:
+        self._table = table
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        # Pre-compute, per group, the member tids and the cumulative
+        # probability vector (last entry < 1 leaves room for "none").
+        self._group_tids: list[tuple[Any, ...]] = []
+        self._group_cumprobs: list[np.ndarray] = []
+        for members in table.groups:
+            probs = np.array(
+                [table[tid].probability for tid in members], dtype=float
+            )
+            self._group_tids.append(tuple(members))
+            self._group_cumprobs.append(np.cumsum(probs))
+
+    @property
+    def table(self) -> UncertainTable:
+        """The table being sampled."""
+        return self._table
+
+    def sample_world(self) -> frozenset:
+        """Draw one possible world (set of existing tuple ids)."""
+        tids = []
+        draws = self._rng.random(len(self._group_tids))
+        for members, cum, u in zip(
+            self._group_tids, self._group_cumprobs, draws
+        ):
+            index = int(np.searchsorted(cum, u, side="right"))
+            if index < len(members):
+                tids.append(members[index])
+        return frozenset(tids)
+
+    def sample_worlds(self, count: int) -> Iterator[frozenset]:
+        """Yield ``count`` independent worlds."""
+        for _ in range(count):
+            yield self.sample_world()
+
+
+def sample_score_distribution(
+    table: UncertainTable,
+    scorer: Scorer,
+    k: int,
+    samples: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> dict[float, float]:
+    """Monte-Carlo estimate of the top-k total-score distribution.
+
+    Worlds with fewer than ``k`` tuples are skipped (matching the
+    convention of the exact algorithms), so the returned masses sum to
+    the empirical probability of having at least ``k`` tuples.
+
+    :returns: mapping ``total score -> estimated probability``.
+    """
+    if samples <= 0:
+        raise AlgorithmError(f"samples must be positive, got {samples}")
+    scored = ScoredTable.from_table(table, scorer)
+    sampler = WorldSampler(table, seed)
+    counts: dict[float, int] = {}
+    for world in sampler.sample_worlds(samples):
+        total = top_k_of_world(scored, world, k)
+        if total is None:
+            continue
+        counts[total] = counts.get(total, 0) + 1
+    return {score: n / samples for score, n in counts.items()}

@@ -1,0 +1,259 @@
+"""The uncertain table (x-relation) with mutual-exclusion rules.
+
+An :class:`UncertainTable` holds :class:`~repro.uncertain.model.UncertainTuple`
+rows plus a set of *mutual exclusion rules*.  Each rule names a set of
+tuples (an *ME group*) of which at most one can appear in a possible
+world; the probabilities inside one group must sum to at most 1
+(Section 2.1 of the paper).  Tuples not named by any rule form implicit
+singleton groups.  Groups are independent of each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import DataModelError, MutualExclusionError
+from repro.uncertain.model import PROBABILITY_EPSILON, UncertainTuple
+
+#: Tolerance for the "group mass <= 1" constraint.
+GROUP_MASS_EPSILON = 1e-9
+
+
+class UncertainTable:
+    """An uncertain relation: tuples + mutual-exclusion rules.
+
+    :param tuples: the uncertain tuples; tids must be unique.
+    :param rules: iterable of tid collections, each naming one ME group.
+        Groups must be disjoint, reference existing tids, contain at
+        least two tuples (singletons are implicit), and have total
+        probability mass at most 1.
+    :param name: optional table name (used by the query layer).
+
+    >>> t = UncertainTable(
+    ...     [UncertainTuple("a", {"x": 1}, 0.5),
+    ...      UncertainTuple("b", {"x": 2}, 0.5)],
+    ...     rules=[("a", "b")],
+    ... )
+    >>> t.group_of("a") == t.group_of("b")
+    True
+    """
+
+    def __init__(
+        self,
+        tuples: Iterable[UncertainTuple],
+        rules: Iterable[Sequence[Any]] = (),
+        *,
+        name: str = "uncertain",
+    ) -> None:
+        self._tuples: list[UncertainTuple] = list(tuples)
+        self._name = name
+        self._by_tid: dict[Any, UncertainTuple] = {}
+        for t in self._tuples:
+            if t.tid in self._by_tid:
+                raise DataModelError(f"duplicate tuple id {t.tid!r}")
+            self._by_tid[t.tid] = t
+
+        # Group ids are dense integers; explicit rules first, then
+        # implicit singletons in table order.
+        self._group_of: dict[Any, int] = {}
+        self._groups: list[tuple[Any, ...]] = []
+        for rule in rules:
+            members = tuple(rule)
+            if len(members) < 2:
+                raise MutualExclusionError(
+                    f"ME rule {members!r} must name at least two tuples"
+                )
+            gid = len(self._groups)
+            mass = 0.0
+            for tid in members:
+                if tid not in self._by_tid:
+                    raise MutualExclusionError(
+                        f"ME rule references unknown tuple id {tid!r}"
+                    )
+                if tid in self._group_of:
+                    raise MutualExclusionError(
+                        f"tuple id {tid!r} appears in more than one ME rule"
+                    )
+                self._group_of[tid] = gid
+                mass += self._by_tid[tid].probability
+            if mass > 1.0 + GROUP_MASS_EPSILON:
+                raise MutualExclusionError(
+                    f"ME rule {members!r} has total probability {mass:.6f} > 1"
+                )
+            self._groups.append(members)
+        for t in self._tuples:
+            if t.tid not in self._group_of:
+                gid = len(self._groups)
+                self._group_of[t.tid] = gid
+                self._groups.append((t.tid,))
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The table name (used by the query layer)."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        return iter(self._tuples)
+
+    def __getitem__(self, tid: Any) -> UncertainTuple:
+        return self._by_tid[tid]
+
+    def __contains__(self, tid: Any) -> bool:
+        return tid in self._by_tid
+
+    @property
+    def tuples(self) -> Sequence[UncertainTuple]:
+        """The tuples, in insertion order."""
+        return tuple(self._tuples)
+
+    @property
+    def tids(self) -> Sequence[Any]:
+        """Tuple ids, in insertion order."""
+        return tuple(t.tid for t in self._tuples)
+
+    # ------------------------------------------------------------------
+    # Mutual exclusion structure
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> Sequence[tuple[Any, ...]]:
+        """All ME groups (explicit rules first, singletons after)."""
+        return tuple(self._groups)
+
+    @property
+    def explicit_rules(self) -> Sequence[tuple[Any, ...]]:
+        """Only the explicit multi-tuple ME rules."""
+        return tuple(g for g in self._groups if len(g) > 1)
+
+    def group_of(self, tid: Any) -> int:
+        """The dense integer group id of tuple ``tid``."""
+        return self._group_of[tid]
+
+    def group_members(self, gid: int) -> tuple[Any, ...]:
+        """The tids belonging to group ``gid``."""
+        return self._groups[gid]
+
+    def group_mass(self, gid: int) -> float:
+        """Total membership probability of the group (<= 1)."""
+        return sum(self._by_tid[tid].probability for tid in self._groups[gid])
+
+    def me_tuple_fraction(self) -> float:
+        """Fraction of tuples that are mutually exclusive with others.
+
+        This is the quantity varied in Figure 11 of the paper.
+        """
+        if not self._tuples:
+            return 0.0
+        in_rules = sum(len(g) for g in self._groups if len(g) > 1)
+        return in_rules / len(self._tuples)
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def subset(self, tids: Iterable[Any], *, name: str | None = None) -> "UncertainTable":
+        """A new table restricted to ``tids``; ME rules are reduced.
+
+        Rules that retain at least two members survive (with their
+        remaining members); rules reduced to 0/1 member disappear.
+        """
+        keep = set(tids)
+        unknown = keep - set(self._by_tid)
+        if unknown:
+            raise DataModelError(f"unknown tuple ids in subset: {sorted(map(repr, unknown))}")
+        tuples = [t for t in self._tuples if t.tid in keep]
+        rules = []
+        for g in self._groups:
+            reduced = tuple(tid for tid in g if tid in keep)
+            if len(reduced) >= 2:
+                rules.append(reduced)
+        return UncertainTable(tuples, rules, name=name or self._name)
+
+    def map_attributes(
+        self, fn, *, name: str | None = None
+    ) -> "UncertainTable":
+        """Apply ``fn(tuple) -> Mapping`` to every tuple's attributes."""
+        tuples = [
+            UncertainTuple(t.tid, fn(t), t.probability) for t in self._tuples
+        ]
+        rules = [g for g in self._groups if len(g) > 1]
+        return UncertainTable(tuples, rules, name=name or self._name)
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """Union of attribute names across tuples, in first-seen order."""
+        seen: dict[str, None] = {}
+        for t in self._tuples:
+            for key in t.attributes:
+                seen.setdefault(key, None)
+        return tuple(seen)
+
+    def total_expected_tuples(self) -> float:
+        """Expected number of existing tuples (sum of probabilities)."""
+        return sum(t.probability for t in self._tuples)
+
+    def validate(self) -> None:
+        """Re-check all invariants; raises on violation.
+
+        Construction already validates, but generators that mutate
+        tuples in place may call this as a final sanity pass.
+        """
+        for g in self._groups:
+            mass = self.group_mass(self.group_of(g[0]))
+            if mass > 1.0 + GROUP_MASS_EPSILON:
+                raise MutualExclusionError(
+                    f"group {g!r} has probability mass {mass:.6f} > 1"
+                )
+        for t in self._tuples:
+            if not (0.0 < t.probability <= 1.0 + PROBABILITY_EPSILON):
+                raise DataModelError(
+                    f"tuple {t.tid!r} has invalid probability {t.probability}"
+                )
+
+    def __repr__(self) -> str:
+        n_rules = len(self.explicit_rules)
+        return (
+            f"UncertainTable(name={self._name!r}, tuples={len(self._tuples)}, "
+            f"rules={n_rules})"
+        )
+
+
+def table_from_rows(
+    rows: Iterable[Mapping[str, Any]],
+    *,
+    probability_key: str = "probability",
+    tid_key: str | None = None,
+    group_key: str | None = None,
+    name: str = "uncertain",
+) -> UncertainTable:
+    """Build an :class:`UncertainTable` from plain dict rows.
+
+    :param rows: mappings; one becomes one tuple.
+    :param probability_key: key holding the membership probability
+        (removed from the attributes).
+    :param tid_key: key holding the tuple id; when ``None`` sequential
+        integer ids are assigned.
+    :param group_key: optional key holding an ME-group label; rows that
+        share a label (other than ``None``) become one ME group.
+    :param name: table name.
+    """
+    tuples: list[UncertainTuple] = []
+    groups: dict[Any, list[Any]] = {}
+    for index, row in enumerate(rows):
+        attrs = dict(row)
+        try:
+            prob = attrs.pop(probability_key)
+        except KeyError:
+            raise DataModelError(
+                f"row {index} is missing probability key {probability_key!r}"
+            ) from None
+        tid = attrs.pop(tid_key) if tid_key else index
+        label = attrs.pop(group_key, None) if group_key else None
+        tuples.append(UncertainTuple(tid, attrs, prob))
+        if label is not None:
+            groups.setdefault(label, []).append(tid)
+    rules = [tuple(members) for members in groups.values() if len(members) > 1]
+    return UncertainTable(tuples, rules, name=name)

@@ -1,0 +1,186 @@
+"""Exact possible-worlds semantics (the test oracle).
+
+A *possible world* is obtained by letting every ME group independently
+produce either one of its members (with that member's probability) or
+nothing (with probability ``1 - group mass``).  The probability of a
+world is the product of its groups' outcomes (Section 2.1; Figure 2 of
+the paper shows the 18 worlds of the motivating example).
+
+Enumeration is exponential in the number of groups and is intended for
+small inputs: verifying the dynamic-programming algorithms, unit tests,
+and pedagogical examples.  The production path is :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, NamedTuple, Sequence
+
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable, Scorer
+from repro.uncertain.table import UncertainTable
+
+#: Group outcomes with probability below this threshold are dropped
+#: (e.g. the "no member" outcome of a fully saturated ME group).
+_NEGLIGIBLE = 1e-12
+
+
+class PossibleWorld(NamedTuple):
+    """One possible world: the set of existing tuple ids + probability."""
+
+    tids: frozenset
+    probability: float
+
+
+def world_count(table: UncertainTable) -> int:
+    """Number of possible worlds with non-zero probability.
+
+    Each group contributes ``len(group)`` member outcomes plus the
+    empty outcome when its mass is below 1.
+    """
+    count = 1
+    for gid, members in enumerate(table.groups):
+        outcomes = len(members)
+        if 1.0 - table.group_mass(gid) > _NEGLIGIBLE:
+            outcomes += 1
+        count *= outcomes
+    return count
+
+
+def enumerate_worlds(table: UncertainTable) -> Iterator[PossibleWorld]:
+    """Yield every possible world of ``table`` with its probability.
+
+    The sum of the yielded probabilities is 1 (up to the negligible
+    outcomes dropped for saturated groups).
+    """
+    group_outcomes: list[list[tuple[Any, float]]] = []
+    for gid, members in enumerate(table.groups):
+        outcomes: list[tuple[Any, float]] = [
+            (tid, table[tid].probability) for tid in members
+        ]
+        none_prob = 1.0 - table.group_mass(gid)
+        if none_prob > _NEGLIGIBLE:
+            outcomes.append((None, none_prob))
+        group_outcomes.append(outcomes)
+
+    for combo in itertools.product(*group_outcomes):
+        prob = 1.0
+        tids = []
+        for tid, p in combo:
+            prob *= p
+            if tid is not None:
+                tids.append(tid)
+        yield PossibleWorld(frozenset(tids), prob)
+
+
+def _existing_in_rank_order(
+    scored: ScoredTable, world: frozenset
+) -> list[int]:
+    """Positions of the world's tuples, in canonical rank order."""
+    return [pos for pos, item in enumerate(scored) if item.tid in world]
+
+
+def top_k_of_world(
+    scored: ScoredTable, world: frozenset, k: int
+) -> float | None:
+    """Total score of the top-k of a world, or ``None`` if < k tuples.
+
+    With ties there can be several top-k tuple vectors, but they all
+    share the same total score (Section 2.3), so the score is well
+    defined.
+    """
+    if k <= 0:
+        raise AlgorithmError(f"k must be positive, got {k}")
+    existing = _existing_in_rank_order(scored, world)
+    if len(existing) < k:
+        return None
+    return sum(scored[pos].score for pos in existing[:k])
+
+
+def top_k_vectors_of_world(
+    scored: ScoredTable, world: frozenset, k: int
+) -> list[tuple[Any, ...]]:
+    """All top-k tuple vectors of a world (multiple only under ties).
+
+    Implements Theorem 1: every vector contains the same fully
+    contained tie groups and partially reaches at most one tie group
+    ``g``, contributing the same number ``m`` of tuples, giving
+    ``C(|g|, m)`` vectors.  Vectors are tuples of tids in rank order.
+    """
+    if k <= 0:
+        raise AlgorithmError(f"k must be positive, got {k}")
+    existing = _existing_in_rank_order(scored, world)
+    if len(existing) < k:
+        return []
+    head = existing[:k]
+    boundary_score = scored[head[-1]].score
+    # Tuples strictly above the boundary tie group are in every vector.
+    fixed = [pos for pos in head if scored[pos].score != boundary_score]
+    # The boundary tie group inside this world:
+    tie_members = [
+        pos for pos in existing if scored[pos].score == boundary_score
+    ]
+    m = k - len(fixed)
+    if m == len(tie_members):
+        return [tuple(scored[pos].tid for pos in sorted(fixed + tie_members))]
+    vectors = []
+    for chosen in itertools.combinations(tie_members, m):
+        positions = sorted(fixed + list(chosen))
+        vectors.append(tuple(scored[pos].tid for pos in positions))
+    return vectors
+
+
+def score_distribution_by_enumeration(
+    table: UncertainTable,
+    scorer: Scorer,
+    k: int,
+) -> tuple[dict[float, float], dict[float, tuple[tuple[Any, ...], float]]]:
+    """Exact top-k score distribution + best vector per score.
+
+    Returns ``(pmf, best_vectors)`` where ``pmf`` maps each achievable
+    total score to its probability (over worlds with at least ``k``
+    tuples), and ``best_vectors`` maps each score to
+    ``(vector, probability)`` — the most probable tuple vector among
+    those attaining the score, with its probability of being *a* top-k
+    vector.
+
+    This is the ground-truth oracle for all Section 3 algorithms.
+    """
+    scored = ScoredTable.from_table(table, scorer)
+    pmf: dict[float, float] = {}
+    vector_prob: dict[float, dict[tuple[Any, ...], float]] = {}
+    for world in enumerate_worlds(table):
+        total = top_k_of_world(scored, world.tids, k)
+        if total is None:
+            continue
+        pmf[total] = pmf.get(total, 0.0) + world.probability
+        per_score = vector_prob.setdefault(total, {})
+        for vector in top_k_vectors_of_world(scored, world.tids, k):
+            per_score[vector] = per_score.get(vector, 0.0) + world.probability
+    best_vectors = {
+        score: max(candidates.items(), key=lambda item: item[1])
+        for score, candidates in vector_prob.items()
+    }
+    return pmf, best_vectors
+
+
+def vector_probability(
+    table: UncertainTable,
+    scorer: Scorer,
+    vector: Sequence[Any],
+) -> float:
+    """Probability that ``vector`` is a top-k vector (k = len(vector)).
+
+    Brute force over all worlds; oracle for the closed-form computation
+    in :mod:`repro.semantics.u_topk`.
+    """
+    scored = ScoredTable.from_table(table, scorer)
+    k = len(vector)
+    target = tuple(sorted(vector, key=lambda tid: str(tid)))
+    prob = 0.0
+    for world in enumerate_worlds(table):
+        for candidate in top_k_vectors_of_world(scored, world.tids, k):
+            if tuple(sorted(candidate, key=lambda tid: str(tid))) == target:
+                prob += world.probability
+                break
+    return prob

@@ -1,0 +1,145 @@
+"""Property-based tests: all three algorithms match the possible-worlds
+oracle on arbitrary small uncertain tables (with ME rules and ties)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dp import dp_distribution
+from repro.core.k_combo import k_combo_distribution
+from repro.core.state_expansion import state_expansion_distribution
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from repro.uncertain.table import UncertainTable
+from repro.uncertain.worlds import enumerate_worlds
+from tests.conftest import assert_pmf_equal, oracle_pmf
+
+BIG = 10**6
+
+
+@st.composite
+def uncertain_tables(draw) -> UncertainTable:
+    """Small random tables with optional ME groups and score ties."""
+    n = draw(st.integers(min_value=1, max_value=7))
+    # Scores from a small grid so ties actually occur.
+    scores = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    probs = draw(
+        st.lists(
+            st.floats(
+                min_value=0.05,
+                max_value=1.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    # Partition a prefix of shuffled indices into ME groups of size 2-3.
+    indices = list(range(n))
+    permutation = draw(st.permutations(indices))
+    rules: list[tuple[str, ...]] = []
+    cursor = 0
+    while cursor + 2 <= n and draw(st.booleans()):
+        size = draw(st.integers(min_value=2, max_value=min(3, n - cursor)))
+        members = permutation[cursor : cursor + size]
+        cursor += size
+        mass = sum(probs[i] for i in members)
+        if mass >= 1.0:
+            scale = draw(
+                st.floats(min_value=0.3, max_value=0.95)
+            ) / mass
+            for i in members:
+                probs[i] *= scale
+        rules.append(tuple(f"t{i}" for i in members))
+    tuples = [
+        UncertainTuple(f"t{i}", {"score": float(scores[i] * 10)}, probs[i])
+        for i in range(n)
+    ]
+    return UncertainTable(tuples, rules)
+
+
+def scored_of(table: UncertainTable) -> ScoredTable:
+    return ScoredTable.from_table(table, attribute_scorer("score"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=uncertain_tables(), k=st.integers(min_value=1, max_value=4))
+def test_dp_matches_oracle(table, k):
+    pmf = dp_distribution(scored_of(table), k, max_lines=BIG)
+    assert_pmf_equal(pmf.to_dict(), oracle_pmf(table, k), tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=uncertain_tables(), k=st.integers(min_value=1, max_value=3))
+def test_state_expansion_matches_oracle(table, k):
+    pmf = state_expansion_distribution(
+        scored_of(table), k, p_tau=0.0, max_lines=BIG
+    )
+    assert_pmf_equal(pmf.to_dict(), oracle_pmf(table, k), tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=uncertain_tables(), k=st.integers(min_value=1, max_value=3))
+def test_k_combo_matches_oracle(table, k):
+    pmf = k_combo_distribution(scored_of(table), k, max_lines=BIG)
+    assert_pmf_equal(pmf.to_dict(), oracle_pmf(table, k), tol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(table=uncertain_tables(), k=st.integers(min_value=1, max_value=4))
+def test_distribution_mass_is_probability_of_k_tuples(table, k):
+    """The PMF's total mass equals P(world holds >= k tuples)."""
+    pmf = dp_distribution(scored_of(table), k, max_lines=BIG)
+    target = sum(
+        w.probability for w in enumerate_worlds(table) if len(w.tids) >= k
+    )
+    assert math.isclose(pmf.total_mass(), target, abs_tol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(table=uncertain_tables(), k=st.integers(min_value=1, max_value=3))
+def test_recorded_vectors_are_feasible(table, k):
+    """Every recorded vector has k tuples, descending canonical order,
+    no two members of one ME group."""
+    scored = scored_of(table)
+    position = {scored[i].tid: i for i in range(len(scored))}
+    pmf = dp_distribution(scored, k, max_lines=BIG)
+    for line in pmf:
+        vector = line.vector
+        assert vector is not None and len(vector) == k
+        positions = [position[tid] for tid in vector]
+        assert positions == sorted(positions)
+        groups = [scored[p].group for p in positions]
+        assert len(set(groups)) == k
+        total = sum(scored[p].score for p in positions)
+        assert math.isclose(total, line.score, abs_tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    table=uncertain_tables(),
+    k=st.integers(min_value=1, max_value=3),
+    budget=st.integers(min_value=1, max_value=12),
+)
+def test_coalescing_preserves_mass_and_budget(table, k, budget):
+    """Any line budget keeps total mass and respects the cap."""
+    scored = scored_of(table)
+    exact = dp_distribution(scored, k, max_lines=BIG)
+    approx = dp_distribution(scored, k, max_lines=budget)
+    assert len(approx) <= budget
+    assert math.isclose(
+        approx.total_mass(), exact.total_mass(), abs_tol=1e-9
+    )
+    if not exact.is_empty():
+        lo, hi = exact.scores[0], exact.scores[-1]
+        for line in approx:
+            assert lo - 1e-9 <= line.score <= hi + 1e-9

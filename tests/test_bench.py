@@ -1,0 +1,117 @@
+"""Tests for the benchmark harness (fast smoke subset)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import (
+    EXPERIMENTS,
+    fig02_possible_worlds,
+    fig03_toy_distribution,
+    main,
+)
+from repro.bench.reporting import format_table, print_series
+from repro.bench.runner import time_callable
+from repro.bench.workloads import (
+    cartel_workload,
+    congestion_scorer,
+    soldier_workload,
+    synthetic_workload,
+)
+
+
+class TestRunner:
+    def test_time_callable_returns_value(self):
+        result = time_callable(lambda: 41 + 1)
+        assert result.value == 42
+        assert result.seconds >= 0.0
+
+    def test_repeats_take_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return len(calls)
+
+        result = time_callable(fn, repeats=3)
+        assert len(calls) == 3
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 100, "b": 5.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.346" in text  # floatfmt applied
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_custom_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_print_series(self, capsys):
+        print_series("My experiment", [{"x": 1}])
+        out = capsys.readouterr().out
+        assert "My experiment" in out
+        assert "x" in out
+
+
+class TestWorkloads:
+    def test_soldier_workload(self):
+        assert len(soldier_workload()) == 7
+
+    def test_cartel_workload_deterministic(self):
+        a = cartel_workload(seed=1, segments=20)
+        b = cartel_workload(seed=1, segments=20)
+        assert [t.tid for t in a] == [t.tid for t in b]
+
+    def test_synthetic_workload_knobs(self):
+        t = synthetic_workload(tuples=50, me_fraction=0.0)
+        assert len(t) == 50
+        assert t.explicit_rules == ()
+
+    def test_congestion_scorer(self):
+        from repro.uncertain.model import UncertainTuple
+
+        scorer = congestion_scorer()
+        t = UncertainTuple(
+            "x", {"speed_limit": 50, "length": 100, "delay": 20}, 1.0
+        )
+        assert scorer(t) == pytest.approx(10.0)
+
+
+class TestFigureFunctions:
+    def test_fig02_rows(self):
+        rows = fig02_possible_worlds()
+        assert len(rows) == 18
+        assert sum(r["prob"] for r in rows) == pytest.approx(1.0)
+        assert rows[0]["prob"] == max(r["prob"] for r in rows)
+
+    def test_fig03_contains_paper_numbers(self):
+        rows = fig03_toy_distribution()
+        by_score = {r["score"]: r for r in rows if "U-Topk" not in r["vector"]}
+        assert by_score[118.0]["prob"] == pytest.approx(0.2)
+        assert by_score[235.0]["prob"] == pytest.approx(0.12)
+        u = [r for r in rows if "U-Topk" in r["vector"]]
+        assert len(u) == 1
+        assert u[0]["score"] == pytest.approx(118.0)
+
+    def test_registry_complete(self):
+        for name in (
+            "fig02", "fig03", "fig08", "fig09", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_main_rejects_unknown(self, capsys):
+        assert main(["not_an_experiment"]) == 2
+
+    def test_main_runs_named_experiment(self, capsys):
+        assert main(["fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import load_table, main, resolve_cli_scorer, save_table
+from repro.datasets.soldier import soldier_table
+from repro.io.csv_io import write_table_csv
+from repro.io.json_io import write_table_json
+from repro.uncertain.model import UncertainTuple
+
+
+@pytest.fixture
+def soldier_csv(tmp_path):
+    path = tmp_path / "soldiers.csv"
+    write_table_csv(soldier_table(), path)
+    return str(path)
+
+
+@pytest.fixture
+def soldier_json(tmp_path):
+    path = tmp_path / "soldiers.json"
+    write_table_json(soldier_table(), path)
+    return str(path)
+
+
+class TestHelpers:
+    def test_load_csv_and_json(self, soldier_csv, soldier_json):
+        assert len(load_table(soldier_csv)) == 7
+        assert len(load_table(soldier_json)) == 7
+
+    def test_save_round_trip(self, tmp_path):
+        table = soldier_table()
+        out = tmp_path / "t.json"
+        save_table(table, out)
+        assert len(load_table(out)) == 7
+
+    def test_scorer_bare_attribute(self):
+        scorer = resolve_cli_scorer("score")
+        assert scorer(UncertainTuple("t", {"score": 5}, 0.5)) == 5.0
+
+    def test_scorer_expression(self):
+        scorer = resolve_cli_scorer("score * 2")
+        assert scorer(UncertainTuple("t", {"score": 5}, 0.5)) == 10.0
+
+
+class TestDistributionCommand:
+    def test_basic_output(self, soldier_csv, capsys):
+        code = main(
+            ["distribution", soldier_csv, "--score", "score", "-k", "2",
+             "--p-tau", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E[S]=164.10" in out
+        assert "118" in out
+
+    def test_json_output(self, soldier_csv, capsys):
+        code = main(
+            ["distribution", soldier_csv, "--score", "score", "-k", "2",
+             "--p-tau", "0", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        scores = {line["score"] for line in doc["lines"]}
+        assert 118.0 in scores
+
+    def test_histogram_and_u_topk(self, soldier_csv, capsys):
+        code = main(
+            ["distribution", soldier_csv, "--score", "score", "-k", "2",
+             "--p-tau", "0", "--histogram", "8", "--u-topk"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "U-Top2" in out
+        assert "#" in out
+
+    def test_algorithm_choice(self, soldier_csv, capsys):
+        code = main(
+            ["distribution", soldier_csv, "--score", "score", "-k", "2",
+             "--p-tau", "0", "--algorithm", "k_combo"]
+        )
+        assert code == 0
+
+
+class TestTypicalCommand:
+    def test_typical_answers(self, soldier_csv, capsys):
+        code = main(
+            ["typical", soldier_csv, "--score", "score", "-k", "2",
+             "-c", "3", "--p-tau", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for score in ("118", "183", "235"):
+            assert score in out
+
+
+class TestQueryCommand:
+    def test_query_over_csv(self, soldier_csv, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT soldier FROM soldiers ORDER BY score DESC "
+                "LIMIT 2 WITH TYPICAL 2",
+                "--table", f"soldiers={soldier_csv}",
+                "--p-tau", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "typical score" in out
+
+    def test_bad_binding_reports_error(self, capsys):
+        code = main(
+            ["query", "SELECT a FROM t ORDER BY a LIMIT 1",
+             "--table", "nonsense"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_syntax_error_reports_error(self, soldier_csv, capsys):
+        code = main(
+            ["query", "SELECT FROM ORDER", "--table",
+             f"soldiers={soldier_csv}"]
+        )
+        assert code == 1
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("dataset", ["soldier", "cartel", "synthetic"])
+    def test_generate_each_dataset(self, dataset, tmp_path, capsys):
+        out = tmp_path / f"{dataset}.csv"
+        code = main(
+            ["generate", dataset, "--out", str(out), "--size", "15",
+             "--seed", "3"]
+        )
+        assert code == 0
+        assert out.exists()
+        table = load_table(out)
+        assert len(table) >= 1
+
+    def test_generate_json(self, tmp_path):
+        out = tmp_path / "t.json"
+        assert main(["generate", "soldier", "--out", str(out)]) == 0
+        assert len(load_table(out)) == 7
+
+
+class TestFiguresCommand:
+    def test_runs_toy_figure(self, capsys):
+        assert main(["figures", "fig02"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "nope"]) == 2

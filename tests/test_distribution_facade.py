@@ -1,0 +1,135 @@
+"""Tests for the public facade (top_k_score_distribution & friends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distribution import (
+    c_typical_top_k,
+    prepare_scored_prefix,
+    resolve_scorer,
+    top_k_score_distribution,
+)
+from repro.exceptions import AlgorithmError
+from repro.uncertain.model import UncertainTuple
+from tests.conftest import assert_pmf_equal, make_table, oracle_pmf
+
+
+class TestResolveScorer:
+    def test_callable_passthrough(self):
+        fn = lambda t: 1.0  # noqa: E731
+        assert resolve_scorer(fn) is fn
+
+    def test_attribute_name(self):
+        scorer = resolve_scorer("score")
+        assert scorer(UncertainTuple("t", {"score": 3}, 0.5)) == 3.0
+
+    def test_invalid_scorer(self):
+        with pytest.raises(AlgorithmError):
+            resolve_scorer(42)  # type: ignore[arg-type]
+
+
+class TestPrepareScoredPrefix:
+    def test_p_tau_zero_scans_everything(self, soldiers):
+        prefix = prepare_scored_prefix(soldiers, "score", 2, p_tau=0.0)
+        assert len(prefix) == len(soldiers)
+
+    def test_explicit_depth_override(self, soldiers):
+        prefix = prepare_scored_prefix(
+            soldiers, "score", 2, p_tau=0.0, depth=3
+        )
+        assert len(prefix) == 3
+
+    def test_depth_clamped_to_table(self, soldiers):
+        prefix = prepare_scored_prefix(
+            soldiers, "score", 2, p_tau=0.0, depth=99
+        )
+        assert len(prefix) == len(soldiers)
+
+    def test_negative_depth_rejected(self, soldiers):
+        with pytest.raises(AlgorithmError):
+            prepare_scored_prefix(soldiers, "score", 2, depth=-1)
+
+
+class TestTopKScoreDistribution:
+    def test_all_algorithms_agree(self, soldiers):
+        expected = oracle_pmf(soldiers, 2)
+        for algorithm in ("dp", "state_expansion", "k_combo"):
+            pmf = top_k_score_distribution(
+                soldiers,
+                "score",
+                2,
+                p_tau=0.0,
+                max_lines=10**6,
+                algorithm=algorithm,
+            )
+            assert_pmf_equal(pmf.to_dict(), expected)
+
+    def test_unknown_algorithm(self, soldiers):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            top_k_score_distribution(
+                soldiers, "score", 2, algorithm="magic"
+            )
+
+    def test_callable_scorer(self, soldiers):
+        pmf = top_k_score_distribution(
+            soldiers, lambda t: float(t["score"]), 2, p_tau=0.0
+        )
+        assert pmf.expectation() == pytest.approx(164.1)
+
+    def test_max_lines_respected(self, soldiers):
+        pmf = top_k_score_distribution(
+            soldiers, "score", 2, p_tau=0.0, max_lines=3
+        )
+        assert len(pmf) <= 3
+        assert pmf.total_mass() == pytest.approx(1.0)
+
+    def test_docstring_example(self, soldiers):
+        pmf = top_k_score_distribution(soldiers, "score", 2, p_tau=0)
+        assert round(pmf.expectation(), 1) == 164.1
+
+
+class TestCTypicalTopK:
+    def test_toy_example(self, soldiers):
+        result = c_typical_top_k(soldiers, "score", 2, 3, p_tau=0.0)
+        assert [a.score for a in result.answers] == [118.0, 183.0, 235.0]
+
+    def test_algorithm_dispatch(self, soldiers):
+        for algorithm in ("state_expansion", "k_combo"):
+            result = c_typical_top_k(
+                soldiers,
+                "score",
+                2,
+                3,
+                p_tau=0.0,
+                max_lines=10**6,
+                algorithm=algorithm,
+            )
+            assert [a.score for a in result.answers] == [
+                118.0, 183.0, 235.0,
+            ]
+
+    def test_changing_c_is_consistent(self, soldiers):
+        r1 = c_typical_top_k(soldiers, "score", 2, 1, p_tau=0.0)
+        r9 = c_typical_top_k(soldiers, "score", 2, 9, p_tau=0.0)
+        assert r9.expected_distance <= r1.expected_distance
+        assert len(r9.answers) == 9  # all support lines
+
+
+class TestTruncationInteraction:
+    def test_depth_truncation_conservative(self):
+        # Deep table: a shallow explicit depth loses only tail mass.
+        table = make_table(
+            [(f"t{i}", float(100 - i), 0.5) for i in range(30)]
+        )
+        full = top_k_score_distribution(
+            table, "score", 2, p_tau=0.0, max_lines=10**6
+        )
+        shallow = top_k_score_distribution(
+            table, "score", 2, p_tau=0.0, depth=10, max_lines=10**6
+        )
+        assert shallow.total_mass() <= full.total_mass()
+        # every line kept by the truncated run matches the full run
+        full_map = full.to_dict()
+        for line in shallow:
+            assert line.score in full_map

@@ -1,0 +1,80 @@
+"""Tests for the expected-rank extension semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.semantics.expected_ranks import (
+    expected_rank,
+    expected_rank_topk,
+)
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from tests.conftest import make_table
+
+
+def scored_of(table):
+    return ScoredTable.from_table(table, attribute_scorer("score"))
+
+
+class TestExpectedRank:
+    def test_certain_tuples_rank_by_score(self):
+        t = make_table([("a", 3, 1.0), ("b", 2, 1.0), ("c", 1, 1.0)])
+        scored = scored_of(t)
+        ranks = [expected_rank(scored, pos) for pos in range(3)]
+        assert ranks == [1.0, 2.0, 3.0]
+
+    def test_uncertain_top_tuple_penalized(self):
+        # A p=0.1 top scorer gets charged a deep rank when missing.
+        t = make_table([("risky", 10, 0.1), ("safe", 5, 1.0)])
+        scored = scored_of(t)
+        risky = expected_rank(scored, 0)
+        safe = expected_rank(scored, 1)
+        # risky: 0.1*1 + 0.9*(1+1) = 1.9; safe: 1*(1+0.1) = 1.1.
+        assert risky == pytest.approx(1.9)
+        assert safe == pytest.approx(1.1)
+        assert safe < risky
+
+    def test_me_group_mates_do_not_penalize(self):
+        # Group mates above cannot coexist; they add no expected rank.
+        t = make_table(
+            [("a", 10, 0.5), ("b", 8, 0.5), ("x", 5, 1.0)],
+            rules=[("a", "b")],
+        )
+        scored = scored_of(t)
+        # b's higher-count excludes a (same group): E[higher | b] = 0.
+        # E[rank b] = 0.5*1 + 0.5*(1 + 1) = 1.5  (existing others = x).
+        assert expected_rank(scored, 1) == pytest.approx(1.5)
+
+
+class TestExpectedRankTopK:
+    def test_returns_k_sorted(self):
+        t = make_table(
+            [("a", 5, 0.9), ("b", 4, 0.9), ("c", 3, 0.9), ("d", 2, 0.9)]
+        )
+        answers = expected_rank_topk(t, "score", 2, p_tau=0.0)
+        assert len(answers) == 2
+        assert answers[0].expected_rank <= answers[1].expected_rank
+        assert [a.tid for a in answers] == ["a", "b"]
+
+    def test_prefers_certain_mid_over_risky_top(self):
+        t = make_table(
+            [("risky", 100, 0.05), ("solid", 50, 1.0), ("meh", 10, 1.0)]
+        )
+        answers = expected_rank_topk(t, "score", 1, p_tau=0.0)
+        assert answers[0].tid == "solid"
+
+    def test_invalid_k(self, soldiers):
+        with pytest.raises(AlgorithmError):
+            expected_rank_topk(soldiers, "score", 0)
+
+    def test_toy_table_hand_computed(self, soldiers):
+        answers = expected_rank_topk(soldiers, "score", 3, p_tau=0.0)
+        assert len(answers) == 3
+        by_tid = {a.tid: a.expected_rank for a in answers}
+        # T2 (score 60, p=0.4): group mates T4/T7 never co-exist, so
+        # present-rank = 1 + p(T3) = 1.4; absent charge = 1 + (p(T3) +
+        # p(T6) + p(T5) + p(T1)) = 3.3; E = 0.4*1.4 + 0.6*3.3 = 2.54.
+        assert by_tid["T2"] == pytest.approx(2.54)
+        ranks = [a.expected_rank for a in answers]
+        assert ranks == sorted(ranks)

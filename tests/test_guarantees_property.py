@@ -1,0 +1,130 @@
+"""Property-based tests of the paper's formal guarantees.
+
+* Theorem 2 (scan depth): truncation never drops a top-k vector whose
+  probability reaches p_tau.
+* U-Topk optimality: the best-first search returns the global maximum
+  over all first-k-existing configurations.
+* Coalescing: merges preserve total mass and never move mass outside
+  the original support interval.
+* Marginal consistency: summed rank-1 probabilities across tuples
+  equal the probability that at least one tuple exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coalesce import coalesce_lines
+from repro.core.distribution import top_k_score_distribution
+from repro.core.scan_depth import scan_depth
+from repro.semantics.marginals import rank_distribution
+from repro.semantics.u_topk import u_topk_scored, vector_top_k_probability
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from repro.uncertain.worlds import enumerate_worlds
+from tests.test_algorithms_property import uncertain_tables
+
+
+def scored_of(table):
+    return ScoredTable.from_table(table, attribute_scorer("score"))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    table=uncertain_tables(),
+    k=st.integers(min_value=1, max_value=3),
+    p_tau=st.sampled_from([0.3, 0.1, 0.02]),
+)
+def test_theorem_2_no_heavy_vector_dropped(table, k, p_tau):
+    """Every score line whose truncated mass loses >= p_tau relative to
+    the full scan would witness a dropped heavy vector — forbidden."""
+    full = top_k_score_distribution(
+        table, "score", k, p_tau=0.0, max_lines=10**6
+    )
+    truncated = top_k_score_distribution(
+        table, "score", k, p_tau=p_tau, max_lines=10**6
+    )
+    truncated_map = truncated.to_dict()
+    for score, prob in full.to_dict().items():
+        kept = truncated_map.get(score, 0.0)
+        # A single dropped vector is worth < p_tau; a line may combine
+        # several dropped vectors, so compare against the score line's
+        # own deficit: it must come only from sub-threshold vectors.
+        assert kept >= prob - max(
+            p_tau * _vectors_at_score(table, k, score), p_tau
+        ) - 1e-9
+
+
+def _vectors_at_score(table, k, score) -> int:
+    """Upper bound on the number of k-vectors attaining ``score``."""
+    n = len(table.tuples)
+    return max(1, math.comb(n, min(k, n)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=uncertain_tables(), k=st.integers(min_value=1, max_value=3))
+def test_u_topk_is_globally_optimal(table, k):
+    scored = scored_of(table)
+    n = len(scored)
+    if n < k:
+        assert u_topk_scored(scored, k) is None
+        return
+    best = 0.0
+    for combo in itertools.combinations(range(n), k):
+        best = max(best, vector_top_k_probability(scored, combo))
+    result = u_topk_scored(scored, k)
+    if best <= 0.0:
+        return
+    assert result is not None
+    assert math.isclose(result.probability, best, abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    scores=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=30,
+        unique=True,
+    ),
+    probs=st.data(),
+    budget=st.integers(min_value=1, max_value=10),
+)
+def test_coalescing_invariants(scores, probs, budget):
+    scores = sorted(scores)
+    weights = probs.draw(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+            min_size=len(scores),
+            max_size=len(scores),
+        )
+    )
+    lines = [[s, p, None] for s, p in zip(scores, weights)]
+    total = sum(weights)
+    lo, hi = scores[0], scores[-1]
+    out = coalesce_lines(lines, budget)
+    assert len(out) <= max(budget, 1)
+    assert math.isclose(
+        sum(p for _, p, _ in out), total, rel_tol=1e-9
+    )
+    out_scores = [s for s, _, _ in out]
+    assert out_scores == sorted(out_scores)
+    for s in out_scores:
+        assert lo - 1e-9 <= s <= hi + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(table=uncertain_tables())
+def test_rank_one_probabilities_sum_to_any_tuple_exists(table):
+    """Exactly one tuple occupies rank 1 in every non-empty world."""
+    scored = scored_of(table)
+    total = sum(
+        float(rank_distribution(scored, pos, 1)[0])
+        for pos in range(len(scored))
+    )
+    non_empty = sum(
+        w.probability for w in enumerate_worlds(table) if w.tids
+    )
+    assert math.isclose(total, non_empty, abs_tol=1e-9)

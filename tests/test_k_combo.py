@@ -1,0 +1,90 @@
+"""Unit tests for the k-Combo baseline (Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.k_combo import k_combo_distribution
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from tests.conftest import (
+    assert_pmf_equal,
+    make_table,
+    oracle_pmf,
+    random_table,
+)
+
+BIG = 10**6
+
+
+def kc_exact(table, k):
+    scored = ScoredTable.from_table(table, attribute_scorer("score"))
+    return k_combo_distribution(scored, k, max_lines=BIG)
+
+
+class TestExactness:
+    def test_toy_table(self, soldiers):
+        assert_pmf_equal(
+            kc_exact(soldiers, 2).to_dict(), oracle_pmf(soldiers, 2)
+        )
+
+    def test_matches_oracle_random(self):
+        rng = np.random.default_rng(200)
+        for trial in range(12):
+            t = random_table(rng, n=6)
+            for k in (1, 2, 3):
+                assert_pmf_equal(kc_exact(t, k).to_dict(), oracle_pmf(t, k))
+
+    def test_me_violating_combos_excluded(self):
+        t = make_table(
+            [("a", 10, 0.5), ("b", 8, 0.5), ("c", 5, 0.8)],
+            rules=[("a", "b")],
+        )
+        pmf = kc_exact(t, 2)
+        for line in pmf:
+            assert not ({"a", "b"} <= set(line.vector or ()))
+        assert_pmf_equal(pmf.to_dict(), oracle_pmf(t, 2))
+
+    def test_saturated_group_zero_factor(self):
+        # Group {a, b} saturates (mass 1): any combo skipping both and
+        # ending below them is impossible.
+        t = make_table(
+            [("a", 10, 0.6), ("b", 9, 0.4), ("c", 5, 0.9), ("d", 1, 0.9)],
+            rules=[("a", "b")],
+        )
+        pmf = kc_exact(t, 2)
+        assert_pmf_equal(pmf.to_dict(), oracle_pmf(t, 2))
+        # (c, d) requires both a and b absent -> probability 0.
+        assert 6.0 not in pmf.to_dict()
+
+    def test_vector_recorded(self):
+        t = make_table([("a", 7, 0.4), ("b", 3, 0.5)])
+        pmf = kc_exact(t, 2)
+        assert pmf.vectors == (("a", "b"),)
+
+    def test_invalid_k(self, soldiers):
+        scored = ScoredTable.from_table(soldiers, attribute_scorer("score"))
+        with pytest.raises(AlgorithmError):
+            k_combo_distribution(scored, 0)
+
+    def test_k_exceeds_table(self):
+        t = make_table([("a", 7, 0.4)])
+        assert kc_exact(t, 3).is_empty()
+
+    def test_line_budget_respected(self):
+        rng = np.random.default_rng(6)
+        t = make_table(
+            [(f"t{i}", float(rng.uniform(0, 100)), 0.6) for i in range(14)]
+        )
+        scored = ScoredTable.from_table(t, attribute_scorer("score"))
+        pmf = k_combo_distribution(scored, 3, max_lines=12)
+        assert len(pmf) <= 12
+        exact = k_combo_distribution(scored, 3, max_lines=BIG)
+        assert pmf.total_mass() == pytest.approx(exact.total_mass())
+
+    def test_ties_handled(self):
+        rng = np.random.default_rng(201)
+        for trial in range(8):
+            t = random_table(rng, n=6, allow_ties=True)
+            assert_pmf_equal(kc_exact(t, 2).to_dict(), oracle_pmf(t, 2))

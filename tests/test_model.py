@@ -1,0 +1,112 @@
+"""Unit tests for the uncertain-tuple data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidProbabilityError
+from repro.uncertain.model import (
+    PROBABILITY_EPSILON,
+    UncertainTuple,
+    validate_probability,
+)
+
+
+class TestValidateProbability:
+    def test_accepts_interior_values(self):
+        assert validate_probability(0.5) == 0.5
+
+    def test_accepts_one(self):
+        assert validate_probability(1.0) == 1.0
+
+    def test_clamps_tiny_overshoot(self):
+        assert validate_probability(1.0 + PROBABILITY_EPSILON / 2) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidProbabilityError):
+            validate_probability(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidProbabilityError):
+            validate_probability(-0.1)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(InvalidProbabilityError):
+            validate_probability(1.01)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidProbabilityError):
+            validate_probability(float("nan"))
+
+    def test_context_appears_in_message(self):
+        with pytest.raises(InvalidProbabilityError, match="widget"):
+            validate_probability(2.0, context="widget")
+
+
+class TestUncertainTuple:
+    def test_basic_accessors(self):
+        t = UncertainTuple("T1", {"score": 49, "soldier": 1}, 0.4)
+        assert t.tid == "T1"
+        assert t.probability == 0.4
+        assert t["score"] == 49
+        assert t.get("soldier") == 1
+
+    def test_get_default(self):
+        t = UncertainTuple("T1", {}, 0.5)
+        assert t.get("missing", 7) == 7
+        assert t.get("missing") is None
+
+    def test_contains(self):
+        t = UncertainTuple("T1", {"a": 1}, 0.5)
+        assert "a" in t
+        assert "b" not in t
+
+    def test_keys(self):
+        t = UncertainTuple("T1", {"a": 1, "b": 2}, 0.5)
+        assert sorted(t.keys()) == ["a", "b"]
+
+    def test_attributes_are_read_only(self):
+        t = UncertainTuple("T1", {"a": 1}, 0.5)
+        with pytest.raises(TypeError):
+            t.attributes["a"] = 2  # type: ignore[index]
+
+    def test_attributes_snapshot_source_dict(self):
+        source = {"a": 1}
+        t = UncertainTuple("T1", source, 0.5)
+        source["a"] = 99
+        assert t["a"] == 1
+
+    def test_with_probability(self):
+        t = UncertainTuple("T1", {"a": 1}, 0.5)
+        t2 = t.with_probability(0.9)
+        assert t2.probability == 0.9
+        assert t2.tid == "T1"
+        assert t.probability == 0.5
+
+    def test_with_attributes(self):
+        t = UncertainTuple("T1", {"a": 1, "b": 2}, 0.5)
+        t2 = t.with_attributes(b=3, c=4)
+        assert dict(t2.attributes) == {"a": 1, "b": 3, "c": 4}
+        assert dict(t.attributes) == {"a": 1, "b": 2}
+
+    def test_equality(self):
+        a = UncertainTuple("T1", {"x": 1}, 0.5)
+        b = UncertainTuple("T1", {"x": 1}, 0.5)
+        c = UncertainTuple("T1", {"x": 2}, 0.5)
+        assert a == b
+        assert a != c
+        assert a != "T1"
+
+    def test_hashable(self):
+        a = UncertainTuple("T1", {"x": 1}, 0.5)
+        b = UncertainTuple("T1", {"x": 1}, 0.5)
+        assert len({a, b}) == 1
+
+    def test_repr_mentions_tid_and_prob(self):
+        text = repr(UncertainTuple("T9", {"x": 1}, 0.25))
+        assert "T9" in text
+        assert "0.25" in text
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(InvalidProbabilityError):
+            UncertainTuple("T1", {}, 0.0)

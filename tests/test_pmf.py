@@ -1,0 +1,188 @@
+"""Unit tests for the ScorePMF container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pmf import ScoreLine, ScorePMF, vector_as_tids
+from repro.exceptions import AlgorithmError, EmptyDistributionError
+
+
+def pmf_of(*lines) -> ScorePMF:
+    return ScorePMF(lines)
+
+
+class TestConstruction:
+    def test_sorted_ascending(self):
+        pmf = pmf_of((3, 0.2, None), (1, 0.5, None), (2, 0.3, None))
+        assert pmf.scores == (1.0, 2.0, 3.0)
+
+    def test_equal_scores_merge(self):
+        pmf = pmf_of((1, 0.2, ("a",)), (1, 0.3, ("b",)))
+        assert len(pmf) == 1
+        assert pmf.probs[0] == pytest.approx(0.5)
+        assert pmf.vectors[0] == ("b",)  # heavier line wins
+
+    def test_merge_prefers_existing_heavier_vector(self):
+        pmf = pmf_of((1, 0.4, ("a",)), (1, 0.1, ("b",)))
+        assert pmf.vectors[0] == ("a",)
+
+    def test_merge_keeps_non_none_vector(self):
+        pmf = pmf_of((1, 0.4, None), (1, 0.1, ("b",)))
+        assert pmf.vectors[0] == ("b",)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(AlgorithmError):
+            pmf_of((1, -0.1, None))
+
+    def test_from_mapping(self):
+        pmf = ScorePMF.from_mapping({2.0: 0.5, 1.0: 0.5}, {2.0: ("x",)})
+        assert pmf.scores == (1.0, 2.0)
+        assert pmf.vectors == (None, ("x",))
+
+    def test_merge_classmethod(self):
+        a = pmf_of((1, 0.2, None))
+        b = pmf_of((1, 0.3, None), (2, 0.5, None))
+        merged = ScorePMF.merge([a, b])
+        assert merged.to_dict() == {1.0: 0.5, 2.0: 0.5}
+
+    def test_iteration_yields_scorelines(self):
+        pmf = pmf_of((1, 0.5, ("a",)))
+        line = next(iter(pmf))
+        assert isinstance(line, ScoreLine)
+        assert line == ScoreLine(1.0, 0.5, ("a",))
+
+    def test_equality_and_hash(self):
+        assert pmf_of((1, 0.5, None)) == pmf_of((1, 0.5, ("x",)))
+        assert hash(pmf_of((1, 0.5, None))) == hash(pmf_of((1, 0.5, None)))
+        assert pmf_of((1, 0.5, None)) != pmf_of((1, 0.4, None))
+
+
+class TestMassAndMoments:
+    def test_total_mass(self):
+        assert pmf_of((1, 0.25, None), (2, 0.25, None)).total_mass() == 0.5
+
+    def test_normalized(self):
+        pmf = pmf_of((1, 0.25, None), (2, 0.25, None)).normalized()
+        assert pmf.total_mass() == pytest.approx(1.0)
+        assert pmf.probs == (0.5, 0.5)
+
+    def test_normalize_empty_raises(self):
+        with pytest.raises(EmptyDistributionError):
+            ScorePMF(()).normalized()
+
+    def test_expectation_normalizes(self):
+        pmf = pmf_of((1, 0.25, None), (3, 0.25, None))
+        assert pmf.expectation() == pytest.approx(2.0)
+
+    def test_variance_and_std(self):
+        pmf = pmf_of((0, 0.5, None), (2, 0.5, None))
+        assert pmf.variance() == pytest.approx(1.0)
+        assert pmf.std() == pytest.approx(1.0)
+
+    def test_degenerate_variance_zero(self):
+        assert pmf_of((5, 1.0, None)).variance() == pytest.approx(0.0)
+
+    def test_empty_moments_raise(self):
+        with pytest.raises(EmptyDistributionError):
+            ScorePMF(()).expectation()
+
+
+class TestTailQueries:
+    @pytest.fixture
+    def pmf(self):
+        return pmf_of((1, 0.2, None), (2, 0.3, None), (3, 0.5, None))
+
+    def test_prob_greater_strict(self, pmf):
+        assert pmf.prob_greater(2) == pytest.approx(0.5)
+
+    def test_prob_greater_inclusive(self, pmf):
+        assert pmf.prob_greater(2, strict=False) == pytest.approx(0.8)
+
+    def test_prob_less(self, pmf):
+        assert pmf.prob_less(2) == pytest.approx(0.2)
+        assert pmf.prob_less(2, strict=False) == pytest.approx(0.5)
+
+    def test_cdf(self, pmf):
+        assert pmf.cdf(2) == pytest.approx(0.5)
+        assert pmf.cdf(0) == pytest.approx(0.0)
+        assert pmf.cdf(3) == pytest.approx(1.0)
+
+    def test_quantile(self, pmf):
+        assert pmf.quantile(0.0) == 1.0
+        assert pmf.quantile(0.2) == 1.0
+        assert pmf.quantile(0.5) == 2.0
+        assert pmf.quantile(1.0) == 3.0
+
+    def test_quantile_out_of_range(self, pmf):
+        with pytest.raises(AlgorithmError):
+            pmf.quantile(1.5)
+
+    def test_mode(self, pmf):
+        assert pmf.mode().score == 3.0
+
+    def test_empty_mode_raises(self):
+        with pytest.raises(EmptyDistributionError):
+            ScorePMF(()).mode()
+
+
+class TestSpans:
+    def test_support_span(self):
+        assert pmf_of((1, 0.5, None), (4, 0.5, None)).support_span() == 3.0
+        assert ScorePMF(()).support_span() == 0.0
+
+    def test_span_containing_full_mass(self):
+        pmf = pmf_of((1, 0.5, None), (4, 0.5, None))
+        assert pmf.span_containing(1.0) == pytest.approx(3.0)
+
+    def test_span_containing_half_mass(self):
+        pmf = pmf_of((1, 0.5, None), (4, 0.4, None), (10, 0.1, None))
+        assert pmf.span_containing(0.5) == pytest.approx(0.0)
+
+    def test_span_containing_invalid_fraction(self):
+        with pytest.raises(AlgorithmError):
+            pmf_of((1, 1.0, None)).span_containing(0.0)
+
+
+class TestPresentation:
+    def test_histogram_buckets(self):
+        pmf = pmf_of((0, 0.25, None), (1, 0.25, None), (10, 0.5, None))
+        buckets = pmf.histogram(5.0)
+        assert buckets == [
+            (0.0, 5.0, pytest.approx(0.5)),
+            (10.0, 15.0, pytest.approx(0.5)),
+        ]
+
+    def test_histogram_mass_preserved_any_width(self):
+        pmf = pmf_of((0, 0.2, None), (3.7, 0.3, None), (9.2, 0.5, None))
+        for width in (0.5, 1.0, 2.5, 100.0):
+            total = sum(p for _, _, p in pmf.histogram(width))
+            assert total == pytest.approx(pmf.total_mass())
+
+    def test_histogram_invalid_width(self):
+        with pytest.raises(AlgorithmError):
+            pmf_of((1, 1.0, None)).histogram(0.0)
+
+    def test_histogram_empty(self):
+        assert ScorePMF(()).histogram(1.0) == []
+
+    def test_coalesced_reduces_lines(self):
+        pmf = pmf_of(*[(i, 0.1, None) for i in range(10)])
+        reduced = pmf.coalesced(4)
+        assert len(reduced) <= 4
+        assert reduced.total_mass() == pytest.approx(1.0)
+
+    def test_top_lines(self):
+        pmf = pmf_of((1, 0.2, None), (2, 0.5, None), (3, 0.3, None))
+        top = pmf.top_lines(2)
+        assert [line.score for line in top] == [2.0, 3.0]
+
+    def test_summary_and_repr(self):
+        pmf = pmf_of((1, 0.5, None), (2, 0.5, None))
+        assert "mass" in repr(pmf)
+        assert "E[S]" in pmf.summary()
+        assert ScorePMF(()).summary() == "empty score distribution"
+
+    def test_vector_as_tids(self):
+        assert vector_as_tids(None) == ()
+        assert vector_as_tids(("a", "b")) == ("a", "b")

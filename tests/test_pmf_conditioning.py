@@ -1,0 +1,72 @@
+"""Tests for ScorePMF conditioning (restricted_to / tail_expectation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pmf import ScorePMF
+from repro.exceptions import AlgorithmError, EmptyDistributionError
+from tests.conftest import exact_distribution
+
+
+def pmf_of(pairs) -> ScorePMF:
+    return ScorePMF((s, p, None) for s, p in pairs)
+
+
+class TestRestrictedTo:
+    @pytest.fixture
+    def pmf(self):
+        return pmf_of([(1, 0.2), (2, 0.3), (3, 0.5)])
+
+    def test_inclusive_bounds(self, pmf):
+        sub = pmf.restricted_to(low=2, high=3)
+        assert sub.scores == (2.0, 3.0)
+        assert sub.total_mass() == pytest.approx(0.8)
+
+    def test_no_renormalization(self, pmf):
+        sub = pmf.restricted_to(low=3)
+        assert sub.total_mass() == pytest.approx(0.5)
+        assert sub.normalized().total_mass() == pytest.approx(1.0)
+
+    def test_full_range_identity(self, pmf):
+        assert pmf.restricted_to() == pmf
+
+    def test_empty_result(self, pmf):
+        assert pmf.restricted_to(low=100).is_empty()
+
+    def test_inverted_bounds_rejected(self, pmf):
+        with pytest.raises(AlgorithmError):
+            pmf.restricted_to(low=5, high=1)
+
+    def test_vectors_preserved(self, soldiers):
+        pmf = exact_distribution(soldiers, 2)
+        tail = pmf.restricted_to(low=200)
+        assert tail.scores == (235.0,)
+        assert tail.vectors[0] == ("T7", "T3")
+
+
+class TestTailExpectation:
+    def test_strictly_above_threshold(self):
+        pmf = pmf_of([(1, 0.5), (3, 0.25), (5, 0.25)])
+        assert pmf.tail_expectation(1) == pytest.approx(4.0)
+
+    def test_threshold_line_excluded(self):
+        pmf = pmf_of([(1, 0.5), (2, 0.5)])
+        assert pmf.tail_expectation(1) == pytest.approx(2.0)
+
+    def test_no_tail_raises(self):
+        pmf = pmf_of([(1, 1.0)])
+        with pytest.raises(EmptyDistributionError):
+            pmf.tail_expectation(5)
+
+    def test_toy_table_tail(self, soldiers):
+        # E[S | S > 118]: the conditional mean of the paper's example
+        # above the U-Topk score.
+        pmf = exact_distribution(soldiers, 2)
+        tail = pmf.tail_expectation(118.0)
+        # mass above 118 is 0.76; weighted mean of the upper lines.
+        expected = (
+            136 * 0.03 + 138 * 0.15 + 170 * 0.16
+            + 181 * 0.03 + 183 * 0.15 + 190 * 0.12 + 235 * 0.12
+        ) / 0.76
+        assert tail == pytest.approx(expected)

@@ -1,0 +1,123 @@
+"""The public API surface: exports, exceptions, doctests, examples."""
+
+from __future__ import annotations
+
+import doctest
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_alls_resolve(self):
+        import repro.bench as bench
+        import repro.core as core
+        import repro.datasets as datasets
+        import repro.io as io_pkg
+        import repro.query as query
+        import repro.semantics as semantics
+        import repro.stats as stats
+        import repro.uncertain as uncertain
+
+        for module in (
+            core, semantics, query, datasets, stats, io_pkg, bench,
+            uncertain,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__} missing export {name}"
+                )
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, exceptions.ReproError) or (
+                    obj is exceptions.ReproError
+                )
+
+    def test_specific_parentage(self):
+        assert issubclass(
+            exceptions.InvalidProbabilityError, exceptions.DataModelError
+        )
+        assert issubclass(
+            exceptions.MutualExclusionError, exceptions.DataModelError
+        )
+        assert issubclass(
+            exceptions.QuerySyntaxError, exceptions.QueryError
+        )
+        assert issubclass(
+            exceptions.QueryPlanError, exceptions.QueryError
+        )
+        assert issubclass(
+            exceptions.EmptyDistributionError, exceptions.AlgorithmError
+        )
+
+    def test_catchable_as_base(self):
+        from repro.uncertain.model import UncertainTuple
+
+        with pytest.raises(exceptions.ReproError):
+            UncertainTuple("t", {}, -1.0)
+
+
+DOCTEST_MODULES = [
+    "repro.core.distribution",
+    "repro.core.selector",
+    "repro.query.parser",
+    "repro.query.engine",
+    "repro.query.tokens",
+    "repro.uncertain.model",
+    "repro.uncertain.table",
+    "repro.uncertain.scoring",
+    "repro.datasets.soldier",
+    "repro.datasets.cartel",
+    "repro.datasets.synthetic",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests(module_name):
+    """Every documented example in the public docstrings must run."""
+    __import__(module_name)
+    module = sys.modules[module_name]
+    failures, _ = doctest.testmod(
+        module, optionflags=doctest.ELLIPSIS, verbose=False
+    )
+    assert failures == 0
+
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestExamples:
+    """The quickstart must run end to end (the heavier examples are
+    exercised by their underlying APIs elsewhere)."""
+
+    def test_quickstart_runs(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "U-Top2" in out
+        assert "164.1" in out
+        assert "118" in out
+
+    def test_all_examples_importable(self):
+        # Syntax/import sanity for every example without executing main.
+        for script in EXAMPLES_DIR.glob("*.py"):
+            source = script.read_text()
+            compile(source, str(script), "exec")

@@ -1,0 +1,193 @@
+"""End-to-end tests of the query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryPlanError
+from repro.query.engine import Catalog, execute_query
+from repro.query.parser import parse_query
+from tests.conftest import make_table
+
+
+class TestCatalog:
+    def test_register_and_resolve(self, soldiers):
+        catalog = Catalog()
+        catalog.register("s", soldiers)
+        assert catalog.resolve("s") is soldiers
+        assert "s" in catalog
+        assert catalog.names() == ("s",)
+
+    def test_unknown_table(self):
+        with pytest.raises(QueryPlanError, match="unknown table"):
+            Catalog().resolve("missing")
+
+    def test_mapping_constructor(self, soldiers):
+        catalog = Catalog({"a": soldiers})
+        assert catalog.resolve("a") is soldiers
+
+
+class TestExecution:
+    def test_toy_query_typical_scores(self, soldiers):
+        result = execute_query(
+            "SELECT soldier, score FROM soldiers "
+            "ORDER BY score DESC LIMIT 2 WITH TYPICAL 3",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        assert [row.score for row in result.answers] == [
+            118.0, 183.0, 235.0,
+        ]
+
+    def test_projection(self, soldiers):
+        result = execute_query(
+            "SELECT soldier FROM soldiers ORDER BY score DESC LIMIT 2",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        first = result.answers[0]
+        assert all(set(t.keys()) == {"soldier"} for t in first.tuples)
+
+    def test_select_star_projects_everything(self, soldiers):
+        result = execute_query(
+            "SELECT * FROM soldiers ORDER BY score DESC LIMIT 2",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        first = result.answers[0].tuples[0]
+        assert {"soldier", "score", "time", "location"} <= set(first)
+
+    def test_computed_projection_with_alias(self, soldiers):
+        result = execute_query(
+            "SELECT score * 2 AS double_score FROM soldiers "
+            "ORDER BY score DESC LIMIT 1",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        for row in result.answers:
+            (t,) = row.tuples
+            assert t["double_score"] == pytest.approx(2 * row.score)
+
+    def test_where_filters_before_ranking(self, soldiers):
+        result = execute_query(
+            "SELECT soldier FROM soldiers WHERE score < 100 "
+            "ORDER BY score DESC LIMIT 2",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        # T3 (110) and T7 (125) are filtered out; max possible total
+        # becomes 80 + 60 = 140.
+        assert result.pmf.scores[-1] <= 140.0
+
+    def test_where_reduces_me_groups_soundly(self, soldiers):
+        # Filtering T4/T7 leaves T2 alone in its group: its absence
+        # probability reverts to 1 - p(T2).
+        result = execute_query(
+            "SELECT soldier FROM soldiers WHERE score < 70 "
+            "ORDER BY score DESC LIMIT 1",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        # Remaining tuples: T2 (60, .4), T6 (58, .5), T5 (56, 1), T1
+        # (49, .4).  Top-1 = 60 with p=.4.
+        assert result.pmf.to_dict()[60.0] == pytest.approx(0.4)
+
+    def test_u_topk_included(self, soldiers):
+        result = execute_query(
+            "SELECT soldier FROM soldiers ORDER BY score DESC LIMIT 2",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        assert result.u_topk is not None
+        assert result.u_topk.total_score == pytest.approx(118.0)
+
+    def test_u_topk_disabled(self, soldiers):
+        result = execute_query(
+            "SELECT soldier FROM soldiers ORDER BY score DESC LIMIT 2",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+            include_u_topk=False,
+        )
+        assert result.u_topk is None
+
+    def test_using_algorithm(self, soldiers):
+        result = execute_query(
+            "SELECT soldier FROM soldiers ORDER BY score DESC "
+            "LIMIT 2 USING state_expansion",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        assert result.pmf.to_dict()[118.0] == pytest.approx(0.2)
+
+    def test_ascending_order(self):
+        t = make_table([("a", 1, 1.0), ("b", 2, 1.0), ("c", 3, 1.0)])
+        result = execute_query(
+            "SELECT score FROM t ORDER BY score ASC LIMIT 1",
+            {"t": t},
+            p_tau=0.0,
+        )
+        # Ascending: the "top" tuple is the minimum; scores negate.
+        assert result.pmf.scores == (-1.0,)
+
+    def test_parsed_query_accepted(self, soldiers):
+        q = parse_query(
+            "SELECT soldier FROM soldiers ORDER BY score DESC LIMIT 2"
+        )
+        result = execute_query(q, {"soldiers": soldiers}, p_tau=0.0)
+        assert result.query is q
+
+    def test_result_iterates_answers(self, soldiers):
+        result = execute_query(
+            "SELECT soldier FROM soldiers ORDER BY score DESC LIMIT 2",
+            {"soldiers": soldiers},
+            p_tau=0.0,
+        )
+        assert list(result) == list(result.answers)
+
+    def test_limit_exceeding_table_empty_result(self):
+        t = make_table([("a", 1, 0.5)])
+        result = execute_query(
+            "SELECT score FROM t ORDER BY score DESC LIMIT 5",
+            {"t": t},
+            p_tau=0.0,
+        )
+        assert result.pmf.is_empty()
+        assert result.answers == ()
+
+    def test_non_numeric_order_by_rejected(self):
+        t = make_table([("a", 1, 0.5)])
+        with pytest.raises(QueryPlanError):
+            execute_query(
+                "SELECT score FROM t ORDER BY score = 1 LIMIT 1",
+                {"t": t},
+                p_tau=0.0,
+            )
+
+    def test_expression_scoring_congestion(self):
+        from repro.uncertain.model import UncertainTuple
+        from repro.uncertain.table import UncertainTable
+
+        rows = [
+            UncertainTuple(
+                "s1",
+                {"segment_id": 1, "speed_limit": 50, "length": 100,
+                 "delay": 20},
+                1.0,
+            ),
+            UncertainTuple(
+                "s2",
+                {"segment_id": 2, "speed_limit": 30, "length": 300,
+                 "delay": 10},
+                1.0,
+            ),
+        ]
+        table = UncertainTable(rows, name="area")
+        result = execute_query(
+            "SELECT segment_id, speed_limit / (length / delay) AS c "
+            "FROM area ORDER BY c DESC LIMIT 1",
+            {"area": table},
+            p_tau=0.0,
+        )
+        # s1: 50/(100/20)=10; s2: 30/(300/10)=1.
+        assert result.pmf.scores == (10.0,)
+        assert result.answers[0].tuples[0]["segment_id"] == 1

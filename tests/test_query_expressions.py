@@ -1,0 +1,118 @@
+"""Expression-evaluation semantics of the query AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryPlanError
+from repro.query.parser import parse_expression
+from repro.uncertain.model import UncertainTuple
+
+ROW = UncertainTuple(
+    "r1",
+    {"a": 4, "b": 2.5, "name": "seg7", "flag": True, "zero": 0},
+    0.5,
+)
+
+
+def ev(text, row=ROW):
+    return parse_expression(text).evaluate(row)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert ev("a + b") == 6.5
+        assert ev("a - b") == 1.5
+        assert ev("a * b") == 10.0
+        assert ev("a / b") == pytest.approx(1.6)
+        assert ev("a % 3") == 1
+
+    def test_unary_minus(self):
+        assert ev("-a") == -4
+
+    def test_division_by_zero(self):
+        with pytest.raises(QueryPlanError, match="division by zero"):
+            ev("a / zero")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(QueryPlanError, match="modulo by zero"):
+            ev("a % zero")
+
+    def test_arithmetic_on_string_rejected(self):
+        with pytest.raises(QueryPlanError, match="requires a number"):
+            ev("name + 1")
+
+    def test_arithmetic_on_bool_rejected(self):
+        with pytest.raises(QueryPlanError, match="requires a number"):
+            ev("flag + 1")
+
+
+class TestComparisons:
+    def test_numeric(self):
+        assert ev("a > b") is True
+        assert ev("a <= 4") is True
+        assert ev("a < 4") is False
+        assert ev("a >= 5") is False
+
+    def test_equality_any_type(self):
+        assert ev("name = 'seg7'") is True
+        assert ev("name != 'seg8'") is True
+        assert ev("a = 4") is True
+        assert ev("a <> 4") is False
+
+    def test_cross_type_ordering_rejected(self):
+        with pytest.raises(QueryPlanError, match="cannot order"):
+            ev("name > 3")
+
+    def test_string_ordering(self):
+        assert ev("name < 'zz'") is True
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        assert ev("a > 1 AND b > 1") is True
+        assert ev("a > 1 AND b > 100") is False
+        assert ev("a > 100 OR b > 1") is True
+        assert ev("NOT a > 100") is True
+
+
+class TestFunctions:
+    def test_unary_functions(self):
+        assert ev("ABS(-3)") == 3
+        assert ev("SQRT(a)") == 2.0
+        assert ev("EXP(0)") == 1.0
+        assert ev("LN(1)") == 0.0
+
+    def test_binary_functions(self):
+        assert ev("POW(2, 3)") == 8.0
+        assert ev("ROUND(b, 0)") == 2.0
+        assert ev("LEAST(a, b)") == 2.5
+        assert ev("GREATEST(a, b)") == 4
+
+    def test_case_insensitive_names(self):
+        assert ev("abs(-1)") == 1
+
+    def test_wrong_arity(self):
+        with pytest.raises(QueryPlanError, match="argument"):
+            ev("SQRT(1, 2)")
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryPlanError, match="unknown function"):
+            ev("MYSTERY(1)")
+
+    def test_domain_error_wrapped(self):
+        with pytest.raises(QueryPlanError, match="SQRT"):
+            ev("SQRT(-1)")
+
+
+class TestColumns:
+    def test_unknown_column(self):
+        with pytest.raises(QueryPlanError, match="unknown column"):
+            ev("missing_column")
+
+    def test_column_names_collected(self):
+        node = parse_expression("a + SQRT(b) * LEAST(a, zero)")
+        assert node.column_names() == {"a", "b", "zero"}
+
+    def test_literal_has_no_columns(self):
+        assert parse_expression("1 + 2").column_names() == set()

@@ -1,0 +1,163 @@
+"""Parser tests for the SQL-like query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.query.ast_nodes import BinaryOp, ColumnRef, Literal, UnaryOp
+from repro.query.parser import parse_expression, parse_query
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = parse_expression("1 + 2 * 3")
+        assert str(node) == "(1 + (2 * 3))"
+
+    def test_parentheses(self):
+        node = parse_expression("(1 + 2) * 3")
+        assert str(node) == "((1 + 2) * 3)"
+
+    def test_left_associativity(self):
+        node = parse_expression("8 - 4 - 2")
+        assert str(node) == "((8 - 4) - 2)"
+
+    def test_unary_minus(self):
+        node = parse_expression("-x")
+        assert isinstance(node, UnaryOp)
+        assert node.op == "-"
+
+    def test_comparison_and_boolean(self):
+        node = parse_expression("a > 1 AND b <= 2 OR NOT c = 3")
+        # OR binds loosest.
+        assert isinstance(node, BinaryOp)
+        assert node.op == "OR"
+
+    def test_function_call(self):
+        node = parse_expression("sqrt(x)")
+        assert str(node) == "SQRT(x)"
+
+    def test_function_multiple_args(self):
+        node = parse_expression("pow(a, 2)")
+        assert str(node) == "POW(a, 2)"
+
+    def test_literals(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("'hi'") == Literal("hi")
+
+    def test_column_ref(self):
+        assert parse_expression("delay") == ColumnRef("delay")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="trailing"):
+            parse_expression("1 + 2 3")
+
+    def test_missing_operand(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_expression("1 +")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_expression("(1 + 2")
+
+
+class TestQueries:
+    CARTEL = (
+        "SELECT segment_id, speed_limit / (length / delay) AS "
+        "congestion_score FROM area ORDER BY congestion_score DESC LIMIT 5"
+    )
+
+    def test_cartel_query(self):
+        q = parse_query(self.CARTEL)
+        assert q.table == "area"
+        assert q.limit == 5
+        assert q.descending is True
+        assert len(q.select) == 2
+        assert q.select[1].alias == "congestion_score"
+
+    def test_order_by_alias_resolves(self):
+        q = parse_query(self.CARTEL)
+        # ORDER BY congestion_score resolves to the arithmetic
+        # expression, not the bare column.
+        assert not isinstance(q.order_by, ColumnRef)
+        assert "speed_limit" in str(q.order_by)
+
+    def test_select_star(self):
+        q = parse_query("SELECT * FROM t ORDER BY x DESC LIMIT 3")
+        assert q.select_star
+        assert q.select == ()
+
+    def test_where_clause(self):
+        q = parse_query(
+            "SELECT a FROM t WHERE a > 1 AND b = 'x' "
+            "ORDER BY a DESC LIMIT 2"
+        )
+        assert q.where is not None
+        assert q.where.op == "AND"  # type: ignore[union-attr]
+
+    def test_ascending_negates_score(self):
+        q = parse_query("SELECT a FROM t ORDER BY a ASC LIMIT 2")
+        assert q.descending is False
+        assert isinstance(q.score_expression(), UnaryOp)
+
+    def test_default_direction_descending(self):
+        q = parse_query("SELECT a FROM t ORDER BY a LIMIT 2")
+        assert q.descending is True
+
+    def test_with_typical(self):
+        q = parse_query(
+            "SELECT a FROM t ORDER BY a DESC LIMIT 2 WITH TYPICAL 7"
+        )
+        assert q.typical == 7
+
+    def test_using_algorithm(self):
+        q = parse_query(
+            "SELECT a FROM t ORDER BY a DESC LIMIT 2 USING k_combo"
+        )
+        assert q.algorithm == "k_combo"
+
+    def test_implicit_alias(self):
+        q = parse_query("SELECT a + 1 total FROM t ORDER BY a LIMIT 1")
+        assert q.select[0].alias == "total"
+
+    def test_output_name_defaults(self):
+        q = parse_query("SELECT a, b + 1 FROM t ORDER BY a LIMIT 1")
+        assert q.select[0].output_name == "a"
+        assert q.select[1].output_name == "(b + 1)"
+
+
+class TestQueryErrors:
+    def test_missing_select(self):
+        with pytest.raises(QuerySyntaxError, match="SELECT"):
+            parse_query("FROM t ORDER BY a LIMIT 1")
+
+    def test_missing_from(self):
+        with pytest.raises(QuerySyntaxError, match="FROM"):
+            parse_query("SELECT a ORDER BY a LIMIT 1")
+
+    def test_missing_order_by(self):
+        with pytest.raises(QuerySyntaxError, match="ORDER"):
+            parse_query("SELECT a FROM t LIMIT 1")
+
+    def test_missing_limit(self):
+        with pytest.raises(QuerySyntaxError, match="LIMIT"):
+            parse_query("SELECT a FROM t ORDER BY a")
+
+    def test_non_integer_limit(self):
+        with pytest.raises(QuerySyntaxError, match="integer"):
+            parse_query("SELECT a FROM t ORDER BY a LIMIT 2.5")
+
+    def test_zero_limit(self):
+        with pytest.raises(QuerySyntaxError, match=">= 1"):
+            parse_query("SELECT a FROM t ORDER BY a LIMIT 0")
+
+    def test_zero_typical(self):
+        with pytest.raises(QuerySyntaxError, match=">= 1"):
+            parse_query(
+                "SELECT a FROM t ORDER BY a LIMIT 1 WITH TYPICAL 0"
+            )
+
+    def test_trailing_input(self):
+        with pytest.raises(QuerySyntaxError, match="trailing"):
+            parse_query("SELECT a FROM t ORDER BY a LIMIT 1 banana")

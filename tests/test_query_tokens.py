@@ -1,0 +1,107 @@
+"""Tokenizer tests for the SQL-like query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.query.tokens import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Order") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "ORDER"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Speed_Limit x1")[0] == (TokenType.IDENT, "Speed_Limit")
+
+    def test_end_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.END
+
+    def test_empty_input(self):
+        assert tokenize("") == [Token(TokenType.END, None, 0)]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.NUMBER, 42)]
+        assert isinstance(tokenize("42")[0].value, int)
+
+    def test_float(self):
+        assert kinds("4.25") == [(TokenType.NUMBER, 4.25)]
+
+    def test_leading_dot(self):
+        assert kinds(".5") == [(TokenType.NUMBER, 0.5)]
+
+    def test_scientific(self):
+        assert kinds("1e3") == [(TokenType.NUMBER, 1000.0)]
+        assert kinds("2.5e-2") == [(TokenType.NUMBER, 0.025)]
+
+    def test_number_then_operator(self):
+        assert kinds("1+2") == [
+            (TokenType.NUMBER, 1),
+            (TokenType.OPERATOR, "+"),
+            (TokenType.NUMBER, 2),
+        ]
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'abc'") == [(TokenType.STRING, "abc")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated"):
+            tokenize("'abc")
+
+
+class TestOperators:
+    def test_multi_char_first(self):
+        assert kinds("a <= b") [1] == (TokenType.OPERATOR, "<=")
+        assert kinds("a <> b")[1] == (TokenType.OPERATOR, "<>")
+
+    def test_all_single_chars(self):
+        for op in "+-*/%<>=":
+            assert kinds(f"a {op} b")[1] == (TokenType.OPERATOR, op)
+
+    def test_punctuation(self):
+        assert kinds("f(a, b)") == [
+            (TokenType.IDENT, "f"),
+            (TokenType.PUNCT, "("),
+            (TokenType.IDENT, "a"),
+            (TokenType.PUNCT, ","),
+            (TokenType.IDENT, "b"),
+            (TokenType.PUNCT, ")"),
+        ]
+
+
+class TestCommentsAndErrors:
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment\n b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_double_dash_requires_both(self):
+        # A single '-' is the minus operator.
+        assert kinds("a - b")[1] == (TokenType.OPERATOR, "-")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            tokenize("a @ b")

@@ -1,0 +1,123 @@
+"""Unit tests for the Theorem-2 stopping condition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.scan_depth import scan_depth, scan_depth_threshold
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from tests.conftest import exact_distribution, make_table
+from repro.core.distribution import top_k_score_distribution
+
+
+class TestThreshold:
+    def test_formula(self):
+        k, p_tau = 5, 0.001
+        log_term = math.log(1 / p_tau)
+        expected = k + 1 + log_term + math.sqrt(
+            log_term**2 + 2 * k * log_term
+        )
+        assert scan_depth_threshold(k, p_tau) == pytest.approx(expected)
+
+    def test_monotone_in_k(self):
+        values = [scan_depth_threshold(k, 0.001) for k in (1, 5, 20, 60)]
+        assert values == sorted(values)
+
+    def test_monotone_in_p_tau(self):
+        # Smaller threshold probability -> deeper scan required.
+        values = [
+            scan_depth_threshold(10, p) for p in (0.1, 0.01, 0.001, 0.0001)
+        ]
+        assert values == sorted(values)
+
+    def test_invalid_k(self):
+        with pytest.raises(AlgorithmError):
+            scan_depth_threshold(0, 0.001)
+
+    def test_invalid_p_tau(self):
+        with pytest.raises(AlgorithmError):
+            scan_depth_threshold(5, 0.0)
+        with pytest.raises(AlgorithmError):
+            scan_depth_threshold(5, 1.0)
+
+
+def uniform_scored(n: int, prob: float = 1.0) -> ScoredTable:
+    table = make_table([(f"t{i}", float(n - i), prob) for i in range(n)])
+    return ScoredTable.from_table(table, attribute_scorer("score"))
+
+
+class TestScanDepth:
+    def test_small_table_scanned_fully(self):
+        scored = uniform_scored(5)
+        assert scan_depth(scored, 2, 0.001) == 5
+
+    def test_depth_bounded_by_threshold(self):
+        scored = uniform_scored(200)
+        depth = scan_depth(scored, 2, 0.001)
+        threshold = scan_depth_threshold(2, 0.001)
+        # With certainty-1 tuples, mu grows by 1 per tuple.
+        assert depth == pytest.approx(math.ceil(threshold), abs=1)
+
+    def test_depth_grows_with_k(self):
+        scored = uniform_scored(500, prob=0.5)
+        depths = [scan_depth(scored, k, 0.001) for k in (2, 5, 10, 20)]
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0]
+
+    def test_depth_at_least_k(self):
+        scored = uniform_scored(100)
+        for k in (1, 3, 10):
+            assert scan_depth(scored, k, 0.001) >= k
+
+    def test_stops_at_tie_group_boundary(self):
+        # The k=2, p_tau=0.001 threshold is ~18.6; with certainty-1
+        # tuples mu crosses it at position ~19, inside the 30-tuple
+        # score-100 tie group.  The scan must extend to the end of
+        # that tie group (position 30), not stop mid-group.
+        rows = [(f"a{i}", 100.0, 1.0) for i in range(30)]
+        rows += [(f"b{i}", 50.0, 1.0) for i in range(30)]
+        table = make_table(rows)
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        assert scan_depth(scored, 2, 0.001) == 30
+
+    def test_stop_on_boundary_does_not_extend(self):
+        # Distinct scores: the scan stops exactly where the condition
+        # first holds, without tie-group extension.
+        rows = [(f"t{i}", float(100 - i), 1.0) for i in range(60)]
+        table = make_table(rows)
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        depth = scan_depth(scored, 2, 0.001)
+        threshold = scan_depth_threshold(2, 0.001)
+        assert depth == math.ceil(threshold)
+
+    def test_own_group_mass_excluded(self):
+        # A huge ME group right above the candidate must not count
+        # towards the candidate's own mu.
+        members = [(f"g{i}", 100.0 - i, 0.02) for i in range(50)]
+        rows = members + [("x", 10.0, 0.9)]
+        table = make_table(rows, rules=[tuple(f"g{i}" for i in range(50))])
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        # Total mass above x is only 1.0 (the group), far below the
+        # threshold: everything is scanned.
+        assert scan_depth(scored, 2, 0.001) == 51
+
+    def test_truncation_loses_at_most_tail_mass(self):
+        # The truncated distribution must capture all vectors with
+        # probability >= p_tau: compare against the full scan.
+        table = make_table(
+            [(f"t{i}", float(100 - i), 0.8) for i in range(40)]
+        )
+        p_tau = 0.01
+        full = exact_distribution(table, 3)
+        truncated = top_k_score_distribution(
+            table, "score", 3, p_tau=p_tau, max_lines=10**6
+        )
+        full_map = full.to_dict()
+        for score, prob in full_map.items():
+            got = truncated.to_dict().get(score, 0.0)
+            # Anything the truncation dropped must be worth < p_tau.
+            assert got == pytest.approx(prob, abs=p_tau)
+        assert truncated.total_mass() <= full.total_mass() + 1e-12

@@ -1,0 +1,148 @@
+"""Unit tests for scoring functions and the canonical ScoredTable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ScoringError
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.scoring import (
+    ScoredTable,
+    attribute_scorer,
+    expression_scorer,
+)
+from tests.conftest import make_table
+
+
+class TestScorers:
+    def test_attribute_scorer(self):
+        s = attribute_scorer("score")
+        assert s(UncertainTuple("t", {"score": 42}, 0.5)) == 42.0
+
+    def test_attribute_scorer_missing_attribute(self):
+        s = attribute_scorer("score")
+        with pytest.raises(ScoringError, match="no attribute"):
+            s(UncertainTuple("t", {}, 0.5))
+
+    def test_attribute_scorer_non_numeric(self):
+        s = attribute_scorer("score")
+        with pytest.raises(ScoringError, match="not numeric"):
+            s(UncertainTuple("t", {"score": "high"}, 0.5))
+
+    def test_expression_scorer(self):
+        s = expression_scorer("speed_limit / (length / delay)")
+        t = UncertainTuple(
+            "t", {"speed_limit": 50, "length": 100, "delay": 20}, 0.5
+        )
+        assert s(t) == pytest.approx(10.0)
+
+    def test_expression_scorer_non_numeric_result(self):
+        s = expression_scorer("a = b")
+        t = UncertainTuple("t", {"a": 1, "b": 1}, 0.5)
+        with pytest.raises(ScoringError, match="non-numeric"):
+            s(t)
+
+    def test_nan_score_rejected(self):
+        table = make_table([("a", 1, 0.5)])
+        with pytest.raises(ScoringError, match="NaN"):
+            ScoredTable.from_table(table, lambda t: float("nan"))
+
+
+class TestCanonicalOrder:
+    def test_descending_by_score(self):
+        table = make_table([("a", 1, 0.5), ("b", 3, 0.5), ("c", 2, 0.5)])
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        assert [i.tid for i in scored] == ["b", "c", "a"]
+
+    def test_ties_break_by_probability_descending(self):
+        table = make_table([("lo", 5, 0.2), ("hi", 5, 0.9), ("mid", 5, 0.5)])
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        assert [i.tid for i in scored] == ["hi", "mid", "lo"]
+
+    def test_group_ids_carried(self):
+        table = make_table(
+            [("a", 3, 0.4), ("b", 2, 0.4), ("c", 1, 0.9)],
+            rules=[("a", "b")],
+        )
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        assert scored[0].group == scored[1].group
+        assert scored[2].group != scored[0].group
+
+
+class TestStructure:
+    @pytest.fixture
+    def scored(self, soldiers):
+        return ScoredTable.from_table(soldiers, attribute_scorer("score"))
+
+    def test_soldier_order(self, scored):
+        assert [i.tid for i in scored] == [
+            "T7", "T3", "T4", "T2", "T6", "T5", "T1",
+        ]
+
+    def test_lead_flags(self, scored):
+        # T7 leads group {T2,T4,T7}; T3 leads {T3,T6}; T5, T1 singleton.
+        assert [scored.is_lead(i) for i in range(7)] == [
+            True, True, False, False, False, True, True,
+        ]
+
+    def test_lead_regions(self, scored):
+        assert scored.lead_regions() == [(0, 2), (5, 7)]
+
+    def test_me_member_count(self, scored):
+        assert scored.me_member_count() == 5
+
+    def test_group_positions(self, scored):
+        g = scored[0].group  # T7's group = {T7, T4, T2}
+        assert scored.group_positions(g) == (0, 2, 3)
+
+    def test_prefix_reduces_groups(self, scored):
+        prefix = scored.prefix(3)  # T7, T3, T4
+        g = prefix[0].group
+        assert prefix.group_positions(g) == (0, 2)
+        assert prefix.me_member_count() == 2
+
+    def test_prefix_len(self, scored):
+        assert len(scored.prefix(4)) == 4
+
+    def test_scores_non_increasing(self, scored):
+        scores = scored.scores()
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_max_topk_scores(self, scored):
+        assert scored.max_top_k_score(2) == 235.0
+        assert scored.min_top_k_score(2) == 105.0  # T5 + T1
+
+
+class TestTies:
+    def test_tie_ranges(self):
+        table = make_table(
+            [("a", 5, 0.5), ("b", 5, 0.4), ("c", 3, 0.9), ("d", 1, 0.2)]
+        )
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        assert scored.tie_ranges() == [(0, 2), (2, 3), (3, 4)]
+        assert scored.has_ties()
+
+    def test_no_ties(self):
+        table = make_table([("a", 5, 0.5), ("b", 3, 0.4)])
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        assert not scored.has_ties()
+        assert scored.tie_ranges() == [(0, 1), (1, 2)]
+
+    def test_tie_range_end(self):
+        table = make_table(
+            [("a", 5, 0.5), ("b", 5, 0.4), ("c", 5, 0.1), ("d", 1, 0.2)]
+        )
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        assert scored.tie_range_end(0) == 3
+        assert scored.tie_range_end(1) == 3
+        assert scored.tie_range_end(3) == 4
+
+    def test_groups_listed_in_rank_order(self):
+        table = make_table(
+            [("a", 3, 0.4), ("b", 2, 0.9), ("c", 1, 0.4)],
+            rules=[("a", "c")],
+        )
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        groups = scored.groups()
+        assert groups[0] == scored[0].group
+        assert len(groups) == 2

@@ -1,0 +1,95 @@
+"""Tests for the reusable TypicalSelector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pmf import ScorePMF
+from repro.core.selector import TypicalSelector
+from repro.exceptions import AlgorithmError, EmptyDistributionError
+from tests.conftest import exact_distribution
+
+
+def pmf_of(pairs) -> ScorePMF:
+    return ScorePMF((s, p, None) for s, p in pairs)
+
+
+class TestSelector:
+    def test_matches_select_typical(self, soldiers):
+        pmf = exact_distribution(soldiers, 2)
+        selector = TypicalSelector(pmf)
+        result = selector.select(3)
+        assert [a.score for a in result.answers] == [118.0, 183.0, 235.0]
+        assert result.expected_distance == pytest.approx(6.6)
+
+    def test_caching_returns_same_object(self, soldiers):
+        selector = TypicalSelector(exact_distribution(soldiers, 2))
+        assert selector.select(2) is selector.select(2)
+
+    def test_support_size(self, soldiers):
+        selector = TypicalSelector(exact_distribution(soldiers, 2))
+        assert selector.support_size == 9
+
+    def test_empty_pmf_rejected(self):
+        with pytest.raises(EmptyDistributionError):
+            TypicalSelector(ScorePMF(()))
+
+    def test_invalid_c(self, soldiers):
+        selector = TypicalSelector(exact_distribution(soldiers, 2))
+        with pytest.raises(AlgorithmError):
+            selector.select(0)
+
+
+class TestDistanceProfile:
+    def test_non_increasing(self, soldiers):
+        selector = TypicalSelector(exact_distribution(soldiers, 2))
+        profile = selector.distance_profile()
+        assert len(profile) == selector.support_size
+        for a, b in zip(profile, profile[1:]):
+            assert b <= a + 1e-9
+
+    def test_last_value_zero(self, soldiers):
+        selector = TypicalSelector(exact_distribution(soldiers, 2))
+        assert selector.distance_profile()[-1] == pytest.approx(0.0)
+
+    def test_bounded_max_c(self, soldiers):
+        selector = TypicalSelector(exact_distribution(soldiers, 2))
+        assert len(selector.distance_profile(max_c=4)) == 4
+
+    def test_invalid_max_c(self, soldiers):
+        selector = TypicalSelector(exact_distribution(soldiers, 2))
+        with pytest.raises(AlgorithmError):
+            selector.distance_profile(max_c=0)
+
+
+class TestElbow:
+    def test_elbow_meets_tolerance(self, soldiers):
+        pmf = exact_distribution(soldiers, 2)
+        selector = TypicalSelector(pmf)
+        result = selector.elbow(fraction_of_span=0.05)
+        assert result.expected_distance <= 0.05 * pmf.support_span()
+
+    def test_elbow_picks_small_c(self):
+        # Two tight clusters: c=2 should reach near-zero distance.
+        pmf = pmf_of([(0, 0.25), (0.5, 0.25), (100, 0.25), (100.5, 0.25)])
+        selector = TypicalSelector(pmf)
+        result = selector.elbow(fraction_of_span=0.01)
+        assert len(result.answers) == 2
+
+    def test_elbow_falls_back_to_max_c(self):
+        pmf = pmf_of([(float(i * 10), 0.1) for i in range(10)])
+        selector = TypicalSelector(pmf)
+        result = selector.elbow(fraction_of_span=0.001, max_c=3)
+        assert len(result.answers) == 3
+
+    def test_invalid_fraction(self, soldiers):
+        selector = TypicalSelector(exact_distribution(soldiers, 2))
+        with pytest.raises(AlgorithmError):
+            selector.elbow(fraction_of_span=0.0)
+        with pytest.raises(AlgorithmError):
+            selector.elbow(fraction_of_span=1.0)
+
+    def test_degenerate_single_line(self):
+        selector = TypicalSelector(pmf_of([(5.0, 1.0)]))
+        result = selector.elbow()
+        assert [a.score for a in result.answers] == [5.0]

@@ -1,0 +1,142 @@
+"""Tests for U-kRanks, PT-k, Global-Topk and the typicality report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.semantics.answers import typicality_report
+from repro.semantics.global_topk import global_topk
+from repro.semantics.pt_k import pt_k
+from repro.semantics.u_kranks import u_kranks
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from tests.conftest import make_table, random_table
+from tests.test_marginals import (
+    rank_prob_by_enumeration,
+    topk_prob_by_enumeration,
+)
+
+
+class TestUkRanks:
+    def test_matches_enumeration(self):
+        rng = np.random.default_rng(404)
+        for trial in range(8):
+            t = random_table(rng, n=6)
+            answers = u_kranks(t, "score", 2, p_tau=0.0)
+            for answer in answers:
+                want = rank_prob_by_enumeration(t, answer.tid, answer.rank)
+                assert answer.probability == pytest.approx(want, abs=1e-9)
+                # No tuple beats the winner at its rank.
+                for other in t.tids:
+                    other_prob = rank_prob_by_enumeration(
+                        t, other, answer.rank
+                    )
+                    assert other_prob <= answer.probability + 1e-9
+
+    def test_may_repeat_tuples(self):
+        # One dominant tuple can win several ranks (the paper's
+        # criticism of U-kRanks in Section 1).
+        t = make_table(
+            [("star", 10, 0.9), ("a", 5, 0.1), ("b", 4, 0.1)]
+        )
+        answers = u_kranks(t, "score", 2, p_tau=0.0)
+        assert answers[0].tid == "star"
+        # At rank 2: star needs an existing higher tuple (none), so
+        # star cannot win rank 2; a or b wins with small probability.
+        assert answers[1].tid in {"a", "b"}
+
+    def test_ranks_are_sequential(self, soldiers):
+        answers = u_kranks(soldiers, "score", 3, p_tau=0.0)
+        assert [a.rank for a in answers] == [1, 2, 3]
+
+    def test_invalid_k(self, soldiers):
+        with pytest.raises(AlgorithmError):
+            u_kranks(soldiers, "score", 0)
+
+
+class TestPTk:
+    def test_matches_enumeration(self):
+        rng = np.random.default_rng(505)
+        for trial in range(8):
+            t = random_table(rng, n=6)
+            threshold = 0.3
+            answers = dict(pt_k(t, "score", 2, threshold, p_tau=0.0))
+            for tid in t.tids:
+                want = topk_prob_by_enumeration(t, tid, 2)
+                if want >= threshold + 1e-9:
+                    assert tid in answers
+                    assert answers[tid] == pytest.approx(want, abs=1e-9)
+                elif want < threshold - 1e-9:
+                    assert tid not in answers
+
+    def test_threshold_one_keeps_certain_only(self):
+        t = make_table([("a", 9, 1.0), ("b", 5, 0.4)])
+        answers = pt_k(t, "score", 2, 1.0, p_tau=0.0)
+        assert [tid for tid, _ in answers] == ["a"]
+
+    def test_sorted_by_probability(self, soldiers):
+        answers = pt_k(soldiers, "score", 2, 0.1, p_tau=0.0)
+        probs = [p for _, p in answers]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_invalid_threshold(self, soldiers):
+        with pytest.raises(AlgorithmError):
+            pt_k(soldiers, "score", 2, 0.0)
+        with pytest.raises(AlgorithmError):
+            pt_k(soldiers, "score", 2, 1.5)
+
+
+class TestGlobalTopk:
+    def test_matches_enumeration(self):
+        rng = np.random.default_rng(606)
+        for trial in range(8):
+            t = random_table(rng, n=6)
+            k = 2
+            answers = global_topk(t, "score", k, p_tau=0.0)
+            assert len(answers) <= k
+            all_probs = {
+                tid: topk_prob_by_enumeration(t, tid, k) for tid in t.tids
+            }
+            cutoff = sorted(all_probs.values(), reverse=True)[
+                min(k, len(all_probs)) - 1
+            ]
+            for tid, prob in answers:
+                assert prob == pytest.approx(all_probs[tid], abs=1e-9)
+                assert prob >= cutoff - 1e-9
+
+    def test_answer_size_k(self, soldiers):
+        assert len(global_topk(soldiers, "score", 3, p_tau=0.0)) == 3
+
+    def test_invalid_k(self, soldiers):
+        with pytest.raises(AlgorithmError):
+            global_topk(soldiers, "score", 0)
+
+
+class TestTypicalityReport:
+    def test_toy_numbers(self, soldiers):
+        report = typicality_report(soldiers, "score", 2, 3, p_tau=0.0)
+        assert report.u_topk is not None
+        assert report.u_topk.total_score == pytest.approx(118.0)
+        assert report.prob_above_u_topk == pytest.approx(0.76)
+        assert [a.score for a in report.typical.answers] == [
+            118.0, 183.0, 235.0,
+        ]
+        assert report.distance_to_nearest_typical == pytest.approx(0.0)
+
+    def test_z_score_sign(self, soldiers):
+        report = typicality_report(soldiers, "score", 2, 3, p_tau=0.0)
+        # U-Top2 score 118 is far below the mean 164.1.
+        assert report.u_topk_z_score < -1.0
+
+    def test_percentile_in_unit_interval(self, soldiers):
+        report = typicality_report(soldiers, "score", 2, 3, p_tau=0.0)
+        assert 0.0 <= report.u_topk_percentile <= 1.0
+
+    def test_missing_u_topk(self):
+        t = make_table([("a", 1, 0.5)])
+        report = typicality_report(t, "score", 1, 1, p_tau=0.0)
+        assert report.u_topk is not None  # k=1 always computable here
+        tiny = make_table([("a", 1, 0.5)])
+        report2 = typicality_report(tiny, "score", 1, 1, p_tau=0.0)
+        assert report2.pmf.total_mass() == pytest.approx(0.5)

@@ -1,0 +1,112 @@
+"""Unit tests for the StateExpansion baseline (Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state_expansion import state_expansion_distribution
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from tests.conftest import (
+    assert_pmf_equal,
+    make_table,
+    oracle_pmf,
+    random_table,
+)
+
+BIG = 10**6
+
+
+def se_exact(table, k, p_tau=0.0):
+    scored = ScoredTable.from_table(table, attribute_scorer("score"))
+    return state_expansion_distribution(
+        scored, k, p_tau=p_tau, max_lines=BIG
+    )
+
+
+class TestExactness:
+    def test_toy_table(self, soldiers):
+        pmf = se_exact(soldiers, 2)
+        assert_pmf_equal(pmf.to_dict(), oracle_pmf(soldiers, 2))
+
+    def test_matches_oracle_random(self):
+        rng = np.random.default_rng(100)
+        for trial in range(12):
+            t = random_table(rng, n=6)
+            for k in (1, 2, 3):
+                assert_pmf_equal(se_exact(t, k).to_dict(), oracle_pmf(t, k))
+
+    def test_independent_tuples(self):
+        t = make_table([("a", 7, 0.4), ("b", 3, 0.5)])
+        assert_pmf_equal(se_exact(t, 1).to_dict(), {7.0: 0.4, 3.0: 0.3})
+
+    def test_vectors_in_rank_order(self, soldiers):
+        pmf = se_exact(soldiers, 2)
+        by_score = {line.score: line.vector for line in pmf}
+        assert by_score[118.0] == ("T2", "T6")
+        assert by_score[235.0] == ("T7", "T3")
+
+    def test_me_hazards_exact(self):
+        # Choosing the second member of a group after skipping the
+        # first must contribute exactly p2 (not (1-p1)*p2).
+        t = make_table(
+            [("g1", 10, 0.5), ("g2", 8, 0.4), ("x", 5, 1.0)],
+            rules=[("g1", "g2")],
+        )
+        pmf = se_exact(t, 1)
+        assert_pmf_equal(
+            pmf.to_dict(), {10.0: 0.5, 8.0: 0.4, 5.0: 0.1}
+        )
+
+
+class TestPruning:
+    def test_p_tau_drops_unlikely_vectors(self):
+        t = make_table(
+            [("a", 10, 0.01), ("b", 5, 0.9), ("c", 1, 0.9)]
+        )
+        strict = se_exact(t, 2, p_tau=0.05)
+        # Any vector involving "a" has probability <= 0.01 < p_tau.
+        assert all("a" not in (line.vector or ()) for line in strict)
+        # The main mass (b, c) survives.
+        assert strict.to_dict()[6.0] == pytest.approx(0.9 * 0.9 * 0.99)
+
+    def test_p_tau_zero_keeps_everything(self):
+        t = make_table([("a", 10, 0.01), ("b", 5, 0.9), ("c", 1, 0.9)])
+        pmf = se_exact(t, 2, p_tau=0.0)
+        assert_pmf_equal(pmf.to_dict(), oracle_pmf(t, 2))
+
+    def test_mass_loss_bounded(self):
+        rng = np.random.default_rng(3)
+        t = random_table(rng, n=7, allow_me=False)
+        p_tau = 0.02
+        exact = se_exact(t, 2, p_tau=0.0)
+        pruned = se_exact(t, 2, p_tau=p_tau)
+        assert pruned.total_mass() <= exact.total_mass() + 1e-12
+
+    def test_negative_p_tau_rejected(self, soldiers):
+        scored = ScoredTable.from_table(
+            soldiers, attribute_scorer("score")
+        )
+        with pytest.raises(AlgorithmError):
+            state_expansion_distribution(scored, 2, p_tau=-0.1)
+
+    def test_invalid_k(self, soldiers):
+        scored = ScoredTable.from_table(
+            soldiers, attribute_scorer("score")
+        )
+        with pytest.raises(AlgorithmError):
+            state_expansion_distribution(scored, 0)
+
+
+class TestBuffering:
+    def test_line_budget_respected(self):
+        rng = np.random.default_rng(5)
+        t = make_table(
+            [(f"t{i}", float(rng.uniform(0, 100)), 0.6) for i in range(14)]
+        )
+        scored = ScoredTable.from_table(t, attribute_scorer("score"))
+        pmf = state_expansion_distribution(scored, 3, max_lines=10)
+        assert len(pmf) <= 10
+        exact = state_expansion_distribution(scored, 3, max_lines=BIG)
+        assert pmf.total_mass() == pytest.approx(exact.total_mass())

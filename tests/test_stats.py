@@ -1,0 +1,162 @@
+"""Tests for the statistics utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.pmf import ScorePMF
+from repro.exceptions import EmptyDistributionError
+from repro.stats.histogram import render_histogram, render_pmf
+from repro.stats.metrics import (
+    kolmogorov_smirnov_distance,
+    total_variation_distance,
+    wasserstein_distance,
+)
+from repro.stats.moments import (
+    distribution_entropy,
+    distribution_mean,
+    distribution_skewness,
+    distribution_std,
+    distribution_variance,
+)
+
+
+def pmf_of(pairs):
+    return ScorePMF((s, p, None) for s, p in pairs)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert distribution_mean([0, 10], [0.5, 0.5]) == 5.0
+
+    def test_mean_normalizes(self):
+        assert distribution_mean([0, 10], [0.2, 0.2]) == 5.0
+
+    def test_variance(self):
+        assert distribution_variance([0, 10], [0.5, 0.5]) == 25.0
+
+    def test_std(self):
+        assert distribution_std([0, 10], [0.5, 0.5]) == 5.0
+
+    def test_skewness_symmetric_zero(self):
+        assert distribution_skewness(
+            [0, 5, 10], [0.25, 0.5, 0.25]
+        ) == pytest.approx(0.0)
+
+    def test_skewness_right_tail_positive(self):
+        assert distribution_skewness([0, 1, 100], [0.45, 0.45, 0.1]) > 0
+
+    def test_skewness_degenerate(self):
+        assert distribution_skewness([5], [1.0]) == 0.0
+
+    def test_entropy_uniform(self):
+        assert distribution_entropy([1, 2], [0.5, 0.5]) == pytest.approx(
+            math.log(2)
+        )
+
+    def test_entropy_degenerate(self):
+        assert distribution_entropy([1], [1.0]) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDistributionError):
+            distribution_mean([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EmptyDistributionError):
+            distribution_mean([1, 2], [1.0])
+
+
+class TestMetrics:
+    def test_identical_distributions_zero(self):
+        a = pmf_of([(1, 0.5), (2, 0.5)])
+        assert total_variation_distance(a, a) == 0.0
+        assert wasserstein_distance(a, a) == 0.0
+        assert kolmogorov_smirnov_distance(a, a) == 0.0
+
+    def test_disjoint_tv_is_one(self):
+        a = pmf_of([(1, 1.0)])
+        b = pmf_of([(2, 1.0)])
+        assert total_variation_distance(a, b) == pytest.approx(1.0)
+
+    def test_wasserstein_is_shift_distance(self):
+        a = pmf_of([(0, 0.5), (10, 0.5)])
+        b = pmf_of([(1, 0.5), (11, 0.5)])
+        assert wasserstein_distance(a, b) == pytest.approx(1.0)
+
+    def test_wasserstein_scales_with_shift(self):
+        a = pmf_of([(0, 1.0)])
+        for shift in (1.0, 5.0, 20.0):
+            b = pmf_of([(shift, 1.0)])
+            assert wasserstein_distance(a, b) == pytest.approx(shift)
+
+    def test_normalization_of_masses(self):
+        a = pmf_of([(1, 0.25), (2, 0.25)])
+        b = pmf_of([(1, 0.5), (2, 0.5)])
+        assert total_variation_distance(a, b) == pytest.approx(0.0)
+
+    def test_ks_distance(self):
+        a = pmf_of([(1, 1.0)])
+        b = pmf_of([(1, 0.5), (2, 0.5)])
+        assert kolmogorov_smirnov_distance(a, b) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = pmf_of([(float(s), float(p)) for s, p in
+                    zip(rng.uniform(0, 10, 5), rng.uniform(0.1, 1, 5))])
+        b = pmf_of([(float(s), float(p)) for s, p in
+                    zip(rng.uniform(0, 10, 5), rng.uniform(0.1, 1, 5))])
+        assert wasserstein_distance(a, b) == pytest.approx(
+            wasserstein_distance(b, a)
+        )
+        assert total_variation_distance(a, b) == pytest.approx(
+            total_variation_distance(b, a)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDistributionError):
+            wasserstein_distance(ScorePMF(()), pmf_of([(1, 1.0)]))
+
+    def test_coalescing_error_shrinks_with_budget(self):
+        rng = np.random.default_rng(2)
+        scores = np.sort(rng.uniform(0, 100, 60))
+        probs = rng.uniform(0.01, 1, 60)
+        exact = pmf_of(list(zip(scores, probs)))
+        errors = [
+            wasserstein_distance(exact, exact.coalesced(budget))
+            for budget in (4, 16, 50)
+        ]
+        assert errors[0] >= errors[1] >= errors[2]
+        assert errors[2] <= errors[0]
+
+
+class TestHistogramRendering:
+    def test_render_pmf_contains_bars(self):
+        text = render_pmf(pmf_of([(0, 0.5), (10, 0.5)]), buckets=2)
+        assert "#" in text
+        assert "[" in text
+
+    def test_markers_attached(self):
+        text = render_pmf(
+            pmf_of([(0, 0.5), (10, 0.5)]),
+            buckets=2,
+            markers=[(0.5, "U-Topk")],
+        )
+        assert "U-Topk" in text
+
+    def test_empty_pmf(self):
+        assert "empty" in render_pmf(ScorePMF(()))
+
+    def test_degenerate_single_score(self):
+        text = render_pmf(pmf_of([(5, 1.0)]))
+        assert "5.00" in text
+
+    def test_render_histogram_empty(self):
+        assert "empty" in render_histogram([])
+
+    def test_bar_lengths_proportional(self):
+        text = render_histogram([(0, 1, 0.1), (1, 2, 0.2)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") * 2 == lines[1].count("#")

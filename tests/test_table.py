@@ -1,0 +1,166 @@
+"""Unit tests for UncertainTable (x-relation) construction and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DataModelError, MutualExclusionError
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.table import UncertainTable, table_from_rows
+from tests.conftest import make_table
+
+
+class TestConstruction:
+    def test_tuples_preserved_in_order(self):
+        t = make_table([("a", 1, 0.5), ("b", 2, 0.6)])
+        assert [x.tid for x in t] == ["a", "b"]
+        assert len(t) == 2
+
+    def test_duplicate_tid_rejected(self):
+        with pytest.raises(DataModelError, match="duplicate"):
+            make_table([("a", 1, 0.5), ("a", 2, 0.6)])
+
+    def test_lookup_by_tid(self):
+        t = make_table([("a", 1, 0.5)])
+        assert t["a"].probability == 0.5
+        assert "a" in t
+        assert "z" not in t
+
+    def test_rule_with_unknown_tid_rejected(self):
+        with pytest.raises(MutualExclusionError, match="unknown"):
+            make_table([("a", 1, 0.5), ("b", 1, 0.4)], rules=[("a", "z")])
+
+    def test_rule_with_single_member_rejected(self):
+        with pytest.raises(MutualExclusionError, match="at least two"):
+            make_table([("a", 1, 0.5)], rules=[("a",)])
+
+    def test_overlapping_rules_rejected(self):
+        with pytest.raises(MutualExclusionError, match="more than one"):
+            make_table(
+                [("a", 1, 0.3), ("b", 1, 0.3), ("c", 1, 0.3)],
+                rules=[("a", "b"), ("b", "c")],
+            )
+
+    def test_oversaturated_rule_rejected(self):
+        with pytest.raises(MutualExclusionError, match="> 1"):
+            make_table(
+                [("a", 1, 0.7), ("b", 1, 0.7)], rules=[("a", "b")]
+            )
+
+    def test_saturated_rule_accepted(self):
+        t = make_table([("a", 1, 0.5), ("b", 1, 0.5)], rules=[("a", "b")])
+        assert t.group_mass(t.group_of("a")) == pytest.approx(1.0)
+
+
+class TestGroups:
+    def test_singletons_get_own_groups(self):
+        t = make_table([("a", 1, 0.5), ("b", 2, 0.5)])
+        assert t.group_of("a") != t.group_of("b")
+        assert t.group_members(t.group_of("a")) == ("a",)
+
+    def test_rule_members_share_group(self):
+        t = make_table(
+            [("a", 1, 0.3), ("b", 1, 0.3), ("c", 1, 0.9)],
+            rules=[("a", "b")],
+        )
+        assert t.group_of("a") == t.group_of("b")
+        assert t.group_of("c") != t.group_of("a")
+
+    def test_explicit_rules_listed(self):
+        t = make_table(
+            [("a", 1, 0.3), ("b", 1, 0.3), ("c", 1, 0.9)],
+            rules=[("a", "b")],
+        )
+        assert t.explicit_rules == (("a", "b"),)
+
+    def test_me_tuple_fraction(self):
+        t = make_table(
+            [("a", 1, 0.3), ("b", 1, 0.3), ("c", 1, 0.9), ("d", 1, 0.9)],
+            rules=[("a", "b")],
+        )
+        assert t.me_tuple_fraction() == pytest.approx(0.5)
+
+    def test_me_fraction_empty_table(self):
+        assert UncertainTable([]).me_tuple_fraction() == 0.0
+
+
+class TestDerivations:
+    def test_subset_keeps_rules(self):
+        t = make_table(
+            [("a", 1, 0.3), ("b", 1, 0.3), ("c", 1, 0.3)],
+            rules=[("a", "b", "c")],
+        )
+        s = t.subset(["a", "b"])
+        assert len(s) == 2
+        assert s.explicit_rules == (("a", "b"),)
+
+    def test_subset_drops_degenerate_rules(self):
+        t = make_table(
+            [("a", 1, 0.3), ("b", 1, 0.3), ("c", 1, 0.9)],
+            rules=[("a", "b")],
+        )
+        s = t.subset(["a", "c"])
+        assert s.explicit_rules == ()
+
+    def test_subset_unknown_tid_rejected(self):
+        t = make_table([("a", 1, 0.5)])
+        with pytest.raises(DataModelError, match="unknown"):
+            t.subset(["a", "nope"])
+
+    def test_map_attributes(self):
+        t = make_table([("a", 2, 0.5)])
+        doubled = t.map_attributes(lambda x: {"score": x["score"] * 2})
+        assert doubled["a"]["score"] == 4
+
+    def test_attribute_names_first_seen_order(self):
+        t = UncertainTable(
+            [
+                UncertainTuple("a", {"x": 1, "y": 2}, 0.5),
+                UncertainTuple("b", {"z": 3, "x": 4}, 0.5),
+            ]
+        )
+        assert t.attribute_names() == ("x", "y", "z")
+
+    def test_total_expected_tuples(self):
+        t = make_table([("a", 1, 0.25), ("b", 1, 0.75)])
+        assert t.total_expected_tuples() == pytest.approx(1.0)
+
+    def test_validate_passes_on_good_table(self):
+        make_table([("a", 1, 0.5)]).validate()
+
+    def test_repr(self):
+        t = make_table([("a", 1, 0.5), ("b", 1, 0.4)], rules=[("a", "b")])
+        assert "tuples=2" in repr(t)
+        assert "rules=1" in repr(t)
+
+
+class TestTableFromRows:
+    def test_basic(self):
+        t = table_from_rows(
+            [
+                {"score": 5, "probability": 0.5},
+                {"score": 7, "probability": 0.8},
+            ]
+        )
+        assert len(t) == 2
+        assert t[0]["score"] == 5
+        assert t[0].probability == 0.5
+
+    def test_custom_keys_and_groups(self):
+        t = table_from_rows(
+            [
+                {"id": "x", "score": 5, "p": 0.5, "g": "A"},
+                {"id": "y", "score": 7, "p": 0.4, "g": "A"},
+                {"id": "z", "score": 9, "p": 0.9, "g": None},
+            ],
+            probability_key="p",
+            tid_key="id",
+            group_key="g",
+        )
+        assert t.group_of("x") == t.group_of("y")
+        assert t.group_of("z") != t.group_of("x")
+        assert "g" not in t["x"]
+
+    def test_missing_probability_key_raises(self):
+        with pytest.raises(DataModelError, match="missing probability"):
+            table_from_rows([{"score": 5}])

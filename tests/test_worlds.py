@@ -1,0 +1,143 @@
+"""Unit tests for the possible-worlds oracle."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from repro.uncertain.worlds import (
+    enumerate_worlds,
+    score_distribution_by_enumeration,
+    top_k_of_world,
+    top_k_vectors_of_world,
+    vector_probability,
+    world_count,
+)
+from tests.conftest import make_table
+
+
+class TestEnumeration:
+    def test_world_count_toy(self, soldiers):
+        assert world_count(soldiers) == 18
+
+    def test_probabilities_sum_to_one(self, soldiers):
+        total = sum(w.probability for w in enumerate_worlds(soldiers))
+        assert total == pytest.approx(1.0)
+
+    def test_world_count_matches_enumeration(self, soldiers):
+        assert world_count(soldiers) == len(list(enumerate_worlds(soldiers)))
+
+    def test_saturated_group_has_no_empty_outcome(self):
+        t = make_table([("a", 1, 0.5), ("b", 2, 0.5)], rules=[("a", "b")])
+        worlds = list(enumerate_worlds(t))
+        assert world_count(t) == 2
+        assert all(len(w.tids) == 1 for w in worlds)
+
+    def test_independent_tuples_power_set(self):
+        t = make_table([("a", 1, 0.5), ("b", 2, 0.5)])
+        worlds = {frozenset(w.tids): w.probability for w in enumerate_worlds(t)}
+        assert len(worlds) == 4
+        assert worlds[frozenset()] == pytest.approx(0.25)
+        assert worlds[frozenset({"a", "b"})] == pytest.approx(0.25)
+
+    def test_specific_world_probability(self, soldiers):
+        # W1 = {T1, T2, T3, T5} has probability 0.064 in Figure 2.
+        worlds = {w.tids: w.probability for w in enumerate_worlds(soldiers)}
+        assert worlds[frozenset({"T1", "T2", "T3", "T5"})] == pytest.approx(
+            0.064
+        )
+
+
+class TestTopKOfWorld:
+    @pytest.fixture
+    def scored(self, soldiers):
+        return ScoredTable.from_table(soldiers, attribute_scorer("score"))
+
+    def test_total_score(self, scored):
+        world = frozenset({"T2", "T5", "T6"})
+        assert top_k_of_world(scored, world, 2) == pytest.approx(118.0)
+
+    def test_short_world_returns_none(self, scored):
+        assert top_k_of_world(scored, frozenset({"T5"}), 2) is None
+
+    def test_invalid_k(self, scored):
+        with pytest.raises(AlgorithmError):
+            top_k_of_world(scored, frozenset({"T5"}), 0)
+
+    def test_single_vector_no_ties(self, scored):
+        world = frozenset({"T2", "T5", "T6"})
+        assert top_k_vectors_of_world(scored, world, 2) == [("T2", "T6")]
+
+    def test_short_world_no_vectors(self, scored):
+        assert top_k_vectors_of_world(scored, frozenset({"T5"}), 2) == []
+
+
+class TestTieVectors:
+    def test_theorem_1_combinations(self):
+        # Example 3 of the paper: g1={a,b} score 9, g2={c,d,e} score 7,
+        # g3={f,g,h} score 5; top-7 partially reaches g3 with m=2.
+        t = make_table(
+            [
+                ("a", 9, 0.5), ("b", 9, 0.5),
+                ("c", 7, 0.5), ("d", 7, 0.5), ("e", 7, 0.5),
+                ("f", 5, 0.5), ("g", 5, 0.5), ("h", 5, 0.5),
+            ]
+        )
+        scored = ScoredTable.from_table(t, attribute_scorer("score"))
+        world = frozenset("abcdefgh")
+        vectors = top_k_vectors_of_world(scored, world, 7)
+        assert len(vectors) == 3  # C(3, 2)
+        for v in vectors:
+            assert set("abcde") <= set(v)
+            assert len(set(v) & set("fgh")) == 2
+
+    def test_all_vectors_share_total_score(self):
+        t = make_table(
+            [("a", 5, 0.5), ("b", 5, 0.5), ("c", 5, 0.5), ("d", 2, 0.9)]
+        )
+        scored = ScoredTable.from_table(t, attribute_scorer("score"))
+        world = frozenset("abcd")
+        vectors = top_k_vectors_of_world(scored, world, 2)
+        assert len(vectors) == 3
+        scores = {
+            sum(5.0 for _ in v) for v in vectors
+        }
+        assert scores == {10.0}
+
+
+class TestDistributionByEnumeration:
+    def test_toy_distribution(self, soldiers):
+        pmf, best = score_distribution_by_enumeration(
+            soldiers, attribute_scorer("score"), 2
+        )
+        assert pmf[118.0] == pytest.approx(0.2)
+        assert pmf[235.0] == pytest.approx(0.12)
+        assert sum(pmf.values()) == pytest.approx(1.0)
+        mean = sum(s * p for s, p in pmf.items())
+        assert mean == pytest.approx(164.1)
+
+    def test_best_vectors(self, soldiers):
+        _, best = score_distribution_by_enumeration(
+            soldiers, attribute_scorer("score"), 2
+        )
+        vector, prob = best[118.0]
+        assert set(vector) == {"T2", "T6"}
+        assert prob == pytest.approx(0.2)
+
+    def test_mass_below_one_when_short_worlds_exist(self):
+        t = make_table([("a", 2, 0.5), ("b", 1, 0.5)])
+        pmf, _ = score_distribution_by_enumeration(
+            t, attribute_scorer("score"), 2
+        )
+        assert sum(pmf.values()) == pytest.approx(0.25)
+
+    def test_vector_probability_matches_paper(self, soldiers):
+        assert vector_probability(
+            soldiers, attribute_scorer("score"), ("T2", "T6")
+        ) == pytest.approx(0.2)
+        assert vector_probability(
+            soldiers, attribute_scorer("score"), ("T3", "T2")
+        ) == pytest.approx(0.16)
