@@ -1,0 +1,157 @@
+"""Minimal in-tree PEP 517/660 build backend (stdlib only).
+
+The offline toolchain this project targets has no ``wheel`` package,
+so the standard ``setuptools.build_meta`` backend cannot build the
+(editable) wheels that ``pip install -e .`` requires, and build
+isolation cannot download one.  Wheels are plain zip archives, so this
+backend builds them directly with :mod:`zipfile` — no third-party
+build dependency at all (``build-system.requires = []``), which makes
+``pip install [-e] .`` work fully offline, with or without build
+isolation.
+
+Metadata policy: the human-readable copy lives in ``pyproject.toml``;
+this backend re-reads the version from ``src/repro/__init__.py`` (the
+single source of truth) and keeps the remaining fields in
+``_METADATA`` below.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import tarfile
+import zipfile
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+
+_NAME = "repro-topk-uncertain"
+_DIST = _NAME.replace("-", "_")
+_TAG = "py3-none-any"
+
+_METADATA = """\
+Metadata-Version: 2.1
+Name: {name}
+Version: {version}
+Summary: Reproduction of "Top-k Queries on Uncertain Data: On Score \
+Distribution and Typical Answers" (Ge, Zdonik, Madden; SIGMOD 2009)
+Requires-Python: >=3.10
+License: MIT
+Requires-Dist: numpy
+Requires-Dist: pytest ; extra == 'test'
+Requires-Dist: hypothesis ; extra == 'test'
+Provides-Extra: test
+"""
+
+_WHEEL_FILE = """\
+Wheel-Version: 1.0
+Generator: repro-in-tree-backend
+Root-Is-Purelib: true
+Tag: {tag}
+"""
+
+_ENTRY_POINTS = """\
+[console_scripts]
+repro = repro.cli:main
+"""
+
+
+def _version() -> str:
+    init = os.path.join(_SRC, "repro", "__init__.py")
+    with open(init, encoding="utf-8") as handle:
+        match = re.search(
+            r'^__version__\s*=\s*["\']([^"\']+)["\']', handle.read(), re.M
+        )
+    if not match:
+        raise RuntimeError(f"cannot find __version__ in {init}")
+    return match.group(1)
+
+
+def _record_entry(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(
+        hashlib.sha256(data).digest()
+    ).rstrip(b"=").decode("ascii")
+    return f"{name},sha256={digest},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, version: str, payload: dict[str, bytes]) -> str:
+    """Assemble a wheel zip from ``payload`` (+ generated dist-info)."""
+    dist_info = f"{_DIST}-{version}.dist-info"
+    files = dict(payload)
+    files[f"{dist_info}/METADATA"] = _METADATA.format(
+        name=_NAME, version=version
+    ).encode("utf-8")
+    files[f"{dist_info}/WHEEL"] = _WHEEL_FILE.format(tag=_TAG).encode("utf-8")
+    files[f"{dist_info}/entry_points.txt"] = _ENTRY_POINTS.encode("utf-8")
+    record_name = f"{dist_info}/RECORD"
+    record = [_record_entry(name, data) for name, data in files.items()]
+    record.append(f"{record_name},,")
+    files[record_name] = ("\n".join(record) + "\n").encode("utf-8")
+
+    wheel_name = f"{_DIST}-{version}-{_TAG}.whl"
+    path = os.path.join(wheel_directory, wheel_name)
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name in sorted(files):
+            archive.writestr(name, files[name])
+    return wheel_name
+
+
+def _package_payload() -> dict[str, bytes]:
+    """Every file of the ``repro`` package, as wheel payload."""
+    payload: dict[str, bytes] = {}
+    package_root = os.path.join(_SRC, "repro")
+    for directory, _, filenames in os.walk(package_root):
+        for filename in sorted(filenames):
+            if filename.endswith((".pyc", ".pyo")):
+                continue
+            full = os.path.join(directory, filename)
+            rel = os.path.relpath(full, _SRC).replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                payload[rel] = handle.read()
+    return payload
+
+
+# ----------------------------------------------------------------------
+# PEP 517 hooks
+# ----------------------------------------------------------------------
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    return _write_wheel(wheel_directory, _version(), _package_payload())
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    version = _version()
+    base = f"{_DIST}-{version}"
+    path = os.path.join(sdist_directory, f"{base}.tar.gz")
+    include = ["pyproject.toml", "setup.py", "README.md", "_build", "src"]
+    with tarfile.open(path, "w:gz") as archive:
+        for entry in include:
+            full = os.path.join(_ROOT, entry)
+            if os.path.exists(full):
+                archive.add(
+                    full,
+                    arcname=f"{base}/{entry}",
+                    filter=lambda info: None
+                    if "__pycache__" in info.name
+                    else info,
+                )
+    return f"{base}.tar.gz"
+
+
+# ----------------------------------------------------------------------
+# PEP 660 hooks (editable installs)
+# ----------------------------------------------------------------------
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    pth = (_SRC + "\n").encode("utf-8")
+    return _write_wheel(
+        wheel_directory, _version(), {f"_{_DIST}_editable.pth": pth}
+    )

@@ -1,11 +1,16 @@
 """Legacy setuptools shim.
 
-The offline environment lacks the ``wheel`` package, so PEP 517
-editable installs (which build a wheel) fail; this shim lets
-``pip install -e .`` fall back to ``setup.py develop``.  All metadata
-lives in pyproject.toml.
+Kept only for tooling that still invokes ``setup.py`` directly.  The
+real build goes through the in-tree PEP 517/660 backend declared in
+pyproject.toml (``_build/backend.py``), which needs neither network
+access nor the ``wheel`` package — the offline environment lacks
+``wheel``, which breaks the standard setuptools editable-install
+path.  All metadata lives in pyproject.toml.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    name="repro-topk-uncertain",
+    package_dir={"": "src"},
+)

@@ -5,22 +5,29 @@ A from-scratch reproduction of *"Top-k Queries on Uncertain Data: On
 Score Distribution and Typical Answers"* (Tingjian Ge, Stan Zdonik,
 Samuel Madden; SIGMOD 2009).
 
-Quickstart::
+Quickstart — the Session/QuerySpec API plans every request in stages
+(scored prefix → score distribution → answer semantics) and caches
+each stage, so one computed distribution serves typical answers at
+any ``c``, histograms at any precision, and rival-semantics
+comparisons::
 
-    from repro import (
-        top_k_score_distribution, c_typical_top_k, u_topk,
-    )
+    from repro import QuerySpec, Session
     from repro.datasets.soldier import soldier_table
 
-    table = soldier_table()
-    pmf = top_k_score_distribution(table, "score", k=2, p_tau=0.0)
-    print(pmf.summary())
-    result = c_typical_top_k(table, "score", k=2, c=3, p_tau=0.0)
-    for answer in result.answers:
-        print(answer.score, answer.prob, answer.vector)
+    session = Session({"soldiers": soldier_table()})
+    spec = QuerySpec(table="soldiers", scorer="score", k=2, p_tau=0.0)
 
-See README.md for the architecture overview and DESIGN.md for the
-paper-to-module map.
+    pmf = session.distribution(spec)            # the ScorePMF
+    result = session.execute(spec)              # 3-Typical-Top2
+    more = session.execute(spec.with_(c=5))     # reuses the cached PMF
+    rival = session.execute(spec.with_(semantics="u_topk"))
+
+The classic free functions (``top_k_score_distribution``,
+``c_typical_top_k``, ``u_topk``, ...) remain available as thin
+wrappers over the same planner.
+
+See README.md for the architecture overview and the paper-to-module
+map.
 """
 
 from repro.core.distribution import (
@@ -44,6 +51,14 @@ from repro.exceptions import (
     ScoringError,
 )
 from repro.query.engine import Catalog, QueryResult, execute_query
+from repro.api import (
+    QuerySpec,
+    SemanticsHandler,
+    Session,
+    available_semantics,
+    get_semantics,
+    register_semantics,
+)
 from repro.stream.window import SlidingWindowTopK
 from repro.semantics.answers import TypicalityReport, typicality_report
 from repro.semantics.expected_ranks import ExpectedRankAnswer, expected_rank_topk
@@ -90,6 +105,13 @@ __all__ = [
     "ExpectedRankAnswer",
     "typicality_report",
     "TypicalityReport",
+    # session API
+    "Session",
+    "QuerySpec",
+    "SemanticsHandler",
+    "register_semantics",
+    "get_semantics",
+    "available_semantics",
     # query layer
     "Catalog",
     "QueryResult",

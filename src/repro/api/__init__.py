@@ -1,0 +1,68 @@
+"""Unified Session/QuerySpec API.
+
+The package-level surface of the redesigned API (this PR's tentpole):
+
+* :class:`~repro.api.spec.QuerySpec` — one frozen value describing a
+  top-k request (table, scorer, k, semantics, and every tuning knob);
+* :mod:`~repro.api.registry` — the pluggable answer-semantics
+  registry (``@register_semantics``) with the paper's semantics and
+  all rival baselines pre-registered (:mod:`repro.api.builtin`);
+* :class:`~repro.api.session.Session` — plans a spec in stages
+  (resolve → scored prefix → score distribution → semantics) and
+  memoizes each stage, so one computed distribution serves typical
+  answers at any ``c``, histograms at any precision, and comparisons
+  across semantics without recomputation.
+
+Quickstart::
+
+    from repro.api import QuerySpec, Session
+    from repro.datasets.soldier import soldier_table
+
+    session = Session({"soldiers": soldier_table()})
+    spec = QuerySpec(table="soldiers", scorer="score", k=2, p_tau=0.0)
+
+    result = session.execute(spec)                 # c-Typical-Topk
+    pmf = session.distribution(spec)               # cached PMF
+    more = session.execute(spec.with_(c=5))        # no dp re-run
+    rival = session.execute(spec.with_(semantics="u_topk"))
+"""
+
+from repro.api.plan import (
+    choose_algorithm,
+    distribution_from_prefix,
+    resolve_algorithm,
+    scored_prefix_for,
+)
+from repro.api.registry import (
+    SemanticsHandler,
+    available_semantics,
+    get_semantics,
+    register_semantics,
+    unregister_semantics,
+)
+from repro.api import builtin as _builtin  # noqa: F401  (registers built-ins)
+from repro.api.session import DEFAULT_CACHE_SIZE, Session
+from repro.api.spec import (
+    DEFAULT_C,
+    DEFAULT_THRESHOLD,
+    SPEC_ALGORITHMS,
+    QuerySpec,
+)
+
+__all__ = [
+    "QuerySpec",
+    "Session",
+    "SemanticsHandler",
+    "register_semantics",
+    "unregister_semantics",
+    "get_semantics",
+    "available_semantics",
+    "choose_algorithm",
+    "resolve_algorithm",
+    "scored_prefix_for",
+    "distribution_from_prefix",
+    "SPEC_ALGORITHMS",
+    "DEFAULT_C",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_CACHE_SIZE",
+]

@@ -1,0 +1,86 @@
+"""Built-in answer semantics, registered under their canonical names.
+
+The paper's own semantics plus every rival it evaluates against,
+all reduced to the registry's uniform ``run(input, spec) -> Answer``
+shape over the shared pipeline stages:
+
+========================  ========  =====================================
+name                      consumes  answer type
+========================  ========  =====================================
+``"distribution"``        pmf       :class:`~repro.core.pmf.ScorePMF`
+``"typical"``             pmf       :class:`~repro.core.typical.TypicalResult`
+``"u_topk"``              prefix    :class:`~repro.semantics.u_topk.UTopkResult` | None
+``"pt_k"``                prefix    list of ``(tid, probability)``
+``"u_kranks"``            prefix    list of :class:`~repro.semantics.u_kranks.URankAnswer`
+``"global_topk"``         prefix    list of ``(tid, probability)``
+``"expected_ranks"``      prefix    list of :class:`~repro.semantics.expected_ranks.ExpectedRankAnswer`
+========================  ========  =====================================
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import register_semantics
+from repro.core.typical import TypicalResult, select_typical_clamped
+from repro.semantics.expected_ranks import expected_rank_topk_scored
+from repro.semantics.global_topk import global_topk_scored
+from repro.semantics.pt_k import pt_k_scored
+from repro.semantics.u_kranks import u_kranks_scored
+from repro.semantics.u_topk import u_topk_scored
+
+
+@register_semantics(
+    "distribution",
+    requires="pmf",
+    description="the top-k total-score distribution itself",
+)
+def _distribution(pmf, spec):
+    return pmf
+
+
+@register_semantics(
+    "typical",
+    requires="pmf",
+    description="the paper's c-Typical-Topk answers (Section 4)",
+)
+def _typical(pmf, spec) -> TypicalResult:
+    return select_typical_clamped(pmf, spec.c)
+
+
+@register_semantics(
+    "u_topk",
+    description="most probable top-k vector (Soliman, Ilyas & Chang)",
+)
+def _u_topk(prefix, spec):
+    return u_topk_scored(prefix, spec.k)
+
+
+@register_semantics(
+    "pt_k",
+    description="tuples with top-k probability >= threshold (Hua et al.)",
+)
+def _pt_k(prefix, spec):
+    return pt_k_scored(prefix, spec.k, spec.threshold)
+
+
+@register_semantics(
+    "u_kranks",
+    description="most probable tuple per rank (Soliman, Ilyas & Chang)",
+)
+def _u_kranks(prefix, spec):
+    return u_kranks_scored(prefix, spec.k)
+
+
+@register_semantics(
+    "global_topk",
+    description="k tuples with highest top-k probability (Zhang & Chomicki)",
+)
+def _global_topk(prefix, spec):
+    return global_topk_scored(prefix, spec.k)
+
+
+@register_semantics(
+    "expected_ranks",
+    description="k tuples with smallest expected rank (Cormode, Li & Yi)",
+)
+def _expected_ranks(prefix, spec):
+    return expected_rank_topk_scored(prefix, spec.k)

@@ -1,0 +1,92 @@
+"""Stage primitives of the query pipeline.
+
+The pipeline a :class:`~repro.api.session.Session` plans — and that
+the legacy free functions execute one-shot — has three stages:
+
+1. **prefix** — score, rank-order and Theorem-2-truncate the table
+   (:func:`scored_prefix_for`);
+2. **pmf** — run a Section-3 algorithm over the prefix to obtain the
+   top-k score distribution (:func:`distribution_from_prefix`);
+3. **semantics** — apply the requested answer semantics (dispatched
+   through :mod:`repro.api.registry`).
+
+This module owns stages 1–2 plus the ``algorithm="auto"`` choice; it
+is deliberately stateless so the Session can memoize each stage under
+keys derived from the :class:`~repro.api.spec.QuerySpec`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.distribution import prepare_scored_prefix
+from repro.core.dp import dp_distribution
+from repro.core.k_combo import k_combo_distribution
+from repro.core.pmf import ScorePMF
+from repro.core.state_expansion import state_expansion_distribution
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable
+from repro.uncertain.table import UncertainTable
+
+#: ``algorithm="auto"``: use k-Combo when the full combination count
+#: is below this (exhaustive enumeration is then cheapest).
+AUTO_K_COMBO_MAX_COMBINATIONS = 256
+
+#: ``algorithm="auto"``: use StateExpansion for prefixes at most this
+#: deep (its 2^n state space stays trivial there).
+AUTO_STATE_EXPANSION_MAX_DEPTH = 12
+
+
+def choose_algorithm(n: int, k: int, depth: int | None = None) -> str:
+    """Pick a Section-3 algorithm from the problem shape.
+
+    ``n`` is the scanned prefix length (the effective input size after
+    Theorem-2 truncation or an explicit ``depth`` override).  The
+    baselines are exponential in general but cheapest on tiny inputs
+    (Figure 10): exhaustive k-Combo when there are only a handful of
+    k-combinations, StateExpansion on very short prefixes, and the
+    O(kn) dynamic program everywhere else.
+    """
+    size = n if depth is None else min(n, depth)
+    if size < k:
+        return "dp"  # no full vector exists; dp returns the empty PMF
+    if math.comb(size, k) <= AUTO_K_COMBO_MAX_COMBINATIONS:
+        return "k_combo"
+    if size <= AUTO_STATE_EXPANSION_MAX_DEPTH:
+        return "state_expansion"
+    return "dp"
+
+
+def resolve_algorithm(spec, n: int) -> str:
+    """The concrete algorithm a spec runs over a length-``n`` prefix."""
+    if spec.algorithm == "auto":
+        return choose_algorithm(n, spec.k, spec.depth)
+    return spec.algorithm
+
+
+def scored_prefix_for(table: UncertainTable, spec) -> ScoredTable:
+    """Stage 1: the scored, rank-ordered, truncated prefix."""
+    return prepare_scored_prefix(
+        table, spec.scorer, spec.k, p_tau=spec.p_tau, depth=spec.depth
+    )
+
+
+def distribution_from_prefix(
+    prefix: ScoredTable, spec, *, algorithm: str | None = None
+) -> ScorePMF:
+    """Stage 2: the top-k score distribution of a prepared prefix.
+
+    :param algorithm: concrete algorithm override; when ``None`` it is
+        resolved from the spec (including ``"auto"``).
+    """
+    if algorithm is None:
+        algorithm = resolve_algorithm(spec, len(prefix))
+    if algorithm == "dp":
+        return dp_distribution(prefix, spec.k, max_lines=spec.max_lines)
+    if algorithm == "state_expansion":
+        return state_expansion_distribution(
+            prefix, spec.k, p_tau=spec.p_tau, max_lines=spec.max_lines
+        )
+    if algorithm == "k_combo":
+        return k_combo_distribution(prefix, spec.k, max_lines=spec.max_lines)
+    raise AlgorithmError(f"unknown algorithm {algorithm!r}")

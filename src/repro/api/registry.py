@@ -1,0 +1,143 @@
+"""The pluggable answer-semantics registry.
+
+The paper's central observation is that one computed score
+distribution (or one scored prefix) serves many *answer semantics*:
+the paper's own c-Typical-Topk, and the rival semantics it compares
+against (U-Topk, U-kRanks, PT-k, Global-Topk, expected ranks).  This
+module gives them all one uniform shape so sessions, the CLI and the
+query layer can dispatch by name:
+
+    run(prefix: ScoredTable, spec: QuerySpec) -> Answer
+
+Handlers declare which pipeline stage they consume:
+
+* ``requires="prefix"`` — the handler works directly on the scored,
+  truncated prefix (the marginal semantics and U-Topk);
+* ``requires="pmf"`` — the handler consumes the top-k score
+  distribution (typical answers, the distribution itself); a
+  :class:`~repro.api.session.Session` hands such handlers its cached
+  :class:`~repro.core.pmf.ScorePMF` so that e.g. changing only ``c``
+  never re-runs the dynamic program.
+
+Register your own semantics with the decorator::
+
+    from repro.api import register_semantics
+
+    @register_semantics("expected_score")
+    def _expected_score(prefix, spec):
+        ...
+
+and any session (and the ``repro answer`` CLI command) can run it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import AlgorithmError
+from repro.uncertain.scoring import ScoredTable
+
+#: The two pipeline stages a handler may consume.
+_STAGES = ("prefix", "pmf")
+
+
+@dataclass(frozen=True)
+class SemanticsHandler:
+    """One registered answer semantics.
+
+    :ivar name: registry name (e.g. ``"typical"``).
+    :ivar fn: the implementation; receives ``(prefix, spec)`` when
+        ``requires == "prefix"`` and ``(pmf, spec)`` when
+        ``requires == "pmf"``.
+    :ivar requires: the pipeline stage consumed.
+    :ivar description: one-line human description (CLI help).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    requires: str = "prefix"
+    description: str = ""
+
+    def run(
+        self,
+        prefix: ScoredTable,
+        spec,
+        *,
+        pmf=None,
+    ) -> Any:
+        """Execute the semantics over a scored prefix.
+
+        ``pmf`` lets a caller that already holds the prefix's score
+        distribution (a session cache) pass it in; when the handler
+        requires the PMF and none is given, it is computed on the fly.
+        """
+        if self.requires == "pmf":
+            if pmf is None:
+                from repro.api.plan import distribution_from_prefix
+
+                pmf = distribution_from_prefix(prefix, spec)
+            return self.fn(pmf, spec)
+        return self.fn(prefix, spec)
+
+
+_REGISTRY: dict[str, SemanticsHandler] = {}
+
+
+def register_semantics(
+    name: str,
+    *,
+    requires: str = "prefix",
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Class-decorator factory registering an answer semantics.
+
+    :param name: registry name; lookups are exact.
+    :param requires: ``"prefix"`` or ``"pmf"`` (the stage consumed).
+    :param description: one-line description shown by the CLI.
+    :param replace: allow overwriting an existing registration.
+    """
+    if requires not in _STAGES:
+        raise AlgorithmError(
+            f"requires must be one of {_STAGES}, got {requires!r}"
+        )
+    if not isinstance(name, str) or not name:
+        raise AlgorithmError(f"semantics name must be non-empty, got {name!r}")
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if name in _REGISTRY and not replace:
+            raise AlgorithmError(
+                f"semantics {name!r} is already registered; pass "
+                "replace=True to overwrite"
+            )
+        doc_line = description
+        if not doc_line and fn.__doc__:
+            doc_line = fn.__doc__.strip().splitlines()[0]
+        _REGISTRY[name] = SemanticsHandler(
+            name=name, fn=fn, requires=requires, description=doc_line
+        )
+        return fn
+
+    return decorate
+
+
+def get_semantics(name: str) -> SemanticsHandler:
+    """Look up a handler; raises :class:`AlgorithmError` if missing."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise AlgorithmError(
+            f"unknown semantics {name!r}; registered: {known}"
+        ) from None
+
+
+def available_semantics() -> tuple[str, ...]:
+    """Registered semantics names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def unregister_semantics(name: str) -> None:
+    """Remove a registration (primarily for tests and plugins)."""
+    _REGISTRY.pop(name, None)

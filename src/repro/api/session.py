@@ -1,0 +1,258 @@
+"""The :class:`Session`: plan, cache and dispatch top-k requests.
+
+A session wraps a :class:`~repro.query.engine.Catalog` and executes
+:class:`~repro.api.spec.QuerySpec` values through the staged pipeline
+of :mod:`repro.api.plan`, memoizing every stage in a keyed LRU:
+
+* **prefix cache** — keyed by ``(table, scorer, k, p_tau, depth)``:
+  changing only the semantics (or ``c``, ``max_lines``, the
+  algorithm) reuses the scored, Theorem-2-truncated prefix;
+* **pmf cache** — keyed by the prefix plus ``(algorithm, max_lines,
+  p_tau)``: changing only ``c`` (or the answer semantics consuming
+  the PMF) reuses the computed :class:`~repro.core.pmf.ScorePMF` —
+  the paper's own end-of-Section-4 observation that re-selecting
+  typical answers at a new ``c`` costs O(cn), not a re-run of the
+  dynamic program;
+* **answer cache** — keyed by the consumed stage plus the semantics
+  parameters, so hot repeated requests are pure lookups.
+
+Cache keys hold the resolved table (and prefix) *objects*, which are
+immutable and hashed by identity: re-registering a name in the catalog
+therefore invalidates naturally — the next ``execute`` resolves a
+different object and misses.  ``cache_info()`` exposes hit/miss
+counters per stage.
+
+>>> from repro.datasets.soldier import soldier_table
+>>> from repro.api.spec import QuerySpec
+>>> session = Session({"soldiers": soldier_table()})
+>>> spec = QuerySpec(table="soldiers", scorer="score", k=2, p_tau=0.0)
+>>> [round(a.score) for a in session.execute(spec).answers]
+[118, 183, 235]
+>>> pmf = session.distribution(spec)          # cached: no recompute
+>>> session.execute(spec.with_(c=5)) is not None
+True
+>>> session.cache_info()["pmf"]["misses"]
+1
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+from repro.api import plan
+from repro.api.registry import SemanticsHandler, get_semantics
+from repro.api.spec import QuerySpec
+from repro.core.pmf import ScorePMF
+from repro.exceptions import AlgorithmError
+from repro.query.engine import Catalog
+from repro.uncertain.scoring import ScoredTable
+from repro.uncertain.table import UncertainTable
+
+#: Default per-stage LRU capacity.
+DEFAULT_CACHE_SIZE = 64
+
+
+class _ByIdentity:
+    """Hashable identity wrapper for unhashable key components.
+
+    Holds a strong reference, so the wrapped object cannot be
+    collected and its ``id`` recycled while the key is alive.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: Any) -> None:
+        self.obj = obj
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ByIdentity) and other.obj is self.obj
+
+
+def _hashable(value: Any) -> Hashable:
+    """``value`` if hashable, else an identity wrapper."""
+    try:
+        hash(value)
+    except TypeError:
+        return _ByIdentity(value)
+    return value
+
+
+class _LRU:
+    """A small least-recently-used map with hit/miss counters."""
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise AlgorithmError(f"cache size must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+
+#: Sentinel distinguishing "absent" from cached ``None`` answers
+#: (U-Topk legitimately returns ``None`` on short prefixes).
+_MISSING = object()
+
+
+class Session:
+    """A planning, caching façade over a catalog of uncertain tables.
+
+    :param tables: a :class:`Catalog`, a ``name -> table`` mapping, or
+        ``None`` for an empty catalog.
+    :param cache_size: per-stage LRU capacity.
+    """
+
+    def __init__(
+        self,
+        tables: Catalog | Mapping[str, UncertainTable] | None = None,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self._catalog = (
+            tables if isinstance(tables, Catalog) else Catalog(tables)
+        )
+        self._prefixes = _LRU(cache_size)
+        self._pmfs = _LRU(cache_size)
+        self._answers = _LRU(cache_size)
+
+    # ------------------------------------------------------------------
+    # Catalog access
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        """The underlying catalog."""
+        return self._catalog
+
+    def register(self, name: str, table: UncertainTable) -> None:
+        """Add (or replace) a table; cached stages for a replaced name
+        are naturally orphaned because keys hold the old object."""
+        self._catalog.register(name, table)
+
+    def tables(self) -> tuple[str, ...]:
+        """Registered table names, sorted."""
+        return self._catalog.names()
+
+    def resolve(self, spec: QuerySpec) -> UncertainTable:
+        """The concrete table a spec refers to."""
+        if isinstance(spec.table, UncertainTable):
+            return spec.table
+        return self._catalog.resolve(spec.table)
+
+    # ------------------------------------------------------------------
+    # Staged execution
+    # ------------------------------------------------------------------
+    def scored_prefix(self, spec: QuerySpec) -> ScoredTable:
+        """Stage 1 (cached): the scored, truncated prefix."""
+        table = self.resolve(spec)
+        key = (table, _hashable(spec.scorer)) + spec.prefix_params()
+        prefix = self._prefixes.get(key)
+        if prefix is None:
+            prefix = plan.scored_prefix_for(table, spec)
+            self._prefixes.put(key, prefix)
+        return prefix
+
+    def distribution(self, spec: QuerySpec) -> ScorePMF:
+        """Stage 2 (cached): the top-k total-score distribution."""
+        prefix = self.scored_prefix(spec)
+        algorithm = plan.resolve_algorithm(spec, len(prefix))
+        key = (prefix, spec.k, algorithm) + spec.pmf_params()
+        pmf = self._pmfs.get(key)
+        if pmf is None:
+            pmf = plan.distribution_from_prefix(
+                prefix, spec, algorithm=algorithm
+            )
+            self._pmfs.put(key, pmf)
+        return pmf
+
+    def execute(self, spec: QuerySpec) -> Any:
+        """Stage 3 (cached): the answer under ``spec.semantics``.
+
+        The return type is whatever the registered semantics produces
+        (see :mod:`repro.api.builtin` for the built-in table).
+        """
+        handler = get_semantics(spec.semantics)
+        prefix = self.scored_prefix(spec)
+        pmf: ScorePMF | None = None
+        if handler.requires == "pmf":
+            pmf = self.distribution(spec)
+            source: Any = pmf
+        else:
+            source = prefix
+        # Keyed by *identity*, like the other stages: ScorePMF compares
+        # by (scores, probs) only, so value-equal distributions from
+        # different tables must not share an answer entry.
+        key = (_ByIdentity(source),) + spec.semantics_params()
+        answer = self._answers.get(key, _MISSING)
+        if answer is _MISSING:
+            answer = handler.run(prefix, spec, pmf=pmf)
+            self._answers.put(key, answer)
+        return answer
+
+    def typical(self, spec: QuerySpec, c: int | None = None):
+        """Convenience: the c-Typical-Topk answers for ``spec``.
+
+        Reuses the cached PMF across calls with different ``c`` — the
+        end-of-Section-4 access pattern.
+        """
+        changes: dict[str, Any] = {"semantics": "typical"}
+        if c is not None:
+            changes["c"] = c
+        return self.execute(spec.with_(**changes))
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/size counters per pipeline stage."""
+        return {
+            "prefix": self._prefixes.info(),
+            "pmf": self._pmfs.info(),
+            "answer": self._answers.info(),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached stage (counters are kept)."""
+        self._prefixes.clear()
+        self._pmfs.clear()
+        self._answers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(tables={len(self._catalog.names())}, "
+            f"cached_prefixes={len(self._prefixes)}, "
+            f"cached_pmfs={len(self._pmfs)})"
+        )

@@ -4,9 +4,14 @@ Usage (``python -m repro <command> ...``)::
 
     repro distribution table.csv --score score -k 5 --histogram 12
     repro typical table.csv --score score -k 5 -c 3
+    repro answer table.csv --score score -k 5 --semantics pt_k --threshold 0.4
     repro query "SELECT * FROM t ORDER BY score DESC LIMIT 3" --table t=table.csv
     repro generate cartel --out area.csv --seed 11 --segments 100
     repro figures fig03 fig09
+
+Every query command routes through a :class:`~repro.api.session.Session`
+and a :class:`~repro.api.spec.QuerySpec`, so one scored prefix (and one
+computed distribution) serves all the outputs of a single invocation.
 
 Tables load from ``.csv`` (the reserved-column layout of
 :mod:`repro.io.csv_io`) or ``.json`` (:mod:`repro.io.json_io`).
@@ -22,17 +27,18 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.core.distribution import (
-    DEFAULT_P_TAU,
-    c_typical_top_k,
-    top_k_score_distribution,
+from repro.api import (
+    QuerySpec,
+    SPEC_ALGORITHMS,
+    Session,
+    available_semantics,
 )
+from repro.core.distribution import DEFAULT_P_TAU
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.exceptions import ReproError
 from repro.io.csv_io import read_table_csv, write_table_csv
 from repro.io.json_io import pmf_to_json, read_table_json, write_table_json
 from repro.query.engine import execute_query
-from repro.semantics.u_topk import u_topk
 from repro.stats.histogram import render_pmf
 from repro.uncertain.scoring import attribute_scorer, expression_scorer
 from repro.uncertain.table import UncertainTable
@@ -78,31 +84,37 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--algorithm",
-        choices=("dp", "state_expansion", "k_combo"),
+        choices=SPEC_ALGORITHMS,
         default="dp",
-        help="which Section-3 algorithm to run (default dp)",
+        help="which Section-3 algorithm to run; auto picks from the "
+        "problem shape (default dp)",
+    )
+
+
+def spec_from_args(args: argparse.Namespace, table: UncertainTable) -> QuerySpec:
+    """The :class:`QuerySpec` of a table-file command invocation."""
+    return QuerySpec(
+        table=table,
+        scorer=resolve_cli_scorer(args.score),
+        k=args.k,
+        p_tau=args.p_tau,
+        max_lines=args.max_lines,
+        algorithm=args.algorithm,
     )
 
 
 def cmd_distribution(args: argparse.Namespace) -> int:
     """``repro distribution``: print a top-k score distribution."""
-    table = load_table(args.table)
-    scorer = resolve_cli_scorer(args.score)
-    pmf = top_k_score_distribution(
-        table,
-        scorer,
-        args.k,
-        p_tau=args.p_tau,
-        max_lines=args.max_lines,
-        algorithm=args.algorithm,
-    )
+    session = Session()
+    spec = spec_from_args(args, load_table(args.table))
+    pmf = session.distribution(spec)
     if args.json:
         print(pmf_to_json(pmf))
         return 0
     print(pmf.summary())
     markers = []
     if args.u_topk:
-        best = u_topk(table, scorer, args.k, p_tau=args.p_tau)
+        best = session.execute(spec.with_(semantics="u_topk"))
         if best is not None:
             print(
                 f"U-Top{args.k}: score {best.total_score:.4g} "
@@ -119,17 +131,11 @@ def cmd_distribution(args: argparse.Namespace) -> int:
 
 def cmd_typical(args: argparse.Namespace) -> int:
     """``repro typical``: print c-Typical-Topk answers."""
-    table = load_table(args.table)
-    scorer = resolve_cli_scorer(args.score)
-    result = c_typical_top_k(
-        table,
-        scorer,
-        args.k,
-        args.c,
-        p_tau=args.p_tau,
-        max_lines=args.max_lines,
-        algorithm=args.algorithm,
+    session = Session()
+    spec = spec_from_args(args, load_table(args.table)).with_(
+        semantics="typical", c=args.c
     )
+    result = session.execute(spec)
     print(
         f"{args.c}-Typical-Top{args.k} "
         f"(expected distance {result.expected_distance:.4g}):"
@@ -141,18 +147,38 @@ def cmd_typical(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_answer(args: argparse.Namespace) -> int:
+    """``repro answer``: run any registered answer semantics."""
+    session = Session()
+    spec = spec_from_args(args, load_table(args.table)).with_(
+        semantics=args.semantics, c=args.c, threshold=args.threshold
+    )
+    answer = session.execute(spec)
+    print(f"semantics {args.semantics} (k={args.k}):")
+    if answer is None:
+        print("  (no answer)")
+    elif hasattr(answer, "summary"):  # the raw distribution
+        print(answer.summary())
+    elif isinstance(answer, list):  # marginal semantics: one row each
+        for entry in answer:
+            print(f"  {entry}")
+    else:
+        print(f"  {answer}")
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: execute a SQL-like top-k query."""
-    catalog = {}
+    session = Session()
     for binding in args.table:
         name, _, path = binding.partition("=")
         if not path:
             raise ReproError(
                 f"--table expects name=path, got {binding!r}"
             )
-        catalog[name] = load_table(path)
+        session.register(name, load_table(path))
     result = execute_query(
-        args.sql, catalog, p_tau=args.p_tau, max_lines=args.max_lines
+        args.sql, session, p_tau=args.p_tau, max_lines=args.max_lines
     )
     print(result.pmf.summary())
     if result.u_topk is not None:
@@ -244,6 +270,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of typical answers (default 3)")
     _add_common_options(p)
     p.set_defaults(func=cmd_typical)
+
+    p = sub.add_parser(
+        "answer", help="run any registered answer semantics"
+    )
+    p.add_argument("table", help="table file (.csv or .json)")
+    p.add_argument("--score", required=True,
+                   help="attribute name or scoring expression")
+    p.add_argument("-k", type=int, required=True, help="top-k size")
+    p.add_argument("--semantics", required=True,
+                   choices=available_semantics(),
+                   help="registered answer semantics to run")
+    p.add_argument("-c", type=int, default=3,
+                   help="typical-answer count (semantics=typical)")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="membership threshold (semantics=pt_k)")
+    _add_common_options(p)
+    p.set_defaults(func=cmd_answer)
 
     p = sub.add_parser("query", help="run a SQL-like top-k query")
     p.add_argument("sql", help="the query text")

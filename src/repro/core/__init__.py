@@ -22,7 +22,12 @@ from repro.core.state_expansion import state_expansion_distribution
 from repro.core.k_combo import k_combo_distribution
 from repro.core.dp import dp_distribution
 from repro.core.selector import TypicalSelector
-from repro.core.typical import TypicalAnswer, TypicalResult, select_typical
+from repro.core.typical import (
+    TypicalAnswer,
+    TypicalResult,
+    select_typical,
+    select_typical_clamped,
+)
 from repro.core.distribution import (
     c_typical_top_k,
     top_k_score_distribution,
@@ -41,6 +46,7 @@ __all__ = [
     "TypicalAnswer",
     "TypicalResult",
     "select_typical",
+    "select_typical_clamped",
     "c_typical_top_k",
     "top_k_score_distribution",
 ]

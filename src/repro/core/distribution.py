@@ -18,13 +18,11 @@ from __future__ import annotations
 
 from typing import Callable, Union
 
-from repro.core.dp import DEFAULT_MAX_LINES, dp_distribution
-from repro.core.k_combo import k_combo_distribution
+from repro.core.dp import DEFAULT_MAX_LINES
 from repro.core.pmf import ScorePMF
 from repro.core.scan_depth import scan_depth
-from repro.core.state_expansion import state_expansion_distribution
 from repro.core.typical import TypicalResult, select_typical
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, InvalidProbabilityError
 from repro.uncertain.scoring import ScoredTable, Scorer, attribute_scorer
 from repro.uncertain.table import UncertainTable
 
@@ -62,9 +60,13 @@ def prepare_scored_prefix(
     :param depth: explicit scan depth override; when ``None`` the
         Theorem-2 depth for ``(k, p_tau)`` is used.
     """
+    if not 0.0 <= p_tau < 1.0:
+        raise InvalidProbabilityError(
+            f"p_tau must be in [0, 1), got {p_tau!r}"
+        )
     scored = ScoredTable.from_table(table, resolve_scorer(scorer))
     if depth is None:
-        depth = scan_depth(scored, k, p_tau) if 0.0 < p_tau < 1.0 else len(scored)
+        depth = scan_depth(scored, k, p_tau) if p_tau > 0.0 else len(scored)
     if depth < 0:
         raise AlgorithmError(f"scan depth must be >= 0, got {depth}")
     return scored.prefix(min(depth, len(scored)))
@@ -90,8 +92,9 @@ def top_k_score_distribution(
         with probability below it may be dropped.  Set to ``0`` to scan
         the full table (exact distribution).
     :param max_lines: line-coalescing budget (Section 3.2.1).
-    :param algorithm: ``"dp"`` (the main algorithm), or the baselines
-        ``"state_expansion"`` / ``"k_combo"``.
+    :param algorithm: ``"dp"`` (the main algorithm), the baselines
+        ``"state_expansion"`` / ``"k_combo"``, or ``"auto"`` to let
+        the planner pick from the problem shape.
     :param depth: explicit scan-depth override (mostly for ablations).
     :returns: a :class:`~repro.core.pmf.ScorePMF`; its lines carry the
         most probable vector per score.
@@ -101,20 +104,23 @@ def top_k_score_distribution(
     >>> round(pmf.expectation(), 1)
     164.1
     """
-    if algorithm not in ALGORITHMS:
-        raise AlgorithmError(
-            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-        )
-    prefix = prepare_scored_prefix(
-        table, scorer, k, p_tau=p_tau, depth=depth
+    # Thin wrapper over the staged planner of :mod:`repro.api`
+    # (imported lazily: the api package builds on this module).
+    from repro.api.plan import distribution_from_prefix
+    from repro.api.spec import QuerySpec
+
+    spec = QuerySpec(
+        table=table,
+        scorer=scorer,
+        k=k,
+        semantics="distribution",
+        p_tau=p_tau,
+        max_lines=max_lines,
+        algorithm=algorithm,
+        depth=depth,
     )
-    if algorithm == "dp":
-        return dp_distribution(prefix, k, max_lines=max_lines)
-    if algorithm == "state_expansion":
-        return state_expansion_distribution(
-            prefix, k, p_tau=p_tau, max_lines=max_lines
-        )
-    return k_combo_distribution(prefix, k, max_lines=max_lines)
+    prefix = prepare_scored_prefix(table, scorer, k, p_tau=p_tau, depth=depth)
+    return distribution_from_prefix(prefix, spec)
 
 
 def c_typical_top_k(

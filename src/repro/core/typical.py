@@ -101,6 +101,22 @@ def select_typical(pmf: ScorePMF, c: int) -> TypicalResult:
     return TypicalResult(answers, objective, objective / mass)
 
 
+def select_typical_clamped(pmf: ScorePMF, c: int) -> TypicalResult:
+    """:func:`select_typical` tolerant of short and empty distributions.
+
+    Fewer than k tuples can co-exist in a short table, leaving an empty
+    distribution — here that yields an empty result instead of raising,
+    and ``c`` is clamped to the number of available lines.  This is the
+    single guard shared by every consumer (the query engine, sessions,
+    the CLI) so short tables behave consistently everywhere.
+    """
+    if c < 1:
+        raise AlgorithmError(f"c must be >= 1, got {c}")
+    if len(pmf) == 0:
+        return TypicalResult((), 0.0, 0.0)
+    return select_typical(pmf, min(c, len(pmf)))
+
+
 def _typical_indices(
     scores: Sequence[float], probs: Sequence[float], c: int
 ) -> list[int]:

@@ -18,17 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
-from repro.core.distribution import (
-    DEFAULT_P_TAU,
-    top_k_score_distribution,
-)
+from repro.core.distribution import DEFAULT_P_TAU
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.core.pmf import ScorePMF
-from repro.core.typical import TypicalResult, select_typical
+from repro.core.typical import TypicalResult
 from repro.exceptions import QueryPlanError
 from repro.query.ast_nodes import TopKQuery
 from repro.query.parser import parse_query
-from repro.semantics.u_topk import UTopkResult, u_topk
+from repro.semantics.u_topk import UTopkResult
 from repro.uncertain.table import UncertainTable
 
 
@@ -103,13 +100,18 @@ DEFAULT_TYPICAL = 3
 
 def execute_query(
     query: TopKQuery | str,
-    catalog: Catalog | Mapping[str, UncertainTable],
+    catalog: "Catalog | Mapping[str, UncertainTable] | Session",
     *,
     p_tau: float = DEFAULT_P_TAU,
     max_lines: int = DEFAULT_MAX_LINES,
     include_u_topk: bool = True,
 ) -> QueryResult:
-    """Execute a top-k query against a catalog.
+    """Execute a top-k query against a catalog (or a session).
+
+    The plan routes through a :class:`~repro.api.session.Session`: one
+    scored prefix serves the score distribution, the typical answers
+    and the U-Topk comparison; passing an existing session lets
+    repeated queries over the same catalog reuse its stage caches.
 
     >>> from repro.datasets.soldier import soldier_table
     >>> result = execute_query(
@@ -121,11 +123,17 @@ def execute_query(
     >>> [row.score for row in result.answers]
     [118.0, 183.0, 235.0]
     """
+    # Imported lazily: the api package builds on this module's Catalog.
+    from repro.api.session import Session
+    from repro.api.spec import QuerySpec
+
     if isinstance(query, str):
         query = parse_query(query)
-    if not isinstance(catalog, Catalog):
-        catalog = Catalog(catalog)
-    table = catalog.resolve(query.table)
+    if isinstance(catalog, Session):
+        session = catalog
+    else:
+        session = Session(catalog)
+    table = session.catalog.resolve(query.table)
 
     if query.where is not None:
         predicate = query.where
@@ -143,21 +151,20 @@ def execute_query(
             )
         return float(value)
 
-    algorithm = query.algorithm or "dp"
-    pmf = top_k_score_distribution(
-        table,
-        scorer,
-        query.limit,
+    spec = QuerySpec(
+        table=table,
+        scorer=scorer,
+        k=query.limit,
+        semantics="typical",
+        c=query.typical or DEFAULT_TYPICAL,
         p_tau=p_tau,
         max_lines=max_lines,
-        algorithm=algorithm,
+        algorithm=query.algorithm or "dp",
     )
-    c = query.typical or DEFAULT_TYPICAL
-    if pmf.is_empty():
-        # Fewer than LIMIT tuples can co-exist: no full top-k vector.
-        typical = TypicalResult((), 0.0, 0.0)
-    else:
-        typical = select_typical(pmf, min(c, len(pmf)))
+    pmf = session.distribution(spec)
+    # The "typical" semantics clamps c and tolerates the empty
+    # distribution left when fewer than LIMIT tuples can co-exist.
+    typical = session.execute(spec)
 
     answers = tuple(
         AnswerRow(
@@ -168,7 +175,7 @@ def execute_query(
         for answer in typical.answers
     )
     best = (
-        u_topk(table, scorer, query.limit, p_tau=p_tau)
+        session.execute(spec.with_(semantics="u_topk"))
         if include_u_topk
         else None
     )

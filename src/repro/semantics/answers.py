@@ -14,15 +14,11 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
-from repro.core.distribution import (
-    DEFAULT_P_TAU,
-    ScorerLike,
-    top_k_score_distribution,
-)
+from repro.core.distribution import DEFAULT_P_TAU, ScorerLike
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.core.pmf import ScorePMF
-from repro.core.typical import TypicalResult, select_typical
-from repro.semantics.u_topk import UTopkResult, u_topk
+from repro.core.typical import TypicalResult
+from repro.semantics.u_topk import UTopkResult
 from repro.uncertain.table import UncertainTable
 
 
@@ -62,16 +58,34 @@ def typicality_report(
 ) -> TypicalityReport:
     """Build a :class:`TypicalityReport` for ``table``.
 
+    The three views are planned through one session: the scored prefix
+    is computed once and serves the distribution, the typical answers
+    and the U-Topk comparison.
+
     >>> from repro.datasets.soldier import soldier_table
     >>> report = typicality_report(soldier_table(), "score", 2, 3, p_tau=0)
     >>> round(report.prob_above_u_topk, 2)
     0.76
     """
-    pmf = top_k_score_distribution(
-        table, scorer, k, p_tau=p_tau, max_lines=max_lines
+    # Imported lazily: repro.api registers the semantics this package
+    # defines, so a module-level import would be circular.
+    from repro.api.session import Session
+    from repro.api.spec import QuerySpec
+
+    session = Session()
+    spec = QuerySpec(
+        table=table,
+        scorer=scorer,
+        k=k,
+        semantics="typical",
+        c=c,
+        p_tau=p_tau,
+        max_lines=max_lines,
+        algorithm="dp",
     )
-    typical = select_typical(pmf, c)
-    answer = u_topk(table, scorer, k, p_tau=p_tau)
+    pmf = session.distribution(spec)
+    typical = session.execute(spec)
+    answer = session.execute(spec.with_(semantics="u_topk"))
     if answer is None:
         return TypicalityReport(
             pmf, None, typical, 0.0, 0.0, 0.0, float("nan")

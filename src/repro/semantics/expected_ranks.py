@@ -106,6 +106,14 @@ def expected_rank_topk(
     if k < 1:
         raise AlgorithmError(f"k must be >= 1, got {k}")
     scored = prepare_scored_prefix(table, scorer, k, p_tau=p_tau, depth=depth)
+    return expected_rank_topk_scored(scored, k)
+
+
+def expected_rank_topk_scored(
+    scored: ScoredTable, k: int
+) -> list[ExpectedRankAnswer]:
+    """Expected-rank top-k over an already rank-ordered (truncated)
+    input."""
     answers = [
         ExpectedRankAnswer(
             scored[pos].tid, expected_rank(scored, pos), scored[pos].prob

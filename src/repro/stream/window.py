@@ -7,10 +7,14 @@ live only while at least two of its members are inside the window
 which is sound for the first-k-existing semantics because an expired
 tuple can no longer appear in any answer).
 
-Recomputation strategy: the window's score distribution is computed
-on demand with the Section-3 main algorithm and memoized until the
-window contents change.  That gives amortized O(kn) per slide batch —
-the right trade-off at the library level, since the dynamic program is
+Recomputation strategy: the window queries route through a private
+:class:`~repro.api.session.Session`, whose stage caches are keyed by
+the materialized window table — so the score distribution is computed
+on demand with the Section-3 main algorithm and stays memoized until
+the window contents change, and :meth:`SlidingWindowTopK.typical` at a
+new ``c`` reuses the cached distribution instead of re-running the
+dynamic program.  That gives amortized O(kn) per slide batch — the
+right trade-off at the library level, since the dynamic program is
 already linear in the window for fixed k; callers issuing one query
 per arrival can batch arrivals between queries.
 """
@@ -21,10 +25,12 @@ import itertools
 from collections import deque
 from typing import Any, Iterable, Mapping, NamedTuple
 
-from repro.core.distribution import DEFAULT_P_TAU, top_k_score_distribution
+from repro.api.session import Session
+from repro.api.spec import QuerySpec
+from repro.core.distribution import DEFAULT_P_TAU
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.core.pmf import ScorePMF
-from repro.core.typical import TypicalResult, select_typical
+from repro.core.typical import TypicalResult
 from repro.exceptions import AlgorithmError, DataModelError
 from repro.uncertain.model import UncertainTuple
 from repro.uncertain.table import UncertainTable
@@ -86,7 +92,10 @@ class SlidingWindowTopK:
         )
         self._arrivals = 0
         self._counter = itertools.count()
-        self._cached_pmf: ScorePMF | None = None
+        # Stage caches live in a private session keyed by the
+        # materialized window table; a handful of entries suffice.
+        self._session = Session(cache_size=8)
+        self._cached_table: UncertainTable | None = None
 
     # ------------------------------------------------------------------
     # Stream maintenance
@@ -121,7 +130,7 @@ class SlidingWindowTopK:
         self._arrivals += 1
         while len(self._entries) > self._window:
             self._entries.popleft()
-        self._cached_pmf = None
+        self._cached_table = None
         return tid
 
     def extend(
@@ -158,7 +167,7 @@ class SlidingWindowTopK:
     # Queries
     # ------------------------------------------------------------------
     def table(self) -> UncertainTable:
-        """The current window as an uncertain table.
+        """The current window as an uncertain table (memoized).
 
         Group labels with a single surviving member degrade to
         singleton groups; group masses above 1 (possible when old
@@ -166,6 +175,8 @@ class SlidingWindowTopK:
         rejected by table validation — use distinct labels per logical
         entity generation to avoid this.
         """
+        if self._cached_table is not None:
+            return self._cached_table
         tuples = [
             UncertainTuple(tid, attributes, probability)
             for tid, attributes, probability, _ in self._entries
@@ -179,23 +190,31 @@ class SlidingWindowTopK:
             for members in groups.values()
             if len(members) > 1
         ]
-        return UncertainTable(tuples, rules, name="window")
+        self._cached_table = UncertainTable(tuples, rules, name="window")
+        return self._cached_table
+
+    def _spec(self) -> QuerySpec:
+        """The spec of the window's standing query (current contents)."""
+        return QuerySpec(
+            table=self.table(),
+            scorer=self._score_attribute,
+            k=self._k,
+            p_tau=self._p_tau,
+            max_lines=self._max_lines,
+            algorithm="dp",
+        )
 
     def distribution(self) -> ScorePMF:
         """Top-k score distribution of the current window (memoized)."""
-        if self._cached_pmf is None:
-            self._cached_pmf = top_k_score_distribution(
-                self.table(),
-                self._score_attribute,
-                self._k,
-                p_tau=self._p_tau,
-                max_lines=self._max_lines,
-            )
-        return self._cached_pmf
+        return self._session.distribution(self._spec())
 
     def typical(self, c: int) -> TypicalResult:
-        """c-Typical-Topk answers of the current window."""
-        return select_typical(self.distribution(), c)
+        """c-Typical-Topk answers of the current window.
+
+        Different ``c`` values over an unchanged window reuse the
+        session-cached distribution (the end-of-Section-4 pattern).
+        """
+        return self._session.execute(self._spec().with_(c=c))
 
     def snapshot(self) -> WindowSnapshot:
         """Freeze the current window state for downstream analysis."""

@@ -75,6 +75,8 @@ class TestExceptionHierarchy:
 
 
 DOCTEST_MODULES = [
+    "repro.api.session",
+    "repro.api.spec",
     "repro.core.distribution",
     "repro.core.selector",
     "repro.query.parser",
