@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 
 from repro.core.distribution import prepare_scored_prefix
-from repro.core.dp import dp_distribution
+from repro.core.dp import dp_distribution, dp_distribution_per_ending
 from repro.core.k_combo import k_combo_distribution
 from repro.core.pmf import ScorePMF
 from repro.core.state_expansion import state_expansion_distribution
@@ -54,6 +54,9 @@ def choose_algorithm(n: int, k: int, depth: int | None = None) -> str:
         return "k_combo"
     if size <= AUTO_STATE_EXPANSION_MAX_DEPTH:
         return "state_expansion"
+    # "dp" is the shared-prefix engine: on mutual-exclusion inputs it
+    # realizes the Section-3.3.3 O(kmn) bound; the per-ending ablation
+    # ("dp_per_ending") is never auto-selected.
     return "dp"
 
 
@@ -83,6 +86,10 @@ def distribution_from_prefix(
         algorithm = resolve_algorithm(spec, len(prefix))
     if algorithm == "dp":
         return dp_distribution(prefix, spec.k, max_lines=spec.max_lines)
+    if algorithm == "dp_per_ending":
+        return dp_distribution_per_ending(
+            prefix, spec.k, max_lines=spec.max_lines
+        )
     if algorithm == "state_expansion":
         return state_expansion_distribution(
             prefix, spec.k, p_tau=spec.p_tau, max_lines=spec.max_lines

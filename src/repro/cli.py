@@ -8,6 +8,8 @@ Usage (``python -m repro <command> ...``)::
     repro query "SELECT * FROM t ORDER BY score DESC LIMIT 3" --table t=table.csv
     repro generate cartel --out area.csv --seed 11 --segments 100
     repro figures fig03 fig09
+    repro bench --json                  # writes BENCH_core.json
+    repro bench --tiny --check BENCH_core.json   # CI perf smoke
 
 Every query command routes through a :class:`~repro.api.session.Session`
 and a :class:`~repro.api.spec.QuerySpec`, so one scored prefix (and one
@@ -234,6 +236,32 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return figures_main(args.names)
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run (and persist/check) the core perf baseline."""
+    from repro.bench.baseline import (
+        check_against_baseline,
+        read_baseline,
+        run_baseline,
+        write_baseline,
+    )
+
+    data = run_baseline(tiny_only=args.tiny, repeats=args.repeats)
+    for name, entry in data["workloads"].items():
+        print(f"{name:42s} {entry['seconds'] * 1e3:10.2f} ms")
+    if args.json is not None:
+        write_baseline(data, args.json)
+        print(f"wrote {args.json}")
+    if args.check is not None:
+        committed = read_baseline(args.check)
+        violations = check_against_baseline(data, committed)
+        if violations:
+            for line in violations:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"perf guard ok (vs {args.check})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -307,6 +335,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("names", nargs="*",
                    help="experiment names (default: all)")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "bench", help="run the core perf baseline workloads"
+    )
+    p.add_argument("--json", nargs="?", const="BENCH_core.json",
+                   default=None, metavar="PATH",
+                   help="write the machine-readable baseline "
+                   "(default path BENCH_core.json)")
+    p.add_argument("--tiny", action="store_true",
+                   help="run only the tiny CI perf-smoke workloads")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per workload (best-of, default 3)")
+    p.add_argument("--check", metavar="PATH", default=None,
+                   help="compare against a committed baseline file and "
+                   "fail on a >3x slowdown")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -29,8 +29,10 @@ from repro.uncertain.table import UncertainTable
 #: Default probability threshold; the paper's experiments use 0.001.
 DEFAULT_P_TAU = 1e-3
 
-#: The algorithms of Section 3, by name.
-ALGORITHMS = ("dp", "state_expansion", "k_combo")
+#: The algorithms of Section 3, by name.  ``"dp"`` is the shared-prefix
+#: O(kmn) engine; ``"dp_per_ending"`` is its one-dynamic-program-per-
+#: ending ablation twin (kept for benchmarking, not for production).
+ALGORITHMS = ("dp", "dp_per_ending", "state_expansion", "k_combo")
 
 #: A scorer argument: a callable, or the name of a numeric attribute.
 ScorerLike = Union[Scorer, str]

@@ -23,19 +23,38 @@ Ties (Section 3.4) need no structural change: the canonical
 per-configuration probabilities come out right (Theorem 3) and the
 recorded representative vector the most probable one.
 
+Shared-prefix sweep (the O(kmn) bound)
+--------------------------------------
+The mutual-exclusion path does *not* launch an independent bottom-up
+dynamic program per ending unit.  Instead a single forward sweep walks
+the table once in rank order, maintaining the DP column states of the
+independent (singleton-group) tuples incrementally; each ME group's
+members-so-far are collected as the sweep passes them.  Reaching an
+ending unit, the per-ending work is only (a) folding the current rule
+tuples — at most ``m`` of them — on top of the shared prefix state and
+(b) attaching the ending's own rows, which realizes the per-ending
+O(km) cost (hence O(kmn) total) of Section 3.3.3 instead of re-running
+the whole O(kn) program per ending.  The former per-ending
+implementation survives as :func:`dp_distribution_per_ending` for the
+ablation benchmark (``benchmarks/bench_ablation_shared_prefix.py``).
+
 Implementation notes
 --------------------
 Cell distributions are ``(scores, probs, vectors)`` triples with the
 numeric columns as ascending numpy arrays; representative vectors are
 shared cons-lists ``(tid, parent)`` so the "take" step prepends in
-O(1) per line.  Intermediate coalescing uses an equi-width grid over
-the cell's own span (weighted-mean score, summed probability, heavier
-line's vector per occupied bucket): every merge joins lines at most
-``cell span / max_lines`` apart, and since intermediate spans never
-exceed the final span (Section 3.2.1), the merge radius is bounded by
-the same δ as the paper's closest-pair strategy.  The public
-:func:`repro.core.coalesce.coalesce_lines` keeps the exact pairwise
-strategy for presentation-time coalescing.
+O(1) per line.  Distribution unions never concatenate-and-argsort:
+already-ascending parts are combined by a stable ``np.searchsorted``
+tree merge (:func:`_merge_parts`), which produces the exact same
+permutation as a stable sort of the concatenation at a fraction of the
+allocation churn.  Intermediate coalescing uses an equi-width grid
+over the cell's own span (weighted-mean score, summed probability,
+heavier line's vector per occupied bucket): every merge joins lines at
+most ``cell span / max_lines`` apart, and since intermediate spans
+never exceed the final span (Section 3.2.1), the merge radius is
+bounded by the same δ as the paper's closest-pair strategy.  The
+public :func:`repro.core.coalesce.coalesce_lines` keeps the exact
+pairwise strategy for presentation-time coalescing.
 """
 
 from __future__ import annotations
@@ -94,22 +113,30 @@ class _Arena:
     materialized into tid tuples.
     """
 
-    __slots__ = ("tids", "parents", "bases", "size")
+    __slots__ = ("tids", "parents", "bases", "size", "_iota")
 
     def __init__(self) -> None:
         self.tids: list = [None]
         self.parents: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
         self.bases: list[int] = [0]
         self.size: int = 1
+        # Pre-sized consecutive-id chunk, doubled on demand: ``extend``
+        # returns ``base + iota[:n]`` instead of a fresh ``arange``.
+        self._iota: np.ndarray = np.arange(256, dtype=np.int64)
 
     def extend(self, tid, parent_ids: np.ndarray) -> np.ndarray:
         """New ids for lines prepending ``tid`` onto ``parent_ids``."""
         base = self.size
+        count = len(parent_ids)
         self.tids.append(tid)
         self.parents.append(parent_ids)
         self.bases.append(base)
-        self.size += len(parent_ids)
-        return np.arange(base, base + len(parent_ids), dtype=np.int64)
+        self.size += count
+        if count > len(self._iota):
+            self._iota = np.arange(
+                max(count, 2 * len(self._iota)), dtype=np.int64
+            )
+        return base + self._iota[:count]
 
     def vector(self, vec_id: int) -> tuple:
         """Materialize an id into a rank-ordered tuple of tids."""
@@ -119,6 +146,25 @@ class _Arena:
             out.append(self.tids[chunk])
             vec_id = int(self.parents[chunk][vec_id - self.bases[chunk]])
         return tuple(out)
+
+    def mark(self) -> tuple[int, int]:
+        """Checkpoint for :meth:`release` (chunk count, next id)."""
+        return len(self.bases), self.size
+
+    def release(self, mark: tuple[int, int]) -> None:
+        """Drop every chunk added since ``mark``.
+
+        The shared-prefix sweep uses per-ending folds as scratch work:
+        once an emitted cell's vectors are materialized, its chunks
+        are dead, and releasing them keeps the arena's footprint
+        proportional to the shared prefix instead of the whole sweep.
+        Ids issued before the mark stay valid.
+        """
+        chunks, size = mark
+        del self.tids[chunks:]
+        del self.parents[chunks:]
+        del self.bases[chunks:]
+        self.size = size
 
 
 def _segment_winners(probs: np.ndarray, starts: np.ndarray) -> np.ndarray:
@@ -134,6 +180,46 @@ def _segment_winners(probs: np.ndarray, starts: np.ndarray) -> np.ndarray:
     segment_ids = np.repeat(np.arange(len(starts)), counts)
     order = np.lexsort((probs, segment_ids))
     return order[np.append(starts[1:], len(probs)) - 1]
+
+
+def _merge_two(a: tuple, b: tuple) -> tuple:
+    """Stable merge of two cells whose first column is ascending.
+
+    Equal keys keep ``a`` before ``b`` (``side="right"``), so the
+    output is the exact permutation a stable argsort of the
+    concatenation would produce.
+    """
+    key_a, key_b = a[0], b[0]
+    pos_b = np.searchsorted(key_a, key_b, side="right")
+    pos_b = pos_b + np.arange(len(key_b), dtype=np.int64)
+    total = len(key_a) + len(key_b)
+    mask_a = np.ones(total, dtype=bool)
+    mask_a[pos_b] = False
+    merged = []
+    for col_a, col_b in zip(a, b):
+        col = np.empty(total, dtype=np.promote_types(col_a.dtype, col_b.dtype))
+        col[mask_a] = col_a
+        col[pos_b] = col_b
+        merged.append(col)
+    return tuple(merged)
+
+
+def _merge_parts(parts: list[tuple]) -> tuple:
+    """K-way stable merge of cells with ascending first columns.
+
+    Adjacent pairs merge mergesort-style, so the result equals a
+    stable sort of the parts' concatenation while every element moves
+    only O(log k) times and no concat+argsort round trip is paid.
+    """
+    while len(parts) > 1:
+        merged = [
+            _merge_two(parts[i], parts[i + 1])
+            for i in range(0, len(parts) - 1, 2)
+        ]
+        if len(parts) % 2:
+            merged.append(parts[-1])
+        parts = merged
+    return parts[0]
 
 
 def _reduce_cell(
@@ -202,16 +288,7 @@ def _combine(
             )
     if not parts:
         return None
-    if len(parts) == 1:
-        scores, probs, vectors = parts[0]
-    else:
-        scores = np.concatenate([part[0] for part in parts])
-        probs = np.concatenate([part[1] for part in parts])
-        vectors = np.concatenate([part[2] for part in parts])
-        order = np.argsort(scores, kind="stable")
-        scores = scores[order]
-        probs = probs[order]
-        vectors = vectors[order]
+    scores, probs, vectors = parts[0] if len(parts) == 1 else _merge_parts(parts)
     return _reduce_cell(scores, probs, vectors, max_lines)
 
 
@@ -305,16 +382,7 @@ def _merge_cells(cells: list[_Cell], max_lines: int) -> _Cell | None:
     """
     if not cells:
         return None
-    if len(cells) == 1:
-        scores, probs, vectors = cells[0]
-    else:
-        scores = np.concatenate([cell[0] for cell in cells])
-        probs = np.concatenate([cell[1] for cell in cells])
-        vectors = np.concatenate([cell[2] for cell in cells])
-        order = np.argsort(scores, kind="stable")
-        scores = scores[order]
-        probs = probs[order]
-        vectors = vectors[order]
+    scores, probs, vectors = cells[0] if len(cells) == 1 else _merge_parts(cells)
     return _reduce_cell(scores, probs, vectors, max_lines)
 
 
@@ -380,33 +448,175 @@ def dp_distribution(
         ]
         return _cell_to_pmf(_dp_run(units, k, [True] * n, max_lines))
 
-    # Mutual-exclusion case (Section 3.3): one dynamic program per
-    # ending unit — each maximal lead-tuple region, and each non-lead
-    # tuple individually.
-    partial: list[_Cell] = []
-    for start, end in _ending_units(scored):
-        if end <= k - 1:
-            # A top-k vector's ending tuple sits at position >= k - 1.
-            continue
-        if end - start == 1 and not scored.is_lead(start):
-            pos = start
-            units = _compressed_units(scored, pos, scored[pos].group)
-            item = scored[pos]
-            units.append(_Unit([(item.score, item.prob, item.tid)]))
-            exits = [False] * len(units)
-            exits[-1] = True
-        else:
-            units = _compressed_units(scored, start, None)
-            exits = [False] * len(units)
-            for pos in range(start, end):
-                item = scored[pos]
-                units.append(_Unit([(item.score, item.prob, item.tid)]))
-                exits.append(True)
-        cell = _dp_run(units, k, exits, max_lines)
-        if cell is not None:
-            partial.append(cell)
+    # Mutual-exclusion case (Section 3.3): one shared-prefix forward
+    # sweep over all ending units (Section 3.3.3, the O(kmn) path).
+    partial = _shared_prefix_sweep(scored, k, max_lines)
     merged = _order_cell_vectors(_merge_cells(partial, max_lines), scored)
     return _cell_to_pmf(merged)
+
+
+def _fold_unit(
+    state: list[_Cell | None],
+    unit: _Unit,
+    arena: _Arena,
+    max_lines: int,
+    low: int = 0,
+) -> list[_Cell | None]:
+    """Advance forward DP columns by one unit (non-destructively).
+
+    ``state[j]`` is the distribution over picking exactly ``j``
+    constituents among the folded units, with the absent factor of
+    every unpicked unit applied — i.e. the transposed view of the
+    bottom-up recurrence, which yields the same distributions because
+    the unit set is what matters, not the fold order.
+
+    ``low`` prunes columns that can no longer matter: when only ``r``
+    folds remain before the last read of column ``k-1``, a column
+    ``j < k-1-r`` cannot climb there in time, so callers pass
+    ``low = k-1-r`` (the mirror of the ``j_low``/``j_high`` range
+    pruning in :func:`_dp_run`).  Pruned columns are ``None``.
+    """
+    columns = len(state)
+    new: list[_Cell | None] = [None] * columns
+    for j in range(columns - 1, max(low, 1) - 1, -1):
+        new[j] = _combine(unit, state[j], state[j - 1], arena, max_lines)
+    if low == 0:
+        new[0] = _combine(unit, state[0], None, arena, max_lines)
+    return new
+
+
+def _take_ending(
+    state_cell: _Cell | None,
+    item,
+    arena: _Arena,
+) -> _Cell | None:
+    """Attach an ending tuple as the k-th pick of a prefix state."""
+    if state_cell is None:
+        return None
+    scores, probs, vectors = state_cell
+    return (
+        scores + item.score,
+        probs * item.prob,
+        arena.extend(item.tid, vectors),
+    )
+
+
+def _shared_prefix_sweep(
+    scored: ScoredTable,
+    k: int,
+    max_lines: int,
+) -> list[_Cell]:
+    """Per-ending final cells from one forward pass (Section 3.3.3).
+
+    The sweep maintains, incrementally:
+
+    * ``ind_state`` — DP columns ``0..k-1`` over every singleton-group
+      tuple passed so far (the shared compressed prefix);
+    * ``members[g]`` — the constituents of each multi-member group
+      passed so far (the group's rule tuple, grown member-by-member
+      instead of being rebuilt from scratch per ending).
+
+    Reaching an ending unit, only the current rule tuples (at most the
+    paper's ``m``) are folded on top of the shared state — excluding
+    the ending's own group, whose mates are absent with probability 1
+    once the ending is fixed — and the ending's own rows are attached.
+    Lead-tuple regions pay the rule fold once and then extend the
+    state row by row, emitting one exit cell per region row.
+
+    Emitted cells are materialized (vectors as tid tuples) right away
+    and the per-ending fold chunks released from the arena, so the
+    arena footprint tracks the shared prefix, not the whole sweep.
+    """
+    arena = _Arena()
+    multi = {
+        g
+        for g in scored.groups()
+        if len(scored.group_positions(g)) > 1
+    }
+    members: dict[int, list[tuple[float, float, Any]]] = {g: [] for g in multi}
+    rule_order: list[int] = []  # multi groups by first (lead) appearance
+    rule_cache: dict[int, _Unit] = {}
+    base_cell: _Cell = (
+        np.zeros(1),
+        np.ones(1),
+        np.zeros(1, dtype=np.int64),
+    )
+    ind_state: list[_Cell | None] = [base_cell] + [None] * (k - 1)
+
+    def folded_rules(
+        exclude_group: int | None, row_slack: int
+    ) -> list[_Cell | None]:
+        """Fold the current rule tuples on top of the shared state.
+
+        ``row_slack`` is how many more per-row folds the caller will
+        apply before its last exit (region width minus one); it widens
+        the column range that can still reach ``k-1``.
+        """
+        rules = [
+            g for g in rule_order if g != exclude_group and members[g]
+        ]
+        state = ind_state
+        for index, g in enumerate(rules):
+            unit = rule_cache.get(g)
+            if unit is None:
+                unit = rule_cache[g] = _Unit(members[g])
+            remaining = len(rules) - index - 1 + row_slack
+            state = _fold_unit(
+                state, unit, arena, max_lines, max(0, k - 1 - remaining)
+            )
+        return state
+
+    def materialize(cell: _Cell) -> _Cell:
+        scores, probs, ids = _reduce_cell(*cell, max_lines)
+        vectors = np.empty(len(ids), dtype=object)
+        for index, vec_id in enumerate(ids):
+            vectors[index] = arena.vector(int(vec_id))
+        return scores, probs, vectors
+
+    partial: list[_Cell] = []
+    for start, end in _ending_units(scored):
+        # Emit this span's exit cells from the state accumulated so
+        # far; the fold chunks are scratch, released after emitting.
+        if end > k - 1:
+            scratch = arena.mark()
+            if end - start == 1 and not scored.is_lead(start):
+                item = scored[start]
+                state = folded_rules(item.group, 0)
+                cell = _take_ending(state[k - 1], item, arena)
+                if cell is not None:
+                    partial.append(materialize(cell))
+            else:
+                state = folded_rules(None, end - start - 1)
+                for pos in range(start, end):
+                    item = scored[pos]
+                    cell = _take_ending(state[k - 1], item, arena)
+                    if cell is not None:
+                        partial.append(materialize(cell))
+                    if pos + 1 < end:
+                        state = _fold_unit(
+                            state,
+                            _Unit([(item.score, item.prob, item.tid)]),
+                            arena,
+                            max_lines,
+                            max(0, k - 1 - (end - 2 - pos)),
+                        )
+            arena.release(scratch)
+        # Advance the shared prefix past the span's rows.
+        for pos in range(start, end):
+            item = scored[pos]
+            if item.group in multi:
+                if not members[item.group]:
+                    rule_order.append(item.group)
+                members[item.group].append((item.score, item.prob, item.tid))
+                rule_cache.pop(item.group, None)
+            else:
+                ind_state = _fold_unit(
+                    ind_state,
+                    _Unit([(item.score, item.prob, item.tid)]),
+                    arena,
+                    max_lines,
+                )
+    return partial
 
 
 def _ending_units(scored: ScoredTable) -> list[tuple[int, int]]:
@@ -431,6 +641,62 @@ def _ending_units(scored: ScoredTable) -> list[tuple[int, int]]:
             spans.append((pos, pos + 1))
             pos += 1
     return spans
+
+
+def dp_distribution_per_ending(
+    scored: ScoredTable,
+    k: int,
+    *,
+    max_lines: int = DEFAULT_MAX_LINES,
+) -> ScorePMF:
+    """Ablation: one bottom-up dynamic program per ending unit.
+
+    This is the pre-shared-prefix implementation of the ME path: every
+    ending unit (lead-tuple region or individual non-lead tuple)
+    launches a fresh bottom-up dynamic program and rebuilds the
+    compressed prefix units from scratch, degrading toward O(kEn) with
+    E ending units.  Semantically equivalent to :func:`dp_distribution`
+    (which realizes the Section-3.3.3 O(kmn) bound by sharing the
+    prefix state); kept for the ablation benchmark
+    ``benchmarks/bench_ablation_shared_prefix.py``, mirroring
+    :func:`dp_distribution_without_lead_regions`.
+    """
+    if k < 1:
+        raise AlgorithmError(f"k must be >= 1, got {k}")
+    n = len(scored)
+    if n < k:
+        return ScorePMF(())
+
+    if scored.me_member_count() == 0:
+        units = [
+            _Unit([(item.score, item.prob, item.tid)]) for item in scored
+        ]
+        return _cell_to_pmf(_dp_run(units, k, [True] * n, max_lines))
+
+    partial: list[_Cell] = []
+    for start, end in _ending_units(scored):
+        if end <= k - 1:
+            # A top-k vector's ending tuple sits at position >= k - 1.
+            continue
+        if end - start == 1 and not scored.is_lead(start):
+            pos = start
+            units = _compressed_units(scored, pos, scored[pos].group)
+            item = scored[pos]
+            units.append(_Unit([(item.score, item.prob, item.tid)]))
+            exits = [False] * len(units)
+            exits[-1] = True
+        else:
+            units = _compressed_units(scored, start, None)
+            exits = [False] * len(units)
+            for pos in range(start, end):
+                item = scored[pos]
+                units.append(_Unit([(item.score, item.prob, item.tid)]))
+                exits.append(True)
+        cell = _dp_run(units, k, exits, max_lines)
+        if cell is not None:
+            partial.append(cell)
+    merged = _order_cell_vectors(_merge_cells(partial, max_lines), scored)
+    return _cell_to_pmf(merged)
 
 
 def dp_distribution_without_lead_regions(

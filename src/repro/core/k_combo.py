@@ -75,11 +75,16 @@ def k_combo_distribution(
     if n < k:
         return ScorePMF(())
 
+    # Positional columns, hoisted once from the ScoredTable's cached
+    # arrays: the enumeration loop below touches them per combination.
+    score_at = scored.score_column.tolist()
+    prob_at = scored.prob_column.tolist()
+
     group_mass: dict[int, _GroupMass] = {}
     for group in scored.groups():
         positions = list(scored.group_positions(group))
         group_mass[group] = _GroupMass(
-            positions, [scored[pos].prob for pos in positions]
+            positions, [prob_at[pos] for pos in positions]
         )
 
     # Per cutoff e: product of (1 - m_g(e)) over groups with a nonzero
@@ -130,7 +135,7 @@ def k_combo_distribution(
                 valid = False
                 break
             chosen_groups.add(item.group)
-            membership *= item.prob
+            membership *= prob_at[pos]
         if not valid:
             continue
         e = combo[-1]
@@ -147,7 +152,7 @@ def k_combo_distribution(
                 prob /= factor
         if prob <= 0.0:
             continue
-        score = sum(scored[pos].score for pos in combo)
+        score = sum(score_at[pos] for pos in combo)
         vector = tuple(scored[pos].tid for pos in combo)
         emitted.append([score, prob, vector])
         if len(emitted) > _BUFFER_FACTOR * max_lines:

@@ -9,6 +9,7 @@ and serves the top-k score distribution and c-Typical answers of the
 current window.
 """
 
+from repro.stream.delta import DeltaWindowState
 from repro.stream.window import SlidingWindowTopK, WindowSnapshot
 
-__all__ = ["SlidingWindowTopK", "WindowSnapshot"]
+__all__ = ["DeltaWindowState", "SlidingWindowTopK", "WindowSnapshot"]

@@ -1,0 +1,403 @@
+"""Delta-maintained sliding-window top-k state (segment DP caches).
+
+:class:`DeltaWindowState` keeps the window's tuples in canonical rank
+order (descending ``(score, prob)``, arrival order breaking ties —
+exactly the :class:`~repro.uncertain.scoring.ScoredTable` sort), split
+into small *segments*.  Per segment it caches two families of partial
+DP states over the segment's rows:
+
+* ``exist[j]`` — the distribution of the total score of exactly ``j``
+  existing rows (with the absent factor of every other segment row
+  applied): the forward DP columns of Section 3.2, which are a
+  symmetric function of the row set and therefore survive changes
+  elsewhere in the window;
+* ``ending[i]`` — the summed "exit" contributions of vectors whose
+  last (k-th) pick lands in this segment, with ``i`` picks above it
+  inside the segment.
+
+Both are linear in the prefix state, so a query folds segment states
+left-to-right instead of re-running the dynamic program over every
+row: combining a prefix state ``P`` with a segment contributes
+``sum_j P[j] (x) ending[k-1-j]`` to the answer and advances ``P`` by
+``sum_i P[i] (x) exist[j-i]`` — the two-stack-style trick of keeping
+partial aggregates per block so a slide only rebuilds the block it
+touches.  ``insert``/``remove`` therefore do amortized sub-window
+work: they edit one segment and mark it stale; stale segments rebuild
+lazily (O(segment * k)) the next time a query consumes them.
+
+The Theorem-2 truncation is honoured incrementally: the query walks
+segments only up to the scan depth (recomputed in O(depth) per query
+from per-segment mass sums), and the boundary segment is processed row
+by row, so the consumed row set matches a from-scratch
+:func:`~repro.core.scan_depth.scan_depth` exactly.
+
+Scope: the state assumes *independent* tuples (singleton ME groups).
+:class:`~repro.stream.window.SlidingWindowTopK` routes queries through
+this state only while the window holds no live multi-member ME group
+and falls back to the full Section-3 pipeline otherwise — expiry of a
+group member that makes the group degrade to a singleton re-enables
+the delta path automatically.  Cells here carry no representative
+vectors (scores and probabilities only); window results therefore
+report ``vector=None`` lines in delta mode.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any
+
+import numpy as np
+
+from repro.core.dp import _merge_parts  # stable k-way merge (shared)
+from repro.core.pmf import ScorePMF
+from repro.core.scan_depth import scan_depth_threshold
+
+#: A light DP cell: ``(scores ascending, probs)`` numpy pair, or None.
+_Cell = tuple
+
+#: Default rows per segment; splits happen at twice this.
+DEFAULT_SEGMENT_SIZE = 32
+
+
+def _base_cell() -> _Cell:
+    return (np.zeros(1), np.ones(1))
+
+
+def _reduce(scores: np.ndarray, probs: np.ndarray, max_lines: int) -> _Cell:
+    """Merge equal scores, then grid-coalesce to the line budget.
+
+    The vectorless twin of :func:`repro.core.dp._reduce_cell` (same
+    merge rule and the same span/max_lines grid-width bound).
+    """
+    if len(scores) > 1:
+        dup = scores[1:] == scores[:-1]
+        if dup.any():
+            starts = np.flatnonzero(np.r_[True, ~dup])
+            probs = np.add.reduceat(probs, starts)
+            scores = scores[starts]
+    if len(scores) > max_lines:
+        low = scores[0]
+        width = (scores[-1] - low) / max_lines
+        bucket = np.minimum(
+            ((scores - low) / width).astype(np.int64), max_lines - 1
+        )
+        starts = np.flatnonzero(np.r_[True, bucket[1:] != bucket[:-1]])
+        weighted = np.add.reduceat(probs * scores, starts)
+        probs = np.add.reduceat(probs, starts)
+        scores = weighted / probs
+    return scores, probs
+
+
+def _merge_reduce(parts: list[_Cell], max_lines: int) -> _Cell | None:
+    """Union of cells (stable k-way merge), reduced to the budget."""
+    if not parts:
+        return None
+    scores, probs = parts[0] if len(parts) == 1 else _merge_parts(parts)
+    return _reduce(scores, probs, max_lines)
+
+
+def _shift(cell: _Cell, score: float, prob: float) -> _Cell:
+    """The "take" step: add a tuple's score, scale by its probability."""
+    return cell[0] + score, cell[1] * prob
+
+
+def _fold_row(
+    state: list[_Cell | None],
+    score: float,
+    prob: float,
+    max_lines: int,
+) -> list[_Cell | None]:
+    """Advance forward DP columns by one independent row."""
+    absent = 1.0 - prob
+    new: list[_Cell | None] = [None] * len(state)
+    for j in range(len(state) - 1, -1, -1):
+        parts: list[_Cell] = []
+        if state[j] is not None and absent > 0.0:
+            parts.append((state[j][0], state[j][1] * absent))
+        if j > 0 and state[j - 1] is not None:
+            parts.append(_shift(state[j - 1], score, prob))
+        new[j] = _merge_reduce(parts, max_lines)
+    return new
+
+
+def _cross(a: _Cell, b: _Cell, max_lines: int) -> _Cell:
+    """Convolution of two cells (every pair of lines), reduced.
+
+    Each line of the smaller cell shifts the larger one into an
+    already-ascending part, so the pairs merge without a sort.
+    """
+    if len(a[0]) > len(b[0]):
+        a, b = b, a
+    parts = [
+        (a[0][i] + b[0], a[1][i] * b[1]) for i in range(len(a[0]))
+    ]
+    return _merge_reduce(parts, max_lines)
+
+
+def _fold_states(
+    prefix: list[_Cell | None],
+    exist: list[_Cell | None],
+    max_lines: int,
+) -> list[_Cell | None]:
+    """Advance prefix DP columns by a whole segment's exist states."""
+    columns = len(prefix)
+    new: list[_Cell | None] = [None] * columns
+    for j in range(columns):
+        parts: list[_Cell] = []
+        for i in range(j + 1):
+            if prefix[i] is not None and exist[j - i] is not None:
+                parts.append(_cross(prefix[i], exist[j - i], max_lines))
+        new[j] = _merge_reduce(parts, max_lines)
+    return new
+
+
+class _Entry:
+    """One window tuple in the rank index."""
+
+    __slots__ = ("key", "tid", "score", "prob")
+
+    def __init__(self, key: tuple, tid: Any, score: float, prob: float):
+        self.key = key
+        self.tid = tid
+        self.score = score
+        self.prob = prob
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return self.key < other.key
+
+
+class _Segment:
+    """A contiguous run of rank-ordered entries plus cached DP states."""
+
+    __slots__ = ("entries", "mass", "exist", "ending", "stale", "cache_lines")
+
+    def __init__(self, entries: list[_Entry]):
+        self.entries = entries
+        self.mass = sum(e.prob for e in entries)
+        self.exist: list[_Cell | None] | None = None
+        self.ending: list[_Cell | None] | None = None
+        self.stale = True
+        #: Widest cell (in lines) of the last rebuild; None = never built.
+        self.cache_lines: int | None = None
+
+    def rebuild(self, k: int, max_lines: int) -> None:
+        """Recompute the segment's partial DP states (O(rows * k))."""
+        state: list[_Cell | None] = [_base_cell()] + [None] * (k - 1)
+        take_parts: list[list[_Cell]] = [[] for _ in range(k)]
+        for entry in self.entries:
+            for i in range(k):
+                if state[i] is not None:
+                    take_parts[i].append(
+                        _shift(state[i], entry.score, entry.prob)
+                    )
+            state = _fold_row(state, entry.score, entry.prob, max_lines)
+        self.exist = state
+        self.ending = [
+            _merge_reduce(parts, max_lines) for parts in take_parts
+        ]
+        self.mass = sum(e.prob for e in self.entries)
+        self.stale = False
+        self.cache_lines = max(
+            (
+                len(cell[0])
+                for cell in (*self.exist, *self.ending)
+                if cell is not None
+            ),
+            default=1,
+        )
+
+
+class DeltaWindowState:
+    """Incrementally maintained top-k DP state of a sliding window.
+
+    :param k: top-k size (>= 1).
+    :param max_lines: per-cell coalescing budget.
+    :param segment_size: target rows per segment (splits at twice it).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        max_lines: int,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> None:
+        self._k = k
+        self._max_lines = max_lines
+        self._segment_size = max(2, segment_size)
+        self._segments: list[_Segment] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert(self, tid: Any, score: float, prob: float, seq: int) -> None:
+        """Add one tuple at its canonical rank position.
+
+        ``seq`` is the arrival number: the canonical order is
+        descending ``(score, prob)`` with arrival breaking ties, i.e.
+        the exact :class:`ScoredTable` sort of the window's table.
+        """
+        entry = _Entry((-score, -prob, seq), tid, score, prob)
+        if not self._segments:
+            self._segments.append(_Segment([entry]))
+            self._count += 1
+            return
+        index = max(
+            0,
+            bisect_left(
+                [seg.entries[0].key for seg in self._segments], entry.key
+            )
+            - 1,
+        )
+        segment = self._segments[index]
+        insort(segment.entries, entry)
+        segment.mass += prob
+        segment.stale = True
+        self._count += 1
+        if len(segment.entries) > 2 * self._segment_size:
+            mid = len(segment.entries) // 2
+            right = _Segment(segment.entries[mid:])
+            del segment.entries[mid:]
+            segment.mass = sum(e.prob for e in segment.entries)
+            self._segments.insert(index + 1, right)
+
+    def remove(self, tid: Any, score: float, prob: float, seq: int) -> None:
+        """Drop an expired tuple (located by its rank key)."""
+        key = (-score, -prob, seq)
+        for si, segment in enumerate(self._segments):
+            if segment.entries and segment.entries[-1].key >= key:
+                position = bisect_left(
+                    [e.key for e in segment.entries], key
+                )
+                while position < len(segment.entries):
+                    if segment.entries[position].tid == tid:
+                        segment.mass -= segment.entries[position].prob
+                        del segment.entries[position]
+                        segment.stale = True
+                        self._count -= 1
+                        if not segment.entries:
+                            del self._segments[si]
+                        return
+                    position += 1
+                break
+        raise KeyError(f"tuple {tid!r} not in the delta window state")
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def _entry_at(self, index: int) -> _Entry:
+        """The entry at a global rank position (O(#segments))."""
+        for segment in self._segments:
+            if index < len(segment.entries):
+                return segment.entries[index]
+            index -= len(segment.entries)
+        raise IndexError(index)
+
+    def _scan_depth(self, p_tau: float) -> int:
+        """Theorem-2 depth over the rank order.
+
+        Replicates :func:`repro.core.scan_depth.scan_depth` for
+        singleton groups (``mu`` is the plain prefix mass), using the
+        per-segment mass sums to skip whole segments in O(1) while the
+        accumulated mass cannot yet reach the threshold.
+        """
+        if p_tau <= 0.0:
+            return self._count
+        threshold = scan_depth_threshold(self._k, p_tau)
+        mass = 0.0
+        position = 0
+        stop = None
+        for segment in self._segments:
+            if mass + segment.mass < threshold:
+                # No row inside can satisfy mu >= threshold yet.
+                mass += segment.mass
+                position += len(segment.entries)
+                continue
+            for entry in segment.entries:
+                if mass >= threshold and position >= self._k:
+                    stop = position
+                    break
+                mass += entry.prob
+                position += 1
+            if stop is not None:
+                break
+        if stop is None:
+            return self._count
+        # Extend to the stopping tuple's tie-group boundary.
+        stop_score = self._entry_at(stop).score
+        if self._entry_at(stop - 1).score != stop_score:
+            return stop
+        end = stop + 1
+        while end < self._count and self._entry_at(end).score == stop_score:
+            end += 1
+        return end
+
+    def _cache_worthwhile(self, segment: _Segment) -> bool:
+        """Whether the segment's cached states should serve the query.
+
+        Folding a cached segment costs O(k^2) cell convolutions of up
+        to ``cache_lines`` lines each, while walking its rows costs
+        O(rows * k) two-part merges — so caches win only while their
+        cells stay narrow (``cache_lines * k <= 2 * rows``).  Stale
+        segments rebuild optimistically once; when the rebuild comes
+        out saturated, later slides skip the rebuild and walk instead.
+        """
+        rows = len(segment.entries)
+        if segment.stale:
+            if (
+                segment.cache_lines is not None
+                and segment.cache_lines * self._k > 2 * rows
+            ):
+                return False
+            segment.rebuild(self._k, self._max_lines)
+        return segment.cache_lines * self._k <= 2 * rows
+
+    def query(self, p_tau: float) -> ScorePMF:
+        """The window's top-k score distribution.
+
+        Folds cached segment states up to the Theorem-2 depth; only the
+        boundary segment (and stale segments) do per-row work.
+        """
+        k = self._k
+        max_lines = self._max_lines
+        depth = self._scan_depth(p_tau)
+        prefix: list[_Cell | None] = [_base_cell()] + [None] * (k - 1)
+        answer_parts: list[_Cell] = []
+        remaining = depth
+        for segment in self._segments:
+            if remaining <= 0:
+                break
+            rows = segment.entries
+            if len(rows) <= remaining and self._cache_worthwhile(segment):
+                for j in range(k):
+                    ending = segment.ending[k - 1 - j]
+                    if prefix[j] is not None and ending is not None:
+                        answer_parts.append(
+                            _cross(prefix[j], ending, max_lines)
+                        )
+                prefix = _fold_states(prefix, segment.exist, max_lines)
+                remaining -= len(rows)
+            else:
+                # Per-row walk: the truncation-boundary segment, and
+                # segments whose cells are too wide for the cached
+                # convolutions to beat walking (same math either way).
+                for entry in rows[:remaining]:
+                    if prefix[k - 1] is not None:
+                        answer_parts.append(
+                            _shift(prefix[k - 1], entry.score, entry.prob)
+                        )
+                    prefix = _fold_row(
+                        prefix, entry.score, entry.prob, max_lines
+                    )
+                remaining = max(0, remaining - len(rows))
+        final = _merge_reduce(answer_parts, max_lines)
+        if final is None:
+            return ScorePMF(())
+        scores, probs = final
+        return ScorePMF(
+            (float(s), float(p), None) for s, p in zip(scores, probs)
+        )

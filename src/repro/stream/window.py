@@ -7,16 +7,25 @@ live only while at least two of its members are inside the window
 which is sound for the first-k-existing semantics because an expired
 tuple can no longer appear in any answer).
 
-Recomputation strategy: the window queries route through a private
-:class:`~repro.api.session.Session`, whose stage caches are keyed by
-the materialized window table — so the score distribution is computed
-on demand with the Section-3 main algorithm and stays memoized until
-the window contents change, and :meth:`SlidingWindowTopK.typical` at a
-new ``c`` reuses the cached distribution instead of re-running the
-dynamic program.  That gives amortized O(kn) per slide batch — the
-right trade-off at the library level, since the dynamic program is
-already linear in the window for fixed k; callers issuing one query
-per arrival can batch arrivals between queries.
+Maintenance strategy: while the window holds only independent tuples
+(no live multi-member ME group) and ``incremental=True`` (the
+default), queries are served by a delta-maintained
+:class:`~repro.stream.delta.DeltaWindowState` — the window's rank
+order and per-segment partial DP states are updated in amortized
+sub-window time per slide, instead of rebuilding, re-scoring and
+re-sorting the whole window per query.  Windows with a live ME group
+(and ``incremental=False`` windows) fall back to a from-scratch
+recompute through a private :class:`~repro.api.session.Session`,
+whose stage caches are keyed by the materialized window table, so
+repeated queries over an unchanged window stay memoized either way
+and :meth:`SlidingWindowTopK.typical` at a new ``c`` reuses the
+cached distribution instead of re-running the dynamic program.
+
+The two paths agree on the consumed tuple set (the delta state
+replicates the Theorem-2 scan depth incrementally); delta-mode PMFs
+carry no representative vectors, and once the per-cell line budget
+forces coalescing the two paths may place coalesced lines a grid
+width apart (same bound as the DP's internal coalescing).
 """
 
 from __future__ import annotations
@@ -30,9 +39,15 @@ from repro.api.spec import QuerySpec
 from repro.core.distribution import DEFAULT_P_TAU
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.core.pmf import ScorePMF
-from repro.core.typical import TypicalResult
-from repro.exceptions import AlgorithmError, DataModelError
-from repro.uncertain.model import UncertainTuple
+from repro.core.typical import TypicalResult, select_typical_clamped
+from repro.exceptions import (
+    AlgorithmError,
+    DataModelError,
+    InvalidProbabilityError,
+    ScoringError,
+)
+from repro.stream.delta import DeltaWindowState
+from repro.uncertain.model import UncertainTuple, validate_probability
 from repro.uncertain.table import UncertainTable
 
 
@@ -57,6 +72,13 @@ class SlidingWindowTopK:
     :param score_attribute: the numeric attribute used as the score.
     :param p_tau: Theorem-2 truncation threshold for queries.
     :param max_lines: line-coalescing budget for queries.
+    :param incremental: serve queries from the delta-maintained state
+        while no ME group is live (default); ``False`` forces the
+        from-scratch session path on every query.  Delta-mode PMFs
+        (and the typical answers drawn from them) carry
+        ``vector=None`` lines — the segment caches track scores and
+        probabilities only; construct with ``incremental=False`` when
+        representative tuple vectors are required.
 
     >>> win = SlidingWindowTopK(window=4, k=2)
     >>> for i in range(6):
@@ -75,6 +97,7 @@ class SlidingWindowTopK:
         score_attribute: str = "score",
         p_tau: float = DEFAULT_P_TAU,
         max_lines: int = DEFAULT_MAX_LINES,
+        incremental: bool = True,
     ) -> None:
         if window < 1:
             raise AlgorithmError(f"window must be >= 1, got {window}")
@@ -82,20 +105,33 @@ class SlidingWindowTopK:
             raise AlgorithmError(
                 f"k must be in [1, window={window}], got {k}"
             )
+        if not 0.0 <= p_tau < 1.0:
+            # Validated up front so the delta and session paths cannot
+            # diverge on invalid thresholds at query time.
+            raise InvalidProbabilityError(
+                f"p_tau must be in [0, 1), got {p_tau!r}"
+            )
         self._window = window
         self._k = k
         self._score_attribute = score_attribute
         self._p_tau = p_tau
         self._max_lines = max_lines
-        self._entries: deque[tuple[Any, Mapping[str, Any], float, Any]] = (
-            deque()
-        )
+        self._incremental = incremental
+        self._entries: deque[
+            tuple[Any, Mapping[str, Any], float, Any, float, int]
+        ] = deque()
         self._arrivals = 0
         self._counter = itertools.count()
         # Stage caches live in a private session keyed by the
         # materialized window table; a handful of entries suffice.
+        # It serves ME-group windows and ``incremental=False``.
         self._session = Session(cache_size=8)
         self._cached_table: UncertainTable | None = None
+        self._delta = DeltaWindowState(k, max_lines=max_lines)
+        self._group_counts: dict[Any, int] = {}
+        # Delta-path memoization, dropped whenever the window slides.
+        self._cached_pmf: ScorePMF | None = None
+        self._cached_typical: dict[int, TypicalResult] = {}
 
     # ------------------------------------------------------------------
     # Stream maintenance
@@ -124,13 +160,40 @@ class SlidingWindowTopK:
                 f"attributes missing score attribute "
                 f"{self._score_attribute!r}"
             )
+        try:
+            score = float(attributes[self._score_attribute])
+        except (TypeError, ValueError):
+            raise ScoringError(
+                f"attribute {self._score_attribute!r} is not numeric: "
+                f"{attributes[self._score_attribute]!r}"
+            ) from None
+        probability = validate_probability(
+            probability, context="window append"
+        )
         if tid is None:
             tid = f"s{next(self._counter)}"
-        self._entries.append((tid, dict(attributes), probability, group))
+        seq = self._arrivals
+        self._entries.append(
+            (tid, dict(attributes), probability, group, score, seq)
+        )
+        if self._incremental:
+            self._delta.insert(tid, score, probability, seq)
+        if group is not None:
+            self._group_counts[group] = self._group_counts.get(group, 0) + 1
         self._arrivals += 1
         while len(self._entries) > self._window:
-            self._entries.popleft()
+            old = self._entries.popleft()
+            if self._incremental:
+                self._delta.remove(old[0], old[4], old[2], old[5])
+            if old[3] is not None:
+                remaining = self._group_counts[old[3]] - 1
+                if remaining:
+                    self._group_counts[old[3]] = remaining
+                else:
+                    del self._group_counts[old[3]]
         self._cached_table = None
+        self._cached_pmf = None
+        self._cached_typical.clear()
         return tid
 
     def extend(
@@ -178,13 +241,13 @@ class SlidingWindowTopK:
         if self._cached_table is not None:
             return self._cached_table
         tuples = [
-            UncertainTuple(tid, attributes, probability)
-            for tid, attributes, probability, _ in self._entries
+            UncertainTuple(entry[0], entry[1], entry[2])
+            for entry in self._entries
         ]
         groups: dict[Any, list[Any]] = {}
-        for tid, _, __, group in self._entries:
-            if group is not None:
-                groups.setdefault(group, []).append(tid)
+        for entry in self._entries:
+            if entry[3] is not None:
+                groups.setdefault(entry[3], []).append(entry[0])
         rules = [
             tuple(members)
             for members in groups.values()
@@ -204,17 +267,46 @@ class SlidingWindowTopK:
             algorithm="dp",
         )
 
+    def _delta_eligible(self) -> bool:
+        """True when the delta-maintained state may serve queries.
+
+        A live multi-member ME group forces the full Section-3
+        pipeline (the delta state models independent tuples only);
+        group expiry re-enables the delta path automatically.
+        """
+        return self._incremental and not any(
+            count > 1 for count in self._group_counts.values()
+        )
+
     def distribution(self) -> ScorePMF:
-        """Top-k score distribution of the current window (memoized)."""
-        return self._session.distribution(self._spec())
+        """Top-k score distribution of the current window (memoized).
+
+        Served from the delta-maintained segment states when eligible
+        (see :mod:`repro.stream.delta`); otherwise recomputed through
+        the session pipeline, whose stage caches memoize until the
+        window slides.
+        """
+        if not self._delta_eligible():
+            return self._session.distribution(self._spec())
+        if self._cached_pmf is None:
+            self._cached_pmf = self._delta.query(self._p_tau)
+        return self._cached_pmf
 
     def typical(self, c: int) -> TypicalResult:
         """c-Typical-Topk answers of the current window.
 
         Different ``c`` values over an unchanged window reuse the
-        session-cached distribution (the end-of-Section-4 pattern).
+        cached distribution (the end-of-Section-4 pattern).
         """
-        return self._session.execute(self._spec().with_(c=c))
+        if not self._delta_eligible():
+            return self._session.execute(self._spec().with_(c=c))
+        result = self._cached_typical.get(c)
+        if result is None:
+            # Clamped: a window shorter than k has an empty PMF and
+            # must yield the empty result, same as the session path.
+            result = select_typical_clamped(self.distribution(), c)
+            self._cached_typical[c] = result
+        return result
 
     def snapshot(self) -> WindowSnapshot:
         """Freeze the current window state for downstream analysis."""

@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Iterator, NamedTuple, Sequence
 
+import numpy as np
+
 from repro.exceptions import ScoringError
 from repro.uncertain.model import UncertainTuple
 from repro.uncertain.table import UncertainTable
@@ -114,6 +116,40 @@ class ScoredTable:
             self._positions_by_group[item.group][0] == pos
             for pos, item in enumerate(self._items)
         ]
+        # Cached numeric columns (read-only): the algorithms and the
+        # streaming layer consume scores/probabilities as arrays, so
+        # they are materialized once instead of per call.
+        self._score_column = np.array(
+            [item.score for item in self._items], dtype=np.float64
+        )
+        self._prob_column = np.array(
+            [item.prob for item in self._items], dtype=np.float64
+        )
+        self._score_column.setflags(write=False)
+        self._prob_column.setflags(write=False)
+        # Tie structure, precomputed once: tie_range_end() is queried
+        # per position by the scan-depth logic, and tie_ranges() /
+        # has_ties() by the tie-aware algorithms.
+        self._tie_ranges: tuple[tuple[int, int], ...] = tuple(
+            self._compute_tie_ranges()
+        )
+        self._tie_end = [0] * len(self._items)
+        for start, end in self._tie_ranges:
+            for pos in range(start, end):
+                self._tie_end[pos] = end
+        self._has_ties = any(
+            end - start > 1 for start, end in self._tie_ranges
+        )
+
+    def _compute_tie_ranges(self) -> Iterator[tuple[int, int]]:
+        i = 0
+        n = len(self._items)
+        while i < n:
+            j = i + 1
+            while j < n and self._items[j].score == self._items[i].score:
+                j += 1
+            yield (i, j)
+            i = j
 
     # ------------------------------------------------------------------
     # Construction
@@ -167,22 +203,32 @@ class ScoredTable:
     # ------------------------------------------------------------------
     # Scores / probabilities as columns
     # ------------------------------------------------------------------
+    @property
+    def score_column(self) -> np.ndarray:
+        """Scores in rank order as a cached read-only float64 array."""
+        return self._score_column
+
+    @property
+    def prob_column(self) -> np.ndarray:
+        """Probabilities in rank order as a cached read-only array."""
+        return self._prob_column
+
     def scores(self) -> list[float]:
         """Scores in rank order (non-increasing)."""
-        return [it.score for it in self._items]
+        return self._score_column.tolist()
 
     def probabilities(self) -> list[float]:
         """Membership probabilities in rank order."""
-        return [it.prob for it in self._items]
+        return self._prob_column.tolist()
 
     def max_top_k_score(self, k: int) -> float:
         """Largest possible top-k total score (sum of the k best)."""
-        return sum(it.score for it in self._items[:k])
+        return float(self._score_column[:k].sum())
 
     def min_top_k_score(self, k: int) -> float:
         """Smallest possible top-k total score among the scanned items
         (sum of the k worst) — the ``s_min`` of Section 3.2.1."""
-        return sum(it.score for it in self._items[-k:])
+        return float(self._score_column[-k:].sum())
 
     # ------------------------------------------------------------------
     # Mutual-exclusion structure
@@ -234,33 +280,23 @@ class ScoredTable:
     # Tie structure
     # ------------------------------------------------------------------
     def tie_ranges(self) -> list[tuple[int, int]]:
-        """Maximal equal-score runs as half-open ``(start, end)`` spans."""
-        ranges: list[tuple[int, int]] = []
-        i = 0
-        n = len(self._items)
-        while i < n:
-            j = i + 1
-            while j < n and self._items[j].score == self._items[i].score:
-                j += 1
-            ranges.append((i, j))
-            i = j
-        return ranges
+        """Maximal equal-score runs as half-open ``(start, end)`` spans
+        (precomputed at construction)."""
+        return list(self._tie_ranges)
 
     def has_ties(self) -> bool:
-        """True when the scoring function was non-injective here."""
-        return any(end - start > 1 for start, end in self.tie_ranges())
+        """True when the scoring function was non-injective here
+        (precomputed at construction)."""
+        return self._has_ties
 
     def tie_range_end(self, pos: int) -> int:
         """End (exclusive) of the tie group containing position ``pos``.
 
         Used by the scan-depth logic: the scan must stop at a tie-group
-        boundary (Section 3.1, remark after Theorem 2).
+        boundary (Section 3.1, remark after Theorem 2).  O(1): the tie
+        structure is precomputed at construction.
         """
-        score = self._items[pos].score
-        j = pos + 1
-        while j < len(self._items) and self._items[j].score == score:
-            j += 1
-        return j
+        return self._tie_end[pos]
 
     def __repr__(self) -> str:
         return f"ScoredTable(items={len(self._items)})"
