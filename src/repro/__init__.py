@@ -60,6 +60,7 @@ from repro.api import (
     register_semantics,
 )
 from repro.stream.window import SlidingWindowTopK
+from repro.mc import BatchWorldSampler, MCEngine, MCEstimate
 from repro.semantics.answers import TypicalityReport, typicality_report
 from repro.semantics.expected_ranks import ExpectedRankAnswer, expected_rank_topk
 from repro.semantics.global_topk import global_topk
@@ -118,6 +119,10 @@ __all__ = [
     "execute_query",
     "SlidingWindowTopK",
     "measurements_to_table",
+    # Monte-Carlo answer engine
+    "BatchWorldSampler",
+    "MCEngine",
+    "MCEstimate",
     # errors
     "ReproError",
     "DataModelError",

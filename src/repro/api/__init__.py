@@ -28,8 +28,10 @@ Quickstart::
 """
 
 from repro.api.plan import (
+    AUTO_MC_COST_BUDGET,
     choose_algorithm,
     distribution_from_prefix,
+    exact_cost,
     resolve_algorithm,
     scored_prefix_for,
 )
@@ -38,12 +40,15 @@ from repro.api.registry import (
     available_semantics,
     get_semantics,
     register_semantics,
+    semantics_variants,
     unregister_semantics,
 )
 from repro.api import builtin as _builtin  # noqa: F401  (registers built-ins)
+from repro.mc import semantics as _mc_semantics  # noqa: F401  (mc variants)
 from repro.api.session import DEFAULT_CACHE_SIZE, Session
 from repro.api.spec import (
     DEFAULT_C,
+    DEFAULT_MC_CONFIDENCE,
     DEFAULT_THRESHOLD,
     SPEC_ALGORITHMS,
     QuerySpec,
@@ -57,12 +62,16 @@ __all__ = [
     "unregister_semantics",
     "get_semantics",
     "available_semantics",
+    "semantics_variants",
     "choose_algorithm",
     "resolve_algorithm",
+    "exact_cost",
     "scored_prefix_for",
     "distribution_from_prefix",
+    "AUTO_MC_COST_BUDGET",
     "SPEC_ALGORITHMS",
     "DEFAULT_C",
     "DEFAULT_THRESHOLD",
+    "DEFAULT_MC_CONFIDENCE",
     "DEFAULT_CACHE_SIZE",
 ]

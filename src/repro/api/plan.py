@@ -36,16 +36,41 @@ AUTO_K_COMBO_MAX_COMBINATIONS = 256
 #: deep (its 2^n state space stays trivial there).
 AUTO_STATE_EXPANSION_MAX_DEPTH = 12
 
+#: ``algorithm="auto"``: fall back to the Monte-Carlo estimator when
+#: the exact-cost model (:func:`exact_cost` units) exceeds this.  The
+#: exact sweep at the budget takes on the order of a second of pure
+#: Python/numpy; beyond it sampling with explicit ±ε bounds is the
+#: better trade.
+AUTO_MC_COST_BUDGET = 5_000_000
 
-def choose_algorithm(n: int, k: int, depth: int | None = None) -> str:
-    """Pick a Section-3 algorithm from the problem shape.
+
+def exact_cost(n: int, k: int, me_members: int = 0) -> int:
+    """Cost-model units of the exact shared-prefix DP: O(k·n·(m+1)).
+
+    ``m`` is the number of tuples sharing an ME group with another
+    tuple (the Section-3.3.3 bound); independent prefixes cost O(kn).
+    """
+    return k * n * (me_members + 1)
+
+
+def choose_algorithm(
+    n: int, k: int, depth: int | None = None, *, me_members: int = 0
+) -> str:
+    """Pick an algorithm from the problem shape.
 
     ``n`` is the scanned prefix length (the effective input size after
     Theorem-2 truncation or an explicit ``depth`` override).  The
     baselines are exponential in general but cheapest on tiny inputs
     (Figure 10): exhaustive k-Combo when there are only a handful of
     k-combinations, StateExpansion on very short prefixes, and the
-    O(kn) dynamic program everywhere else.
+    O(kn) dynamic program everywhere else — unless the exact-cost
+    model exceeds :data:`AUTO_MC_COST_BUDGET`, in which case the
+    Monte-Carlo estimator (sampled answers with confidence bounds)
+    takes over.
+
+    :param me_members: the prefix's mutual-exclusion member count
+        (``ScoredTable.me_member_count()``); drives the exact-cost
+        escape hatch to ``"mc"``.
     """
     size = n if depth is None else min(n, depth)
     if size < k:
@@ -54,16 +79,18 @@ def choose_algorithm(n: int, k: int, depth: int | None = None) -> str:
         return "k_combo"
     if size <= AUTO_STATE_EXPANSION_MAX_DEPTH:
         return "state_expansion"
+    if exact_cost(size, k, me_members) > AUTO_MC_COST_BUDGET:
+        return "mc"
     # "dp" is the shared-prefix engine: on mutual-exclusion inputs it
     # realizes the Section-3.3.3 O(kmn) bound; the per-ending ablation
     # ("dp_per_ending") is never auto-selected.
     return "dp"
 
 
-def resolve_algorithm(spec, n: int) -> str:
+def resolve_algorithm(spec, n: int, *, me_members: int = 0) -> str:
     """The concrete algorithm a spec runs over a length-``n`` prefix."""
     if spec.algorithm == "auto":
-        return choose_algorithm(n, spec.k, spec.depth)
+        return choose_algorithm(n, spec.k, spec.depth, me_members=me_members)
     return spec.algorithm
 
 
@@ -83,7 +110,14 @@ def distribution_from_prefix(
         resolved from the spec (including ``"auto"``).
     """
     if algorithm is None:
-        algorithm = resolve_algorithm(spec, len(prefix))
+        algorithm = resolve_algorithm(
+            spec, len(prefix), me_members=prefix.me_member_count()
+        )
+    if algorithm == "mc":
+        # Imported lazily: repro.mc builds on this package's spec.
+        from repro.mc.engine import mc_distribution
+
+        return mc_distribution(prefix, spec)
     if algorithm == "dp":
         return dp_distribution(prefix, spec.k, max_lines=spec.max_lines)
     if algorithm == "dp_per_ending":

@@ -28,6 +28,18 @@ Register your own semantics with the decorator::
         ...
 
 and any session (and the ``repro answer`` CLI command) can run it.
+
+A semantics may additionally register *algorithm variants*: an
+implementation dispatched only when the session's planner resolves a
+specific concrete algorithm.  The Monte-Carlo engine registers one for
+every built-in prefix semantics under ``algorithm="mc"``
+(:mod:`repro.mc.semantics`), so ``spec.with_(algorithm="mc")`` — or
+the planner's own exact-cost escape hatch — transparently swaps the
+exact implementations for sampled estimates::
+
+    @register_semantics("u_topk", algorithm="mc")
+    def _u_topk_mc(prefix, spec):
+        ...
 """
 
 from __future__ import annotations
@@ -52,12 +64,15 @@ class SemanticsHandler:
         ``requires == "pmf"``.
     :ivar requires: the pipeline stage consumed.
     :ivar description: one-line human description (CLI help).
+    :ivar algorithm: ``None`` for the default implementation, or the
+        concrete algorithm name this variant is dispatched under.
     """
 
     name: str
     fn: Callable[..., Any]
     requires: str = "prefix"
     description: str = ""
+    algorithm: str | None = None
 
     def run(
         self,
@@ -83,6 +98,9 @@ class SemanticsHandler:
 
 _REGISTRY: dict[str, SemanticsHandler] = {}
 
+#: Algorithm-specific variants, keyed by ``(name, algorithm)``.
+_VARIANTS: dict[tuple[str, str], SemanticsHandler] = {}
+
 
 def register_semantics(
     name: str,
@@ -90,6 +108,7 @@ def register_semantics(
     requires: str = "prefix",
     description: str = "",
     replace: bool = False,
+    algorithm: str | None = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Class-decorator factory registering an answer semantics.
 
@@ -97,6 +116,9 @@ def register_semantics(
     :param requires: ``"prefix"`` or ``"pmf"`` (the stage consumed).
     :param description: one-line description shown by the CLI.
     :param replace: allow overwriting an existing registration.
+    :param algorithm: register an *algorithm variant* instead of the
+        default implementation; it is dispatched only when a session
+        resolves that concrete algorithm for a spec.
     """
     if requires not in _STAGES:
         raise AlgorithmError(
@@ -106,24 +128,49 @@ def register_semantics(
         raise AlgorithmError(f"semantics name must be non-empty, got {name!r}")
 
     def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
-        if name in _REGISTRY and not replace:
-            raise AlgorithmError(
-                f"semantics {name!r} is already registered; pass "
-                "replace=True to overwrite"
-            )
         doc_line = description
         if not doc_line and fn.__doc__:
             doc_line = fn.__doc__.strip().splitlines()[0]
-        _REGISTRY[name] = SemanticsHandler(
-            name=name, fn=fn, requires=requires, description=doc_line
+        handler = SemanticsHandler(
+            name=name,
+            fn=fn,
+            requires=requires,
+            description=doc_line,
+            algorithm=algorithm,
         )
+        if algorithm is None:
+            if name in _REGISTRY and not replace:
+                raise AlgorithmError(
+                    f"semantics {name!r} is already registered; pass "
+                    "replace=True to overwrite"
+                )
+            _REGISTRY[name] = handler
+        else:
+            key = (name, algorithm)
+            if key in _VARIANTS and not replace:
+                raise AlgorithmError(
+                    f"semantics {name!r} already has an {algorithm!r} "
+                    "variant; pass replace=True to overwrite"
+                )
+            _VARIANTS[key] = handler
         return fn
 
     return decorate
 
 
-def get_semantics(name: str) -> SemanticsHandler:
-    """Look up a handler; raises :class:`AlgorithmError` if missing."""
+def get_semantics(
+    name: str, algorithm: str | None = None
+) -> SemanticsHandler:
+    """Look up a handler; raises :class:`AlgorithmError` if missing.
+
+    :param algorithm: the resolved concrete algorithm; when a variant
+        is registered for ``(name, algorithm)`` it wins, otherwise the
+        default implementation is returned.
+    """
+    if algorithm is not None:
+        variant = _VARIANTS.get((name, algorithm))
+        if variant is not None:
+            return variant
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -138,6 +185,22 @@ def available_semantics() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def unregister_semantics(name: str) -> None:
-    """Remove a registration (primarily for tests and plugins)."""
+def semantics_variants(name: str) -> tuple[str, ...]:
+    """Algorithms with a registered variant of ``name``, sorted."""
+    return tuple(
+        sorted(alg for (base, alg) in _VARIANTS if base == name)
+    )
+
+
+def unregister_semantics(name: str, algorithm: str | None = None) -> None:
+    """Remove a registration (primarily for tests and plugins).
+
+    Without ``algorithm``, the default implementation *and* every
+    variant of ``name`` are removed; with it, only that variant.
+    """
+    if algorithm is not None:
+        _VARIANTS.pop((name, algorithm), None)
+        return
     _REGISTRY.pop(name, None)
+    for key in [k for k in _VARIANTS if k[0] == name]:
+        _VARIANTS.pop(key, None)

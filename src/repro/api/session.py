@@ -188,8 +188,13 @@ class Session:
     def distribution(self, spec: QuerySpec) -> ScorePMF:
         """Stage 2 (cached): the top-k total-score distribution."""
         prefix = self.scored_prefix(spec)
-        algorithm = plan.resolve_algorithm(spec, len(prefix))
-        key = (prefix, spec.k, algorithm) + spec.pmf_params()
+        algorithm = plan.resolve_algorithm(
+            spec, len(prefix), me_members=prefix.me_member_count()
+        )
+        # The sampling knobs only shape MC estimates; exact-algorithm
+        # entries stay shared across specs differing in a knob only.
+        mc_key = spec.mc_params() if algorithm == "mc" else ()
+        key = (prefix, spec.k, algorithm) + spec.pmf_params() + mc_key
         pmf = self._pmfs.get(key)
         if pmf is None:
             pmf = plan.distribution_from_prefix(
@@ -202,10 +207,17 @@ class Session:
         """Stage 3 (cached): the answer under ``spec.semantics``.
 
         The return type is whatever the registered semantics produces
-        (see :mod:`repro.api.builtin` for the built-in table).
+        (see :mod:`repro.api.builtin` for the built-in table).  When
+        the planner resolves ``"mc"`` — explicitly or through the
+        exact-cost escape hatch — and the semantics has a registered
+        MC variant (:mod:`repro.mc.semantics`), the variant runs
+        instead of the exact implementation.
         """
-        handler = get_semantics(spec.semantics)
         prefix = self.scored_prefix(spec)
+        algorithm = plan.resolve_algorithm(
+            spec, len(prefix), me_members=prefix.me_member_count()
+        )
+        handler = get_semantics(spec.semantics, algorithm)
         pmf: ScorePMF | None = None
         if handler.requires == "pmf":
             pmf = self.distribution(spec)
@@ -214,8 +226,14 @@ class Session:
             source = prefix
         # Keyed by *identity*, like the other stages: ScorePMF compares
         # by (scores, probs) only, so value-equal distributions from
-        # different tables must not share an answer entry.
-        key = (_ByIdentity(source),) + spec.semantics_params()
+        # different tables must not share an answer entry.  The
+        # resolved algorithm participates, plus the MC knobs when an
+        # MC variant's answer depends on them.
+        key = (
+            (_ByIdentity(source), algorithm)
+            + spec.semantics_params()
+            + (spec.mc_params() if algorithm == "mc" else ())
+        )
         answer = self._answers.get(key, _MISSING)
         if answer is _MISSING:
             answer = handler.run(prefix, spec, pmf=pmf)

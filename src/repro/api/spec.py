@@ -32,9 +32,11 @@ from repro.core.dp import DEFAULT_MAX_LINES
 from repro.exceptions import AlgorithmError, InvalidProbabilityError
 from repro.uncertain.table import UncertainTable
 
-#: Algorithm names accepted by a spec: the Section-3 algorithms plus
-#: ``"auto"``, which lets the planner pick from ``(n, k, depth)``.
-SPEC_ALGORITHMS = ("auto",) + ALGORITHMS
+#: Algorithm names accepted by a spec: the Section-3 exact algorithms,
+#: the Monte-Carlo estimator ``"mc"``, and ``"auto"``, which lets the
+#: planner pick from the problem shape (including the exact-cost
+#: escape hatch to ``"mc"``).
+SPEC_ALGORITHMS = ("auto", "mc") + ALGORITHMS
 
 #: Default number of typical answers (matches the query layer's
 #: ``WITH TYPICAL`` default and the paper's running ``c = 3``).
@@ -42,6 +44,9 @@ DEFAULT_C = 3
 
 #: Default PT-k membership threshold.
 DEFAULT_THRESHOLD = 0.5
+
+#: Default Monte-Carlo CI confidence level.
+DEFAULT_MC_CONFIDENCE = 0.95
 
 #: A table reference: a catalog name, or an in-memory table directly.
 TableRef = Union[str, UncertainTable]
@@ -61,8 +66,15 @@ class QuerySpec:
     :ivar p_tau: Theorem-2 truncation threshold, in [0, 1); 0 scans
         the full table.
     :ivar max_lines: line-coalescing budget (>= 1).
-    :ivar algorithm: ``"auto"`` or one of the Section-3 algorithms.
+    :ivar algorithm: ``"auto"``, ``"mc"`` or one of the Section-3
+        algorithms.
     :ivar depth: explicit scan-depth override (``None`` = Theorem 2).
+    :ivar epsilon: MC target CI half-width ±ε (``None`` = the engine
+        default); only consulted when ``"mc"`` runs.
+    :ivar confidence: MC confidence level, in (0, 1).
+    :ivar samples: explicit MC world count (disables adaptive
+        sample-size control); ``None`` = adaptive.
+    :ivar seed: MC sampling seed (estimates are deterministic per seed).
     """
 
     table: TableRef
@@ -75,6 +87,10 @@ class QuerySpec:
     max_lines: int = DEFAULT_MAX_LINES
     algorithm: str = "auto"
     depth: int | None = None
+    epsilon: float | None = None
+    confidence: float = DEFAULT_MC_CONFIDENCE
+    samples: int | None = None
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.table, UncertainTable) and not (
@@ -120,6 +136,27 @@ class QuerySpec:
             raise AlgorithmError(
                 f"depth must be None or an integer >= 0, got {self.depth!r}"
             )
+        if self.epsilon is not None and not self.epsilon > 0.0:
+            raise AlgorithmError(
+                f"epsilon must be None or > 0, got {self.epsilon!r}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise InvalidProbabilityError(
+                f"confidence must be in (0, 1), got {self.confidence!r}"
+            )
+        if self.samples is not None and (
+            not isinstance(self.samples, int)
+            or isinstance(self.samples, bool)
+            or self.samples < 1
+        ):
+            raise AlgorithmError(
+                f"samples must be None or an integer >= 1, got "
+                f"{self.samples!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise AlgorithmError(
+                f"seed must be an integer, got {self.seed!r}"
+            )
 
     def with_(self, **changes) -> "QuerySpec":
         """A copy with ``changes`` applied (and re-validated).
@@ -142,8 +179,18 @@ class QuerySpec:
         return (self.k, self.p_tau, self.depth)
 
     def pmf_params(self) -> tuple:
-        """Parameters (beyond the prefix) that determine the PMF."""
+        """Parameters (beyond the prefix) that determine the PMF.
+
+        The MC knobs are deliberately excluded: the Session appends
+        :meth:`mc_params` only when the resolved algorithm is
+        ``"mc"``, so exact-DP cache entries are shared across specs
+        that differ only in a sampling knob.
+        """
         return (self.max_lines, self.p_tau)
+
+    def mc_params(self) -> tuple:
+        """The Monte-Carlo estimation knobs."""
+        return (self.epsilon, self.confidence, self.samples, self.seed)
 
     def semantics_params(self) -> tuple:
         """Parameters (beyond the prefix/PMF) of the answer semantics."""

@@ -5,6 +5,8 @@ Usage (``python -m repro <command> ...``)::
     repro distribution table.csv --score score -k 5 --histogram 12
     repro typical table.csv --score score -k 5 -c 3
     repro answer table.csv --score score -k 5 --semantics pt_k --threshold 0.4
+    repro answer table.csv --score score -k 5 --semantics typical \\
+        --algorithm mc --epsilon 0.005 --confidence 0.99
     repro query "SELECT * FROM t ORDER BY score DESC LIMIT 3" --table t=table.csv
     repro generate cartel --out area.csv --seed 11 --segments 100
     repro figures fig03 fig09
@@ -30,12 +32,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.api import (
+    DEFAULT_MC_CONFIDENCE,
     QuerySpec,
     SPEC_ALGORITHMS,
     Session,
     available_semantics,
 )
 from repro.core.distribution import DEFAULT_P_TAU
+from repro.core.pmf import ScorePMF
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.exceptions import ReproError
 from repro.io.csv_io import read_table_csv, write_table_csv
@@ -87,9 +91,45 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--algorithm",
         choices=SPEC_ALGORITHMS,
-        default="dp",
-        help="which Section-3 algorithm to run; auto picks from the "
+        # None = not specified (resolves to "dp"); the sentinel keeps
+        # an *explicit* --algorithm dp distinguishable, so it can
+        # override an algorithm named in query text.
+        default=None,
+        help="which algorithm to run: a Section-3 exact algorithm, "
+        "the Monte-Carlo estimator (mc), or auto to pick from the "
         "problem shape (default dp)",
+    )
+    group = parser.add_argument_group(
+        "Monte-Carlo options (--algorithm mc)"
+    )
+    group.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="target confidence-interval half-width ±ε of the "
+        "adaptive sample-size control (default: engine default)",
+    )
+    group.add_argument(
+        "--confidence",
+        type=float,
+        default=DEFAULT_MC_CONFIDENCE,
+        help="confidence level of the reported intervals "
+        f"(default {DEFAULT_MC_CONFIDENCE})",
+    )
+    group.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="S",
+        help="draw exactly S worlds instead of adapting to ±ε",
+    )
+    group.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="sampling seed; estimates are deterministic per seed "
+        "(default 0)",
     )
 
 
@@ -101,7 +141,11 @@ def spec_from_args(args: argparse.Namespace, table: UncertainTable) -> QuerySpec
         k=args.k,
         p_tau=args.p_tau,
         max_lines=args.max_lines,
-        algorithm=args.algorithm,
+        algorithm=args.algorithm or "dp",
+        epsilon=args.epsilon,
+        confidence=args.confidence,
+        samples=args.samples,
+        seed=args.seed,
     )
 
 
@@ -149,6 +193,22 @@ def cmd_typical(args: argparse.Namespace) -> int:
     return 0
 
 
+def _answer_jsonable(answer):
+    """An answer as JSON-ready data (PMFs use the pmf document shape)."""
+    if isinstance(answer, ScorePMF):
+        return json.loads(pmf_to_json(answer))
+    if hasattr(answer, "_asdict"):  # NamedTuple results
+        return {
+            key: _answer_jsonable(value)
+            for key, value in answer._asdict().items()
+        }
+    if isinstance(answer, (list, tuple)):
+        return [_answer_jsonable(entry) for entry in answer]
+    if isinstance(answer, (str, int, float, bool)) or answer is None:
+        return answer
+    return str(answer)
+
+
 def cmd_answer(args: argparse.Namespace) -> int:
     """``repro answer``: run any registered answer semantics."""
     session = Session()
@@ -156,6 +216,14 @@ def cmd_answer(args: argparse.Namespace) -> int:
         semantics=args.semantics, c=args.c, threshold=args.threshold
     )
     answer = session.execute(spec)
+    if args.json:
+        if isinstance(answer, ScorePMF):
+            # The exact pmf document shape: round-trips through
+            # repro.io.json_io.pmf_from_json (vector-less lines too).
+            print(pmf_to_json(answer))
+        else:
+            print(json.dumps(_answer_jsonable(answer), default=str))
+        return 0
     print(f"semantics {args.semantics} (k={args.k}):")
     if answer is None:
         print("  (no answer)")
@@ -180,7 +248,15 @@ def cmd_query(args: argparse.Namespace) -> int:
             )
         session.register(name, load_table(path))
     result = execute_query(
-        args.sql, session, p_tau=args.p_tau, max_lines=args.max_lines
+        args.sql,
+        session,
+        p_tau=args.p_tau,
+        max_lines=args.max_lines,
+        algorithm=args.algorithm,
+        epsilon=args.epsilon,
+        confidence=args.confidence,
+        samples=args.samples,
+        seed=args.seed,
     )
     print(result.pmf.summary())
     if result.u_topk is not None:
@@ -313,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="typical-answer count (semantics=typical)")
     p.add_argument("--threshold", type=float, default=0.5,
                    help="membership threshold (semantics=pt_k)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the answer as JSON (distributions use "
+                   "the pmf document shape)")
     _add_common_options(p)
     p.set_defaults(func=cmd_answer)
 

@@ -1,0 +1,57 @@
+"""Vectorized Monte Carlo answer engine with confidence bounds.
+
+The exact algorithms of :mod:`repro.core` are the production path, but
+their reach ends where table size or window width makes even the
+O(kmn) sweep too slow.  This package is the standard escape hatch for
+probabilistic databases: sampling-based approximation with *explicit
+error bounds*.
+
+* :class:`~repro.mc.sampler.BatchWorldSampler` — draws S possible
+  worlds at once as one (S × groups) categorical draw in numpy;
+* :mod:`~repro.mc.confidence` — Hoeffding and empirical-Bernstein
+  confidence intervals plus a-priori sample-size planning;
+* :class:`~repro.mc.engine.MCEngine` — batched top-k evaluation over
+  the sampled existence matrix, adaptive sample-size control to hit a
+  target ±ε, and estimators for every registered answer semantics;
+* :mod:`~repro.mc.semantics` — the ``algorithm="mc"`` registry
+  variants dispatched by :class:`~repro.api.session.Session` (imported
+  by :mod:`repro.api`).
+
+The engine doubles as the independent randomized oracle of the
+differential-testing harness (``tests/test_differential.py``): every
+exact-DP optimization is cross-checked against it for free.
+"""
+
+from repro.mc.confidence import (
+    MCEstimate,
+    empirical_bernstein_half_width,
+    hoeffding_half_width,
+    hoeffding_sample_size,
+    proportion_estimate,
+)
+from repro.mc.engine import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CONFIDENCE,
+    DEFAULT_EPSILON,
+    DEFAULT_MAX_SAMPLES,
+    MCEngine,
+    engine_from_spec,
+    mc_distribution,
+)
+from repro.mc.sampler import BatchWorldSampler
+
+__all__ = [
+    "BatchWorldSampler",
+    "MCEngine",
+    "MCEstimate",
+    "engine_from_spec",
+    "mc_distribution",
+    "hoeffding_half_width",
+    "hoeffding_sample_size",
+    "empirical_bernstein_half_width",
+    "proportion_estimate",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_EPSILON",
+    "DEFAULT_MAX_SAMPLES",
+]

@@ -1,0 +1,142 @@
+"""Concentration bounds for Monte-Carlo estimates.
+
+Two classic non-asymptotic bounds for the mean of i.i.d. samples in a
+bounded range ``R``, both at confidence level ``1 - δ``:
+
+* **Hoeffding**: half-width ``R · sqrt(ln(2/δ) / (2S))`` — data
+  independent, so the sample size needed for a target ±ε is known a
+  priori (:func:`hoeffding_sample_size`);
+* **empirical Bernstein** (Maurer & Pontil 2009): half-width
+  ``sqrt(2 V ln(3/δ) / S) + 3 R ln(3/δ) / S`` with ``V`` the sample
+  variance — much tighter when the estimated quantity is nearly
+  deterministic, which is what lets the engine's adaptive control stop
+  early on low-variance tables.
+
+:func:`proportion_estimate` spends ``δ/2`` on each bound and reports
+the tighter interval, so the declared confidence still holds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from repro.exceptions import AlgorithmError
+
+
+def _check_confidence(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise AlgorithmError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    return 1.0 - confidence
+
+
+class MCEstimate(NamedTuple):
+    """One Monte-Carlo estimate with its confidence interval.
+
+    :ivar value: the point estimate.
+    :ivar half_width: CI half-width; the true value lies in
+        ``[value - half_width, value + half_width]`` with probability
+        at least ``confidence``.
+    :ivar confidence: declared coverage level.
+    :ivar samples: number of samples behind the estimate.
+    :ivar method: which bound produced the interval
+        (``"hoeffding"`` or ``"bernstein"``).
+    """
+
+    value: float
+    half_width: float
+    confidence: float
+    samples: int
+    method: str
+
+    @property
+    def low(self) -> float:
+        """Lower end of the confidence interval."""
+        return self.value - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper end of the confidence interval."""
+        return self.value + self.half_width
+
+    def contains(self, true_value: float) -> bool:
+        """True when ``true_value`` falls inside the interval."""
+        return self.low <= true_value <= self.high
+
+
+def hoeffding_half_width(
+    samples: int, confidence: float, *, value_range: float = 1.0
+) -> float:
+    """Hoeffding CI half-width for a mean of range-``value_range`` samples."""
+    if samples < 1:
+        raise AlgorithmError(f"samples must be >= 1, got {samples}")
+    delta = _check_confidence(confidence)
+    return value_range * math.sqrt(math.log(2.0 / delta) / (2.0 * samples))
+
+
+def hoeffding_sample_size(
+    epsilon: float, confidence: float, *, value_range: float = 1.0
+) -> int:
+    """Samples guaranteeing a Hoeffding half-width of at most ``epsilon``.
+
+    Data independent, so usable a priori: the engine never draws more
+    than this many samples for a ±ε target (adaptive stopping can only
+    finish earlier).
+    """
+    if epsilon <= 0.0:
+        raise AlgorithmError(f"epsilon must be > 0, got {epsilon!r}")
+    delta = _check_confidence(confidence)
+    return max(
+        1,
+        math.ceil(
+            value_range * value_range
+            * math.log(2.0 / delta)
+            / (2.0 * epsilon * epsilon)
+        ),
+    )
+
+
+def empirical_bernstein_half_width(
+    samples: int,
+    variance: float,
+    confidence: float,
+    *,
+    value_range: float = 1.0,
+) -> float:
+    """Empirical-Bernstein CI half-width (Maurer & Pontil, Theorem 4).
+
+    :param variance: the *sample* variance of the draws.
+    """
+    if samples < 1:
+        raise AlgorithmError(f"samples must be >= 1, got {samples}")
+    delta = _check_confidence(confidence)
+    log_term = math.log(3.0 / delta)
+    variance = max(0.0, variance)
+    return (
+        math.sqrt(2.0 * variance * log_term / samples)
+        + 3.0 * value_range * log_term / samples
+    )
+
+
+def proportion_estimate(
+    successes: float, samples: int, confidence: float
+) -> MCEstimate:
+    """Estimate of a Bernoulli proportion with the tighter of the two
+    bounds, each charged ``δ/2`` so the overall level is honored.
+    """
+    if samples < 1:
+        raise AlgorithmError(f"samples must be >= 1, got {samples}")
+    _check_confidence(confidence)
+    split = 1.0 - (1.0 - confidence) / 2.0
+    value = successes / samples
+    # Bessel-corrected sample variance of a 0/1 draw.
+    variance = value * (1.0 - value)
+    if samples > 1:
+        variance *= samples / (samples - 1.0)
+    hoeffding = hoeffding_half_width(samples, split)
+    bernstein = empirical_bernstein_half_width(samples, variance, split)
+    if bernstein < hoeffding:
+        return MCEstimate(value, bernstein, confidence, samples, "bernstein")
+    return MCEstimate(value, hoeffding, confidence, samples, "hoeffding")

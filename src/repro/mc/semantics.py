@@ -1,0 +1,79 @@
+"""``algorithm="mc"`` registry variants of the built-in semantics.
+
+The two PMF-consuming semantics (``"distribution"``, ``"typical"``)
+need no variant: under ``algorithm="mc"`` the *PMF stage itself* is
+the Monte-Carlo estimate
+(:func:`~repro.mc.engine.mc_distribution`), and the exact handlers
+consume it unchanged.  The five prefix-consuming semantics register
+variants here that estimate their answers from sampled worlds instead
+of the closed forms, returning the same result types as the exact
+implementations so every consumer (CLI, query layer, tests) is
+agnostic to how an answer was computed:
+
+========================  =====================================
+name                      MC estimator
+========================  =====================================
+``"u_topk"``              most frequent first-k-existing vector
+``"pt_k"``                estimated top-k hit probability >= threshold
+``"u_kranks"``            most frequent tuple per rank
+``"global_topk"``         k largest estimated hit probabilities
+``"expected_ranks"``      sampled expected ranks
+========================  =====================================
+
+This module is imported by :mod:`repro.api` so the variants are
+always registered alongside the exact built-ins.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import register_semantics
+from repro.mc.engine import engine_from_spec
+
+
+@register_semantics(
+    "u_topk",
+    algorithm="mc",
+    description="MC estimate: most frequent top-k vector",
+)
+def _u_topk_mc(prefix, spec):
+    return engine_from_spec(prefix, spec).u_topk()
+
+
+@register_semantics(
+    "pt_k",
+    algorithm="mc",
+    description="MC estimate: tuples with sampled top-k "
+    "probability >= threshold",
+)
+def _pt_k_mc(prefix, spec):
+    return engine_from_spec(prefix, spec).pt_k(spec.threshold)
+
+
+@register_semantics(
+    "u_kranks",
+    algorithm="mc",
+    description="MC estimate: most frequent tuple per rank",
+)
+def _u_kranks_mc(prefix, spec):
+    return engine_from_spec(prefix, spec).u_kranks()
+
+
+@register_semantics(
+    "global_topk",
+    algorithm="mc",
+    description="MC estimate: k tuples with highest sampled top-k "
+    "probability",
+)
+def _global_topk_mc(prefix, spec):
+    return engine_from_spec(prefix, spec).global_topk()
+
+
+@register_semantics(
+    "expected_ranks",
+    algorithm="mc",
+    description="MC estimate: k tuples with smallest sampled "
+    "expected rank",
+)
+def _expected_ranks_mc(prefix, spec):
+    engine = engine_from_spec(prefix, spec, track_expected_ranks=True)
+    return engine.expected_ranks()

@@ -105,6 +105,11 @@ def execute_query(
     p_tau: float = DEFAULT_P_TAU,
     max_lines: int = DEFAULT_MAX_LINES,
     include_u_topk: bool = True,
+    algorithm: str | None = None,
+    epsilon: float | None = None,
+    confidence: float | None = None,
+    samples: int | None = None,
+    seed: int = 0,
 ) -> QueryResult:
     """Execute a top-k query against a catalog (or a session).
 
@@ -112,6 +117,13 @@ def execute_query(
     scored prefix serves the score distribution, the typical answers
     and the U-Topk comparison; passing an existing session lets
     repeated queries over the same catalog reuse its stage caches.
+
+    :param algorithm: overrides the query text's algorithm (``None``
+        keeps the text's choice, defaulting to ``"dp"``).
+    :param epsilon: MC target ±ε (``algorithm="mc"`` only).
+    :param confidence: MC confidence level.
+    :param samples: explicit MC world count.
+    :param seed: MC sampling seed.
 
     >>> from repro.datasets.soldier import soldier_table
     >>> result = execute_query(
@@ -151,6 +163,8 @@ def execute_query(
             )
         return float(value)
 
+    from repro.api.spec import DEFAULT_MC_CONFIDENCE
+
     spec = QuerySpec(
         table=table,
         scorer=scorer,
@@ -159,7 +173,13 @@ def execute_query(
         c=query.typical or DEFAULT_TYPICAL,
         p_tau=p_tau,
         max_lines=max_lines,
-        algorithm=query.algorithm or "dp",
+        algorithm=algorithm or query.algorithm or "dp",
+        epsilon=epsilon,
+        confidence=(
+            DEFAULT_MC_CONFIDENCE if confidence is None else confidence
+        ),
+        samples=samples,
+        seed=seed,
     )
     pmf = session.distribution(spec)
     # The "typical" semantics clamps c and tolerates the empty

@@ -35,7 +35,7 @@ from collections import deque
 from typing import Any, Iterable, Mapping, NamedTuple
 
 from repro.api.session import Session
-from repro.api.spec import QuerySpec
+from repro.api.spec import DEFAULT_MC_CONFIDENCE, SPEC_ALGORITHMS, QuerySpec
 from repro.core.distribution import DEFAULT_P_TAU
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.core.pmf import ScorePMF
@@ -79,6 +79,17 @@ class SlidingWindowTopK:
         ``vector=None`` lines — the segment caches track scores and
         probabilities only; construct with ``incremental=False`` when
         representative tuple vectors are required.
+    :param algorithm: the query pipeline's algorithm (default
+        ``"dp"``).  ``"mc"`` serves every query from the Monte-Carlo
+        answer engine — the escape hatch for windows too wide for the
+        exact sweep — and (like any non-``"dp"`` choice) disables the
+        delta-maintained path.  ``"auto"`` lets the planner apply its
+        exact-cost model per query.
+    :param epsilon: MC target CI half-width ±ε (``algorithm="mc"``).
+    :param confidence: MC confidence level.
+    :param samples: explicit MC world count (disables adaptive
+        sample-size control).
+    :param seed: MC sampling seed.
 
     >>> win = SlidingWindowTopK(window=4, k=2)
     >>> for i in range(6):
@@ -98,6 +109,11 @@ class SlidingWindowTopK:
         p_tau: float = DEFAULT_P_TAU,
         max_lines: int = DEFAULT_MAX_LINES,
         incremental: bool = True,
+        algorithm: str = "dp",
+        epsilon: float | None = None,
+        confidence: float = DEFAULT_MC_CONFIDENCE,
+        samples: int | None = None,
+        seed: int = 0,
     ) -> None:
         if window < 1:
             raise AlgorithmError(f"window must be >= 1, got {window}")
@@ -111,12 +127,22 @@ class SlidingWindowTopK:
             raise InvalidProbabilityError(
                 f"p_tau must be in [0, 1), got {p_tau!r}"
             )
+        if algorithm not in SPEC_ALGORITHMS:
+            raise AlgorithmError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{SPEC_ALGORITHMS}"
+            )
         self._window = window
         self._k = k
         self._score_attribute = score_attribute
         self._p_tau = p_tau
         self._max_lines = max_lines
         self._incremental = incremental
+        self._algorithm = algorithm
+        self._epsilon = epsilon
+        self._confidence = confidence
+        self._samples = samples
+        self._seed = seed
         self._entries: deque[
             tuple[Any, Mapping[str, Any], float, Any, float, int]
         ] = deque()
@@ -264,18 +290,28 @@ class SlidingWindowTopK:
             k=self._k,
             p_tau=self._p_tau,
             max_lines=self._max_lines,
-            algorithm="dp",
+            algorithm=self._algorithm,
+            epsilon=self._epsilon,
+            confidence=self._confidence,
+            samples=self._samples,
+            seed=self._seed,
         )
 
     def _delta_eligible(self) -> bool:
         """True when the delta-maintained state may serve queries.
 
         A live multi-member ME group forces the full Section-3
-        pipeline (the delta state models independent tuples only);
-        group expiry re-enables the delta path automatically.
+        pipeline (the delta state models independent tuples only), as
+        does any explicit non-``"dp"`` algorithm choice (the delta
+        caches replicate the exact DP specifically); group expiry
+        re-enables the delta path automatically.
         """
-        return self._incremental and not any(
-            count > 1 for count in self._group_counts.values()
+        return (
+            self._incremental
+            and self._algorithm == "dp"
+            and not any(
+                count > 1 for count in self._group_counts.values()
+            )
         )
 
     def distribution(self) -> ScorePMF:

@@ -6,26 +6,43 @@ histogram converges to the exact distribution computed by
 :mod:`repro.core`; integration tests use this as an independent,
 randomized cross-check of the dynamic-programming algorithms at sizes
 where exact enumeration is infeasible.
+
+Since the Monte-Carlo answer engine landed, this module is a thin
+iterator-API wrapper over the *batched* sampler
+(:class:`repro.mc.sampler.BatchWorldSampler`): worlds are drawn as
+vectorized (chunk × groups) categorical draws and buffered, instead of
+one Python-level categorical loop per world.  Draws for a given seed
+are deterministic but **not byte-identical** to the pre-batched
+implementation (the uniforms are consumed in a different order);
+statistical equivalence is what is promised — and tested.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Iterator
 
 import numpy as np
 
 from repro.exceptions import AlgorithmError
 from repro.uncertain.scoring import ScoredTable, Scorer
 from repro.uncertain.table import UncertainTable
-from repro.uncertain.worlds import top_k_of_world
+
+#: Buffered-chunk bounds of the iterator API: the first refill is
+#: small (a caller wanting one world of a wide table should not pay
+#: for 1024), then chunks grow geometrically toward the cap.
+_CHUNK_START = 16
+_CHUNK_MAX = 1024
 
 
 class WorldSampler:
     """Draws possible worlds from an uncertain table.
 
     Each ME group is an independent categorical distribution over its
-    members plus the empty outcome.  Sampling one world costs
-    O(#groups).
+    members plus the empty outcome.  Worlds are drawn in vectorized
+    chunks (growing from :data:`_CHUNK_START` to :data:`_CHUNK_MAX`)
+    and handed out one at a time, so the amortized per-world cost is a
+    few numpy operations over the chunk rather than O(#groups) Python
+    work, while a single draw stays cheap on wide tables.
 
     :param table: the uncertain table.
     :param seed: seed or :class:`numpy.random.Generator` for
@@ -35,22 +52,18 @@ class WorldSampler:
     def __init__(
         self, table: UncertainTable, seed: int | np.random.Generator | None = None
     ) -> None:
+        # Imported lazily: repro.mc builds on this package.
+        from repro.mc.sampler import BatchWorldSampler
+
         self._table = table
         self._rng = (
             seed
             if isinstance(seed, np.random.Generator)
             else np.random.default_rng(seed)
         )
-        # Pre-compute, per group, the member tids and the cumulative
-        # probability vector (last entry < 1 leaves room for "none").
-        self._group_tids: list[tuple[Any, ...]] = []
-        self._group_cumprobs: list[np.ndarray] = []
-        for members in table.groups:
-            probs = np.array(
-                [table[tid].probability for tid in members], dtype=float
-            )
-            self._group_tids.append(tuple(members))
-            self._group_cumprobs.append(np.cumsum(probs))
+        self._batch = BatchWorldSampler.from_table(table, self._rng)
+        self._buffer: list[frozenset] = []
+        self._chunk = _CHUNK_START
 
     @property
     def table(self) -> UncertainTable:
@@ -59,20 +72,26 @@ class WorldSampler:
 
     def sample_world(self) -> frozenset:
         """Draw one possible world (set of existing tuple ids)."""
-        tids = []
-        draws = self._rng.random(len(self._group_tids))
-        for members, cum, u in zip(
-            self._group_tids, self._group_cumprobs, draws
-        ):
-            index = int(np.searchsorted(cum, u, side="right"))
-            if index < len(members):
-                tids.append(members[index])
-        return frozenset(tids)
+        if not self._buffer:
+            exists = self._batch.sample(self._chunk)
+            self._chunk = min(self._chunk * 2, _CHUNK_MAX)
+            # Reversed so pop() hands worlds out in draw order.
+            self._buffer = self._batch.world_sets(exists)[::-1]
+        return self._buffer.pop()
 
     def sample_worlds(self, count: int) -> Iterator[frozenset]:
         """Yield ``count`` independent worlds."""
         for _ in range(count):
             yield self.sample_world()
+
+    def sample_existence(self, count: int) -> np.ndarray:
+        """Draw ``count`` worlds at once as a boolean existence matrix.
+
+        Columns follow the table's tuple order (``table.tids``).  This
+        is the fast path the Monte-Carlo engine uses; the iterator API
+        above is sugar over it.
+        """
+        return self._batch.sample(count)
 
 
 def sample_score_distribution(
@@ -89,16 +108,15 @@ def sample_score_distribution(
     convention of the exact algorithms), so the returned masses sum to
     the empirical probability of having at least ``k`` tuples.
 
+    A thin wrapper over :class:`repro.mc.engine.MCEngine` with a fixed
+    sample count — one batched pass, no per-world Python loop.
+
     :returns: mapping ``total score -> estimated probability``.
     """
     if samples <= 0:
         raise AlgorithmError(f"samples must be positive, got {samples}")
+    from repro.mc.engine import MCEngine
+
     scored = ScoredTable.from_table(table, scorer)
-    sampler = WorldSampler(table, seed)
-    counts: dict[float, int] = {}
-    for world in sampler.sample_worlds(samples):
-        total = top_k_of_world(scored, world, k)
-        if total is None:
-            continue
-        counts[total] = counts.get(total, 0) + 1
-    return {score: n / samples for score, n in counts.items()}
+    engine = MCEngine(scored, k, samples=samples, seed=seed).run()
+    return engine.distribution().to_dict()

@@ -1,0 +1,324 @@
+"""Randomized differential suite over all six answer semantics.
+
+For every seeded random table the three independent evaluation paths
+must agree:
+
+1. **exact DP** — the production Section-3/semantics implementations
+   over the scored (possibly Theorem-2-truncated) prefix;
+2. **brute force** — possible-world enumeration over the same tuple
+   set (:mod:`repro.uncertain.worlds`), the ground truth;
+3. **Monte Carlo** — the batched sampling engine
+   (:mod:`repro.mc.engine`); every estimate must cover the brute-force
+   truth within its reported confidence interval.
+
+The tables sweep mutual-exclusion density, score ties, truncated
+groups (Theorem-2 ``p_tau`` and explicit ``depth`` cuts that slice ME
+groups apart) and prefix lengths below ``k``.
+
+The suite doubles as the CI fuzz smoke: ``REPRO_DIFF_SEED`` shifts
+every case's seed (the workflow rotates it daily), and the effective
+seed is part of each case id, so a failing case is reproduced with
+``REPRO_DIFF_SEED=<seed shown> pytest tests/test_differential.py -k <id>``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import NamedTuple
+
+import numpy as np
+import pytest
+
+from repro.core.dp import dp_distribution, dp_distribution_per_ending
+from repro.core.k_combo import k_combo_distribution
+from repro.core.pmf import ScorePMF
+from repro.core.distribution import prepare_scored_prefix
+from repro.core.typical import select_typical_clamped
+from repro.mc.engine import MCEngine
+from repro.semantics.global_topk import global_topk_scored
+from repro.semantics.marginals import rank_distribution, top_k_probability
+from repro.semantics.pt_k import pt_k_scored
+from repro.semantics.u_kranks import u_kranks_scored
+from repro.semantics.u_topk import u_topk_scored
+from repro.uncertain.worlds import enumerate_worlds
+from tests.conftest import assert_pmf_equal, random_table
+
+#: Environment knob rotated by the CI fuzz-smoke step.
+SEED_OFFSET = int(os.environ.get("REPRO_DIFF_SEED", "0"))
+
+#: MC sample count per case (fixed: the CI width is the assertion).
+MC_SAMPLES = 20_000
+
+#: Per-estimate CI level for the within-CI assertions.  Strict enough
+#: that the whole suite's false-failure probability stays ~1e-3 even
+#: with rotating seeds; a genuine disagreement (bias) fails hard.
+MC_CONFIDENCE = 1.0 - 1e-6
+
+#: PT-k threshold used by the exact-vs-brute set comparison.
+PT_THRESHOLD = 0.3
+
+
+class Shape(NamedTuple):
+    """One differential-table configuration."""
+
+    name: str
+    n: int
+    k: int
+    allow_me: bool
+    allow_ties: bool
+    p_tau: float
+    depth: int | None
+
+
+# 20 shapes x 2 seeds = 40 parametrized cases sweeping ME density,
+# ties, truncation and short prefixes.
+SHAPES = [
+    Shape("indep-plain", 6, 2, False, False, 0.0, None),
+    Shape("indep-k1", 6, 1, False, False, 0.0, None),
+    Shape("indep-ties", 6, 2, False, True, 0.0, None),
+    Shape("indep-ties-k3", 7, 3, False, True, 0.0, None),
+    Shape("indep-deep-k4", 8, 4, False, False, 0.0, None),
+    Shape("me-plain", 6, 2, True, False, 0.0, None),
+    Shape("me-k1", 6, 1, True, False, 0.0, None),
+    Shape("me-ties", 6, 2, True, True, 0.0, None),
+    Shape("me-ties-k3", 7, 3, True, True, 0.0, None),
+    Shape("me-dense", 8, 2, True, False, 0.0, None),
+    Shape("me-dense-k3", 8, 3, True, True, 0.0, None),
+    Shape("me-ptau", 7, 2, True, False, 0.15, None),
+    Shape("me-ptau-ties", 7, 2, True, True, 0.15, None),
+    Shape("indep-ptau", 7, 2, False, False, 0.25, None),
+    Shape("me-ptau-heavy", 8, 3, True, False, 0.35, None),
+    Shape("me-depth-cut", 8, 2, True, False, 0.0, 4),
+    Shape("me-depth-cut-ties", 8, 3, True, True, 0.0, 5),
+    Shape("indep-depth-cut", 7, 2, False, True, 0.0, 3),
+    Shape("short-prefix", 2, 3, True, False, 0.0, None),
+    Shape("depth-below-k", 8, 3, True, False, 0.0, 2),
+]
+
+CASES = [
+    pytest.param(shape, seed + SEED_OFFSET, id=f"{shape.name}-s{seed + SEED_OFFSET}")
+    for shape in SHAPES
+    for seed in (11, 23)
+]
+
+
+class BruteForce(NamedTuple):
+    """Ground truth from possible-world enumeration.
+
+    All quantities use the canonical positional rank order of the
+    prefix — the same tie-resolution convention as the exact
+    marginal semantics and the MC engine.
+    """
+
+    pmf: dict[float, float]
+    hit: dict[int, float]  # position -> P(in top-k)
+    rank: dict[tuple[int, int], float]  # (position, rank) -> prob
+    vectors: dict[tuple[int, ...], float]  # positions -> P(first-k)
+
+
+def build_case(shape: Shape, seed: int):
+    """The (prefix, reduced table) pair of one differential case."""
+    rng = np.random.default_rng(seed)
+    table = random_table(
+        rng, n=shape.n, allow_ties=shape.allow_ties, allow_me=shape.allow_me
+    )
+    prefix = prepare_scored_prefix(
+        table, "score", shape.k, p_tau=shape.p_tau, depth=shape.depth
+    )
+    # The same truncation, expressed as a table: surviving tuples with
+    # reduced ME rules.  Enumerating its worlds is the ground truth
+    # for everything computed over the prefix.
+    sub_table = table.subset([item.tid for item in prefix])
+    return prefix, sub_table
+
+
+def brute_force(prefix, sub_table, k: int) -> BruteForce:
+    """Enumerate every world of the reduced table, in prefix order."""
+    position_of = {item.tid: pos for pos, item in enumerate(prefix)}
+    pmf: dict[float, float] = {}
+    hit: dict[int, float] = {}
+    rank: dict[tuple[int, int], float] = {}
+    vectors: dict[tuple[int, ...], float] = {}
+    for world in enumerate_worlds(sub_table):
+        existing = sorted(position_of[tid] for tid in world.tids)
+        for index, pos in enumerate(existing[:k]):
+            hit[pos] = hit.get(pos, 0.0) + world.probability
+            key = (pos, index + 1)
+            rank[key] = rank.get(key, 0.0) + world.probability
+        if len(existing) >= k:
+            head = tuple(existing[:k])
+            vectors[head] = vectors.get(head, 0.0) + world.probability
+            total = sum(prefix[pos].score for pos in head)
+            pmf[total] = pmf.get(total, 0.0) + world.probability
+    return BruteForce(pmf, hit, rank, vectors)
+
+
+def _assert_exact_matches_brute(prefix, k: int, brute: BruteForce) -> None:
+    """Path 1 == path 2, across all six semantics."""
+    # -- score distribution: every exact algorithm, uncoalesced.
+    for algorithm in (
+        dp_distribution,
+        dp_distribution_per_ending,
+        k_combo_distribution,
+    ):
+        computed = algorithm(prefix, k, max_lines=10**6)
+        assert_pmf_equal(computed.to_dict(), brute.pmf)
+
+    exact_pmf = dp_distribution(prefix, k, max_lines=10**6)
+
+    # -- typical answers: same objective value over both PMFs.
+    oracle_pmf = ScorePMF.from_mapping(brute.pmf)
+    for c in (1, 2, 3):
+        got = select_typical_clamped(exact_pmf, c)
+        want = select_typical_clamped(oracle_pmf, c)
+        assert got.expected_distance == pytest.approx(
+            want.expected_distance, abs=1e-9
+        )
+
+    # -- marginals: per-position top-k and per-rank probabilities.
+    for pos in range(len(prefix)):
+        assert top_k_probability(prefix, pos, k) == pytest.approx(
+            brute.hit.get(pos, 0.0), abs=1e-9
+        )
+        ranks = rank_distribution(prefix, pos, k)
+        for index in range(k):
+            assert float(ranks[index]) == pytest.approx(
+                brute.rank.get((pos, index + 1), 0.0), abs=1e-9
+            )
+
+    # -- U-Topk: the most probable first-k-existing configuration.
+    result = u_topk_scored(prefix, k)
+    if not brute.vectors:
+        assert result is None
+    else:
+        best_prob = max(brute.vectors.values())
+        assert result is not None
+        assert result.probability == pytest.approx(best_prob, abs=1e-9)
+        position_of = {
+            item.tid: pos for pos, item in enumerate(prefix)
+        }
+        key = tuple(sorted(position_of[tid] for tid in result.vector))
+        assert brute.vectors.get(key, 0.0) == pytest.approx(
+            result.probability, abs=1e-9
+        )
+
+    # -- PT-k: thresholded membership set (boundary-tolerant).
+    answers = dict(pt_k_scored(prefix, k, PT_THRESHOLD))
+    for pos in range(len(prefix)):
+        tid = prefix[pos].tid
+        true_prob = brute.hit.get(pos, 0.0)
+        if true_prob >= PT_THRESHOLD + 1e-9:
+            assert tid in answers
+            assert answers[tid] == pytest.approx(true_prob, abs=1e-9)
+        elif true_prob < PT_THRESHOLD - 1e-9:
+            assert tid not in answers
+
+    # -- Global-Topk: the k largest top-k probabilities.
+    globals_ = global_topk_scored(prefix, k)
+    want_top = sorted(
+        (brute.hit.get(pos, 0.0) for pos in range(len(prefix))),
+        reverse=True,
+    )[:k]
+    got_top = sorted((prob for _, prob in globals_), reverse=True)
+    assert got_top == pytest.approx(want_top, abs=1e-9)
+
+    # -- U-kRanks: the winner of every rank attains the brute-force
+    # maximum of that rank's probabilities.
+    position_of = {item.tid: pos for pos, item in enumerate(prefix)}
+    for answer in u_kranks_scored(prefix, k):
+        pos = position_of[answer.tid]
+        assert answer.probability == pytest.approx(
+            brute.rank.get((pos, answer.rank), 0.0), abs=1e-9
+        )
+        best = max(
+            (
+                brute.rank.get((p, answer.rank), 0.0)
+                for p in range(len(prefix))
+            ),
+            default=0.0,
+        )
+        assert answer.probability == pytest.approx(best, abs=1e-9)
+
+
+def _assert_mc_within_ci(prefix, k: int, brute: BruteForce, seed: int) -> None:
+    """Path 3 covers path 2 within every reported interval."""
+    engine = MCEngine(
+        prefix,
+        k,
+        samples=MC_SAMPLES,
+        confidence=MC_CONFIDENCE,
+        seed=seed,
+    ).run()
+
+    # -- estimated PMF: every true line mass inside its interval.
+    for score, mass in brute.pmf.items():
+        estimate = engine.pmf_line_estimate(score)
+        assert estimate.contains(mass), (
+            f"pmf mass at {score}: true {mass}, estimate {estimate} "
+            f"(seed {seed})"
+        )
+    # Total estimated mass also matches P(>= k tuples).
+    total_true = sum(brute.pmf.values())
+    total_est = engine.distribution().total_mass()
+    hoeffding = math.sqrt(
+        math.log(2.0 / (1.0 - MC_CONFIDENCE)) / (2.0 * MC_SAMPLES)
+    )
+    assert abs(total_est - total_true) <= hoeffding
+
+    # -- hit probabilities per tuple.
+    for pos, (tid, estimate) in enumerate(engine.topk_probability_estimates()):
+        assert tid == prefix[pos].tid
+        true_prob = brute.hit.get(pos, 0.0)
+        assert estimate.contains(true_prob), (
+            f"hit prob of {tid}: true {true_prob}, estimate {estimate} "
+            f"(seed {seed})"
+        )
+
+    # -- per-rank winners (U-kRanks input).
+    for answer in u_kranks_scored(prefix, k):
+        position_of = {item.tid: pos for pos, item in enumerate(prefix)}
+        pos = position_of[answer.tid]
+        estimate = engine.rank_probability_estimate(pos, answer.rank)
+        assert estimate.contains(answer.probability), (
+            f"rank {answer.rank} prob of {answer.tid}: true "
+            f"{answer.probability}, estimate {estimate} (seed {seed})"
+        )
+
+    # -- the exact U-Topk vector's probability.
+    result = u_topk_scored(prefix, k)
+    if result is not None:
+        estimate = engine.vector_estimate(result.vector)
+        assert estimate.contains(result.probability), (
+            f"u_topk vector {result.vector}: true {result.probability}, "
+            f"estimate {estimate} (seed {seed})"
+        )
+
+    # -- typical answers drawn from the estimated PMF stay close: the
+    # objective is 1-Lipschitz in each line mass, so the exact and
+    # estimated expected distances differ by at most the summed CI
+    # widths times the support span.
+    if brute.pmf:
+        oracle_pmf = ScorePMF.from_mapping(brute.pmf)
+        span = oracle_pmf.support_span() or 1.0
+        budget = hoeffding * len(brute.pmf) * span + 1e-9
+        got = engine.typical(2)
+        want = select_typical_clamped(oracle_pmf, 2)
+        assert abs(got.expected_distance - want.expected_distance) <= budget
+
+
+@pytest.mark.parametrize("shape,seed", CASES)
+def test_differential(shape: Shape, seed: int) -> None:
+    """Exact DP == brute-force enumeration == MC-within-CI."""
+    prefix, sub_table = build_case(shape, seed)
+    brute = brute_force(prefix, sub_table, shape.k)
+    _assert_exact_matches_brute(prefix, shape.k, brute)
+    _assert_mc_within_ci(prefix, shape.k, brute, seed)
+
+
+def test_seed_offset_is_reported() -> None:
+    """The rotating fuzz seed is discoverable for reproduction."""
+    assert SEED_OFFSET >= 0
+    # Case ids embed the effective seed; this assertion documents the
+    # reproduction recipe in the test output on -v runs.
+    assert any(str(11 + SEED_OFFSET) in case.id for case in CASES)

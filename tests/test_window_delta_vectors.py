@@ -1,0 +1,156 @@
+"""The delta-window caveat from the shared-prefix PR: delta-mode PMFs
+carry ``vector=None`` lines.  Every downstream consumer — JSON
+round-trips (the ``repro answer --json`` document shape), histogram
+rendering, typicality selection — must handle them without crashing
+or inventing vectors.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.typical import select_typical_clamped
+from repro.io.csv_io import write_table_csv
+from repro.io.json_io import pmf_from_json, pmf_to_json
+from repro.stats.histogram import render_pmf
+from repro.stream.window import SlidingWindowTopK
+
+
+@pytest.fixture
+def delta_window() -> SlidingWindowTopK:
+    """A delta-eligible window (independent tuples, incremental)."""
+    win = SlidingWindowTopK(window=12, k=3, p_tau=0.0)
+    for i in range(20):
+        win.append(
+            {"score": float((i * 7) % 13)}, probability=0.3 + 0.04 * (i % 10)
+        )
+    return win
+
+
+def test_delta_pmf_has_vectorless_lines(delta_window):
+    pmf = delta_window.distribution()
+    assert len(pmf) > 1
+    assert all(line.vector is None for line in pmf)
+
+
+def test_vectorless_pmf_json_round_trip(delta_window):
+    pmf = delta_window.distribution()
+    text = pmf_to_json(pmf)
+    # None vectors are omitted from the document entirely...
+    assert "vector" not in text
+    restored = pmf_from_json(text)
+    # ...and come back as None, with scores/probs intact.
+    assert restored.scores == pmf.scores
+    assert restored.probs == pytest.approx(pmf.probs)
+    assert all(vector is None for vector in restored.vectors)
+
+
+def test_vectorless_pmf_histogram_consumers(delta_window):
+    pmf = delta_window.distribution()
+    rendered = render_pmf(pmf, buckets=8)
+    assert rendered.count("\n") >= 1
+    buckets = pmf.histogram(2.0)
+    assert sum(prob for _, _, prob in buckets) == pytest.approx(
+        pmf.total_mass()
+    )
+
+
+def test_vectorless_pmf_typicality_consumers(delta_window):
+    pmf = delta_window.distribution()
+    result = select_typical_clamped(pmf, 2)
+    assert len(result.answers) == 2
+    assert all(answer.vector is None for answer in result.answers)
+    # The window's own typical() path agrees and caches per c.
+    again = delta_window.typical(2)
+    assert [a.score for a in again.answers] == [
+        a.score for a in result.answers
+    ]
+
+
+def test_cli_answer_json_round_trips_window_table(delta_window, tmp_path, capsys):
+    """End to end: the delta window's table through ``repro answer
+    --json`` parses back with the pmf document reader."""
+    path = tmp_path / "window.csv"
+    write_table_csv(delta_window.table(), path)
+    code = main(
+        [
+            "answer",
+            str(path),
+            "--score",
+            "score",
+            "-k",
+            "3",
+            "--semantics",
+            "distribution",
+            "--json",
+            "--p-tau",
+            "0",
+        ]
+    )
+    assert code == 0
+    restored = pmf_from_json(capsys.readouterr().out)
+    # Same tuple set, same exact semantics: the session-path PMF the
+    # CLI computes matches the delta-maintained one line for line.
+    delta_pmf = delta_window.distribution()
+    assert restored.scores == pytest.approx(delta_pmf.scores)
+    assert restored.probs == pytest.approx(delta_pmf.probs)
+
+
+def test_cli_answer_json_mc_estimates(delta_window, tmp_path, capsys):
+    """The MC path serves the same document shape through --json."""
+    path = tmp_path / "window.csv"
+    write_table_csv(delta_window.table(), path)
+    code = main(
+        [
+            "answer",
+            str(path),
+            "--score",
+            "score",
+            "-k",
+            "3",
+            "--semantics",
+            "distribution",
+            "--json",
+            "--algorithm",
+            "mc",
+            "--samples",
+            "30000",
+            "--seed",
+            "3",
+            "--p-tau",
+            "0",
+        ]
+    )
+    assert code == 0
+    restored = pmf_from_json(capsys.readouterr().out)
+    delta_pmf = delta_window.distribution()
+    assert restored.expectation() == pytest.approx(
+        delta_pmf.expectation(), abs=0.5
+    )
+
+
+def test_cli_answer_json_non_pmf_semantics(delta_window, tmp_path, capsys):
+    """--json also serializes non-PMF answers (no crash on tuples)."""
+    path = tmp_path / "window.csv"
+    write_table_csv(delta_window.table(), path)
+    code = main(
+        [
+            "answer",
+            str(path),
+            "--score",
+            "score",
+            "-k",
+            "2",
+            "--semantics",
+            "u_topk",
+            "--json",
+            "--p-tau",
+            "0",
+        ]
+    )
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert set(document) == {"vector", "probability", "total_score"}
