@@ -9,7 +9,6 @@ rank-marginal engine).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.dp import dp_distribution
 from repro.core.typical import select_typical

@@ -1,0 +1,136 @@
+"""Service benchmark: micro-batched execution vs naive per-request.
+
+Boots the real HTTP service twice on an ephemeral port — once with
+the micro-batching executor over the shared resident session, once in
+``unbatched`` mode (every request served by a fresh cold session, the
+pre-service behavior of each entry point) — and drives the identical
+closed-loop mixed-semantics workload (:mod:`repro.service.loadgen`)
+through both.  The acceptance bar of the service PR: **batched
+throughput ≥ 2x unbatched** on this tiny CI-sized workload; the gap
+widens with table size, since the unbatched baseline re-runs the
+shared-prefix DP for every request while the batched service pays it
+once per ``(table, p_tau, algorithm)`` group.
+
+Run as pytest (``pytest benchmarks/bench_service.py -s``) or
+standalone (``python benchmarks/bench_service.py [--json PATH]``,
+exits nonzero below the bar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from typing import Any
+
+#: The catalog both server modes load (cold compute ~0.03-0.5s per
+#: workload shape: big enough to dominate HTTP overhead, small enough
+#: for CI).
+CATALOG = ("demo=synthetic:tuples=80,me=0.4,seed=3",)
+
+#: Closed-loop workload size.
+REQUESTS = 60
+CONCURRENCY = 8
+WORKERS = 2
+
+#: The acceptance bar.
+MIN_SPEEDUP = 2.0
+
+
+def _measure(batched: bool, requests: int, concurrency: int) -> dict[str, Any]:
+    """Throughput of one server mode over the standard workload."""
+    from repro.service import DatasetCatalog, make_server, run_loadgen
+
+    catalog = DatasetCatalog(CATALOG)
+    server = make_server(
+        catalog, port=0, workers=WORKERS, batched=batched
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        result = run_loadgen(
+            f"http://{host}:{port}",
+            requests=requests,
+            concurrency=concurrency,
+            seed=1,
+        )
+    finally:
+        server.shutdown()
+        thread.join(5.0)
+    if result.ok != result.requests:
+        raise AssertionError(
+            f"{'batched' if batched else 'unbatched'} run failed: "
+            f"{result.summary()}"
+        )
+    return {
+        "mode": "batched" if batched else "unbatched",
+        "throughput_rps": round(result.throughput_rps, 2),
+        "elapsed_s": round(result.elapsed_s, 3),
+        "p50_ms": round(result.percentile_ms(0.50) or 0.0, 2),
+        "p99_ms": round(result.percentile_ms(0.99) or 0.0, 2),
+    }
+
+
+def run_comparison(
+    requests: int = REQUESTS, concurrency: int = CONCURRENCY
+) -> dict[str, Any]:
+    """Both modes over the identical workload, plus the speedup."""
+    unbatched = _measure(False, requests, concurrency)
+    batched = _measure(True, requests, concurrency)
+    speedup = batched["throughput_rps"] / unbatched["throughput_rps"]
+    return {
+        "workload": {
+            "catalog": list(CATALOG),
+            "requests": requests,
+            "concurrency": concurrency,
+            "workers": WORKERS,
+        },
+        "unbatched": unbatched,
+        "batched": batched,
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def test_batched_beats_unbatched() -> None:
+    """Batched execution serves mixed traffic >= 2x faster."""
+    from repro.bench.reporting import print_series
+
+    report = run_comparison()
+    print_series(
+        f"Service throughput ({REQUESTS} mixed requests, "
+        f"concurrency {CONCURRENCY})",
+        [report["unbatched"], report["batched"]],
+        columns=("mode", "throughput_rps", "p50_ms", "p99_ms"),
+    )
+    print(f"  speedup: {report['speedup']}x (bar {MIN_SPEEDUP}x)")
+    assert report["speedup"] >= MIN_SPEEDUP, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the report as JSON")
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--concurrency", type=int, default=CONCURRENCY)
+    args = parser.parse_args(argv)
+    report = run_comparison(args.requests, args.concurrency)
+    print(json.dumps(report, indent=2))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if report["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {report['speedup']}x below the "
+            f"{MIN_SPEEDUP}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

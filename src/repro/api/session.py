@@ -22,6 +22,11 @@ therefore invalidates naturally — the next ``execute`` resolves a
 different object and misses.  ``cache_info()`` exposes hit/miss
 counters per stage.
 
+Sessions are safe to share across threads: each stage cache holds its
+own lock, answers are deterministic pure functions of the cache key,
+and the hit/miss counters stay consistent under concurrency — the
+property the :mod:`repro.service` batching executor relies on.
+
 >>> from repro.datasets.soldier import soldier_table
 >>> from repro.api.spec import QuerySpec
 >>> session = Session({"soldiers": soldier_table()})
@@ -37,11 +42,12 @@ True
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Mapping
 
 from repro.api import plan
-from repro.api.registry import SemanticsHandler, get_semantics
+from repro.api.registry import get_semantics
 from repro.api.spec import QuerySpec
 from repro.core.pmf import ScorePMF
 from repro.exceptions import AlgorithmError
@@ -82,9 +88,17 @@ def _hashable(value: Any) -> Hashable:
 
 
 class _LRU:
-    """A small least-recently-used map with hit/miss counters."""
+    """A small least-recently-used map with hit/miss counters.
 
-    __slots__ = ("maxsize", "hits", "misses", "_data")
+    Thread-safe: every operation holds the cache's own lock, so a
+    :class:`Session` may be shared across service worker threads.
+    Counters stay consistent (``hits + misses`` equals the number of
+    ``get`` calls); concurrent misses on one key may each compute and
+    ``put`` the value, which is benign because stage computations are
+    deterministic pure functions of the key.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
@@ -93,34 +107,40 @@ class _LRU:
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return default
 
     def put(self, key: Hashable, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def info(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
 
 
 #: Sentinel distinguishing "absent" from cached ``None`` answers

@@ -34,7 +34,6 @@ from repro.core.dp import dp_distribution, dp_distribution_without_lead_regions
 from repro.core.k_combo import k_combo_distribution
 from repro.core.scan_depth import scan_depth
 from repro.core.state_expansion import state_expansion_distribution
-from repro.core.typical import select_typical
 from repro.semantics.answers import typicality_report
 from repro.stats.metrics import wasserstein_distance
 from repro.uncertain.scoring import ScoredTable, attribute_scorer

@@ -12,6 +12,8 @@ Usage (``python -m repro <command> ...``)::
     repro figures fig03 fig09
     repro bench --json                  # writes BENCH_core.json
     repro bench --tiny --check BENCH_core.json   # CI perf smoke
+    repro serve --table demo=synthetic:tuples=400,me=0.9 --port 8000
+    repro loadgen --url http://127.0.0.1:8000 --requests 200 --expect-ok
 
 Every query command routes through a :class:`~repro.api.session.Session`
 and a :class:`~repro.api.spec.QuerySpec`, so one scored prefix (and one
@@ -42,8 +44,9 @@ from repro.core.distribution import DEFAULT_P_TAU
 from repro.core.pmf import ScorePMF
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.exceptions import ReproError
-from repro.io.csv_io import read_table_csv, write_table_csv
-from repro.io.json_io import pmf_to_json, read_table_json, write_table_json
+from repro.io import load_table_file
+from repro.io.csv_io import write_table_csv
+from repro.io.json_io import answer_to_jsonable, pmf_to_json, write_table_json
 from repro.query.engine import execute_query
 from repro.stats.histogram import render_pmf
 from repro.uncertain.scoring import attribute_scorer, expression_scorer
@@ -52,10 +55,7 @@ from repro.uncertain.table import UncertainTable
 
 def load_table(path: str | Path) -> UncertainTable:
     """Load an uncertain table from a ``.csv`` or ``.json`` file."""
-    path = Path(path)
-    if path.suffix.lower() == ".json":
-        return read_table_json(path)
-    return read_table_csv(path, name=path.stem)
+    return load_table_file(path)
 
 
 def save_table(table: UncertainTable, path: str | Path) -> None:
@@ -193,22 +193,6 @@ def cmd_typical(args: argparse.Namespace) -> int:
     return 0
 
 
-def _answer_jsonable(answer):
-    """An answer as JSON-ready data (PMFs use the pmf document shape)."""
-    if isinstance(answer, ScorePMF):
-        return json.loads(pmf_to_json(answer))
-    if hasattr(answer, "_asdict"):  # NamedTuple results
-        return {
-            key: _answer_jsonable(value)
-            for key, value in answer._asdict().items()
-        }
-    if isinstance(answer, (list, tuple)):
-        return [_answer_jsonable(entry) for entry in answer]
-    if isinstance(answer, (str, int, float, bool)) or answer is None:
-        return answer
-    return str(answer)
-
-
 def cmd_answer(args: argparse.Namespace) -> int:
     """``repro answer``: run any registered answer semantics."""
     session = Session()
@@ -222,7 +206,7 @@ def cmd_answer(args: argparse.Namespace) -> int:
             # repro.io.json_io.pmf_from_json (vector-less lines too).
             print(pmf_to_json(answer))
         else:
-            print(json.dumps(_answer_jsonable(answer), default=str))
+            print(json.dumps(answer_to_jsonable(answer), default=str))
         return 0
     print(f"semantics {args.semantics} (k={args.k}):")
     if answer is None:
@@ -310,6 +294,78 @@ def cmd_figures(args: argparse.Namespace) -> int:
     from repro.bench.figures import main as figures_main
 
     return figures_main(args.names)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the batching concurrent query service."""
+    from repro.service import (
+        DatasetCatalog,
+        load_catalog_file,
+        make_server,
+        parse_binding,
+    )
+
+    bindings: dict[str, str] = {}
+    if args.catalog:
+        bindings.update(load_catalog_file(args.catalog))
+    for binding in args.table:
+        name, source = parse_binding(binding)
+        bindings[name] = source
+    catalog = DatasetCatalog(bindings, cache_size=args.cache_size)
+    if args.warm is not None:
+        catalog.warm(args.warm)
+    server = make_server(
+        catalog,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batched=not args.unbatched,
+        request_timeout_s=args.request_timeout,
+    )
+    host, port = server.server_address[:2]
+    mode = "unbatched (naive per-request)" if args.unbatched else "batched"
+    print(f"repro serve: listening on http://{host}:{port} ({mode})")
+    for name, info in catalog.describe().items():
+        print(
+            f"  table {name}: {info['tuples']} tuples "
+            f"({info['me_rules']} ME rules) from {info['source']}"
+        )
+    print("endpoints: POST /v1/answer /v1/distribution /v1/typical; "
+          "GET /healthz /metrics", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen``: drive a running service with mixed traffic."""
+    from repro.service import run_loadgen
+
+    result = run_loadgen(
+        args.url,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        tables=args.table or None,
+        scorer=args.score,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    print(json.dumps(result.summary(), indent=2))
+    if args.expect_ok and result.ok != result.requests:
+        print(
+            f"error: only {result.ok}/{result.requests} requests "
+            "returned 200",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -414,6 +470,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("names", nargs="*",
                    help="experiment names (default: all)")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "serve", help="run the batching concurrent query service"
+    )
+    p.add_argument("--table", action="append", default=[],
+                   metavar="NAME=SOURCE",
+                   help="catalog binding: a table file path or a "
+                   "generator spec (synthetic:tuples=400,me=0.9,...)")
+    p.add_argument("--catalog", default=None, metavar="FILE",
+                   help='JSON catalog file {"tables": {name: source}}')
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="listen port (0 picks a free port; default 8000)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="executor worker threads (default 2)")
+    p.add_argument("--max-queue", type=int, default=128,
+                   help="pending-request bound before 429 (default 128)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="largest micro-batch (default 32)")
+    p.add_argument("--cache-size", type=int, default=64,
+                   help="per-stage LRU capacity of the shared session")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds (default 30)")
+    p.add_argument("--warm", type=int, default=None, metavar="K",
+                   help="precompute each table's top-K distribution "
+                   "at startup")
+    p.add_argument("--unbatched", action="store_true",
+                   help="serve naively, one cold session per request "
+                   "(the benchmark baseline)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen", help="drive a running service with mixed traffic"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8000",
+                   help="service base URL (default http://127.0.0.1:8000)")
+    p.add_argument("--requests", type=int, default=100,
+                   help="total requests to issue (default 100)")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="closed-loop client threads (default 8)")
+    p.add_argument("--table", action="append", default=[],
+                   metavar="NAME",
+                   help="restrict to these catalog tables "
+                   "(default: discover via /healthz)")
+    p.add_argument("--score", default="score",
+                   help="scorer attribute name (default score)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload shuffle seed (default 0)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-request client timeout in seconds")
+    p.add_argument("--expect-ok", action="store_true",
+                   help="exit nonzero unless every request returned 200")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
         "bench", help="run the core perf baseline workloads"

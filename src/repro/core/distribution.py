@@ -16,7 +16,7 @@ algorithm.
 
 from __future__ import annotations
 
-from typing import Callable, Union
+from typing import Union
 
 from repro.core.dp import DEFAULT_MAX_LINES
 from repro.core.pmf import ScorePMF

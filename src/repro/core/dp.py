@@ -75,6 +75,12 @@ DEFAULT_MAX_LINES = 200
 #: A cell distribution: (scores ascending, probs, vectors) or None.
 _Cell = tuple
 
+#: Smallest probability mass a coalesced line may keep: the smallest
+#: *normal* double (~2.2e-308).  Below it, masses are subnormal and
+#: weighted-mean scores are too quantized to preserve the ascending
+#: invariant of the merge step (and can reach NaN at exactly 0).
+_MIN_CELL_MASS = float(np.finfo(np.float64).tiny)
+
 
 class _Unit:
     """One DP row: an independent tuple or a compressed rule tuple.
@@ -238,6 +244,16 @@ def _reduce_cell(
     grid merge joins lines at most ``cell span / max_lines`` apart —
     the same radius bound as the paper's closest-pair strategy, because
     intermediate spans never exceed the final span (Section 3.2.1).
+
+    Deep dense-ME sweeps (full-table ``p_tau=0`` over hundreds of rule
+    tuples) multiply so many existence factors that a bucket's whole
+    mass underflows into the subnormal range or to exactly ``0.0``;
+    the weighted-mean score of such a bucket is ``0/0`` (NaN) or so
+    quantized by subnormal arithmetic that it lands outside its own
+    bucket, breaking the ascending-score invariant
+    :func:`_merge_two` depends on.  A line whose mass cannot even be
+    represented as a normal float is unobservable noise, so those
+    buckets are dropped (see :data:`_MIN_CELL_MASS`).
     """
     if len(scores) > 1:
         dup = scores[1:] == scores[:-1]
@@ -256,7 +272,14 @@ def _reduce_cell(
         vectors = vectors[_segment_winners(probs, starts)]
         weighted = np.add.reduceat(probs * scores, starts)
         probs = np.add.reduceat(probs, starts)
-        scores = weighted / probs
+        with np.errstate(invalid="ignore"):
+            scores = weighted / probs
+        dead = probs < _MIN_CELL_MASS
+        if dead.any():
+            live = ~dead
+            scores = scores[live]
+            probs = probs[live]
+            vectors = vectors[live]
     return scores, probs, vectors
 
 

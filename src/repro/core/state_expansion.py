@@ -23,7 +23,6 @@ pruning threshold and the emitted masses are exact.
 from __future__ import annotations
 
 import gc
-from typing import Any
 
 from repro.core.coalesce import coalesce_lines
 from repro.core.dp import DEFAULT_MAX_LINES, _cons_to_vector

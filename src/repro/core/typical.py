@@ -22,7 +22,7 @@ reduce each inner sum to O(1).
 from __future__ import annotations
 
 import itertools
-from typing import Any, NamedTuple, Sequence
+from typing import NamedTuple, Sequence
 
 from repro.core.pmf import ScorePMF
 from repro.exceptions import AlgorithmError, EmptyDistributionError

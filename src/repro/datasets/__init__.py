@@ -9,6 +9,9 @@
 * :mod:`repro.datasets.synthetic` — the Section-5.4 bivariate-normal
   generator with controllable score/probability correlation, score
   variance and ME-group layout.
+* :mod:`repro.datasets.specs` — one-line generator specs
+  (``synthetic:tuples=400,me=0.9``) used by the service catalog and
+  ``repro serve --synthetic``.
 """
 
 from repro.datasets.soldier import soldier_table, generate_soldier_table
@@ -24,8 +27,16 @@ from repro.datasets.synthetic import (
     MEGroupLayout,
     generate_synthetic_table,
 )
+from repro.datasets.specs import (
+    SPEC_GENERATORS,
+    generate_from_spec,
+    is_generator_spec,
+)
 
 __all__ = [
+    "SPEC_GENERATORS",
+    "generate_from_spec",
+    "is_generator_spec",
     "soldier_table",
     "generate_soldier_table",
     "CartelConfig",

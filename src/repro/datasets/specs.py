@@ -1,0 +1,142 @@
+"""Compact generator specs: build datasets from one-line strings.
+
+The service catalog (and ``repro serve --synthetic``) names tables
+whose contents are *generated* rather than loaded.  A generator spec
+is ``<generator>:<key>=<value>,...``::
+
+    synthetic:tuples=400,me=0.9,seed=5
+    synthetic:tuples=300,me=0,correlation=0.4,score_std=100
+    soldier:size=40,seed=1
+    cartel:segments=120,seed=7
+
+Keys accepted per generator:
+
+* ``synthetic`` — ``tuples``, ``seed``, ``me`` (ME-group fraction; 0
+  disables grouping), ``correlation``, ``score_mean``, ``score_std``,
+  ``prob_mean``, ``prob_std``;
+* ``soldier`` — ``size`` (omit for the paper's 7-row Table 1),
+  ``seed``;
+* ``cartel`` — ``segments``, ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.exceptions import DatasetError
+from repro.uncertain.table import UncertainTable
+
+#: Generators a spec may name, with their accepted keys.
+SPEC_GENERATORS = ("synthetic", "soldier", "cartel")
+
+
+def _parse_fields(text: str, spec: str) -> dict[str, float]:
+    fields: dict[str, float] = {}
+    if not text:
+        return fields
+    for part in text.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise DatasetError(
+                f"bad generator spec {spec!r}: expected key=value, "
+                f"got {part!r}"
+            )
+        try:
+            fields[key] = float(value)
+        except ValueError:
+            raise DatasetError(
+                f"bad generator spec {spec!r}: non-numeric value "
+                f"for {key!r}"
+            ) from None
+    return fields
+
+
+def _pop_int(fields: dict[str, float], key: str, default: int) -> int:
+    value = fields.pop(key, default)
+    if value != int(value):
+        raise DatasetError(f"{key} must be an integer, got {value!r}")
+    return int(value)
+
+
+def _build_synthetic(fields: dict[str, float], spec: str) -> UncertainTable:
+    from repro.datasets.synthetic import (
+        MEGroupLayout,
+        SyntheticConfig,
+        generate_synthetic_table,
+    )
+
+    tuples = _pop_int(fields, "tuples", 300)
+    seed = _pop_int(fields, "seed", 0)
+    me_fraction = fields.pop("me", 0.5)
+    layout = (
+        MEGroupLayout(fraction=me_fraction) if me_fraction > 0.0 else None
+    )
+    config_kwargs: dict[str, Any] = {"tuples": tuples, "me_layout": layout}
+    for key in ("correlation", "score_mean", "score_std", "prob_mean",
+                "prob_std"):
+        if key in fields:
+            config_kwargs[key] = fields.pop(key)
+    _reject_unknown(fields, spec)
+    return generate_synthetic_table(
+        SyntheticConfig(**config_kwargs), seed=seed
+    )
+
+
+def _build_soldier(fields: dict[str, float], spec: str) -> UncertainTable:
+    from repro.datasets.soldier import generate_soldier_table, soldier_table
+
+    size = _pop_int(fields, "size", 0)
+    seed = _pop_int(fields, "seed", 0)
+    _reject_unknown(fields, spec)
+    if size <= 0:
+        return soldier_table()
+    return generate_soldier_table(size, seed=seed)
+
+
+def _build_cartel(fields: dict[str, float], spec: str) -> UncertainTable:
+    from repro.datasets.cartel import CartelConfig, generate_cartel_area
+
+    segments = _pop_int(fields, "segments", 120)
+    seed = _pop_int(fields, "seed", 0)
+    _reject_unknown(fields, spec)
+    return generate_cartel_area(
+        config=CartelConfig(segments=segments), seed=seed
+    )
+
+
+def _reject_unknown(fields: dict[str, float], spec: str) -> None:
+    if fields:
+        raise DatasetError(
+            f"bad generator spec {spec!r}: unknown keys "
+            f"{sorted(fields)}"
+        )
+
+
+_BUILDERS: dict[str, Callable[[dict[str, float], str], UncertainTable]] = {
+    "synthetic": _build_synthetic,
+    "soldier": _build_soldier,
+    "cartel": _build_cartel,
+}
+
+
+def is_generator_spec(text: str) -> bool:
+    """Whether ``text`` names a generator (vs. a table file path)."""
+    head, sep, _ = text.partition(":")
+    return bool(sep) and head in SPEC_GENERATORS
+
+
+def generate_from_spec(spec: str) -> UncertainTable:
+    """Build the table a generator spec describes.
+
+    Generation is deterministic: the same spec string always yields
+    the same table (seeds default to 0).
+    """
+    generator, _, rest = spec.partition(":")
+    builder = _BUILDERS.get(generator)
+    if builder is None:
+        raise DatasetError(
+            f"unknown generator {generator!r} in spec {spec!r}; "
+            f"expected one of {SPEC_GENERATORS}"
+        )
+    return builder(_parse_fields(rest, spec), spec)

@@ -51,3 +51,19 @@ class QueryPlanError(QueryError):
 
 class DatasetError(ReproError):
     """A dataset generator was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """Base class for the query-service layer (:mod:`repro.service`)."""
+
+
+class BadRequestError(ServiceError):
+    """A service request is malformed (unknown field, bad value...)."""
+
+
+class BackpressureError(ServiceError):
+    """The service queue is full; the caller should retry later."""
+
+
+class RequestTimeoutError(ServiceError):
+    """A queued service request was not answered within its deadline."""

@@ -6,8 +6,11 @@
   JSON documents.
 """
 
+from pathlib import Path
+
 from repro.io.csv_io import read_table_csv, write_table_csv
 from repro.io.json_io import (
+    answer_to_jsonable,
     pmf_from_json,
     pmf_to_json,
     read_table_json,
@@ -17,8 +20,22 @@ from repro.io.json_io import (
 __all__ = [
     "read_table_csv",
     "write_table_csv",
+    "answer_to_jsonable",
+    "load_table_file",
     "pmf_from_json",
     "pmf_to_json",
     "read_table_json",
     "write_table_json",
 ]
+
+
+def load_table_file(path):
+    """Load an uncertain table from a ``.csv`` or ``.json`` file.
+
+    The format is chosen by suffix; CSV tables take the file stem as
+    their name.  Shared by the CLI and the service dataset catalog.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        return read_table_json(path)
+    return read_table_csv(path, name=path.stem)

@@ -77,6 +77,29 @@ def pmf_to_json(pmf: ScorePMF) -> str:
     return json.dumps({"lines": lines}, default=str)
 
 
+def answer_to_jsonable(answer: Any) -> Any:
+    """Any registered semantics' answer as JSON-ready data.
+
+    :class:`ScorePMF` values use the pmf document shape (so they
+    round-trip through :func:`pmf_from_json`); NamedTuple results
+    become objects, sequences become arrays, and anything exotic
+    falls back to ``str``.  Shared by ``repro answer --json`` and the
+    ``/v1/answer`` service endpoint, so both emit identical documents.
+    """
+    if isinstance(answer, ScorePMF):
+        return json.loads(pmf_to_json(answer))
+    if hasattr(answer, "_asdict"):  # NamedTuple results
+        return {
+            key: answer_to_jsonable(value)
+            for key, value in answer._asdict().items()
+        }
+    if isinstance(answer, (list, tuple)):
+        return [answer_to_jsonable(entry) for entry in answer]
+    if isinstance(answer, (str, int, float, bool)) or answer is None:
+        return answer
+    return str(answer)
+
+
 def pmf_from_json(text: str) -> ScorePMF:
     """Rebuild a score distribution from :func:`pmf_to_json` output."""
     try:

@@ -1,0 +1,59 @@
+"""The batching concurrent query service (``repro serve``).
+
+Layers:
+
+* :mod:`repro.service.catalog` — named tables (files or generator
+  specs) loaded once and kept resident in a shared, thread-safe
+  :class:`~repro.api.session.Session` with LRU-bounded staged caches;
+* :mod:`repro.service.batching` — the bounded micro-batching executor
+  grouping in-flight requests by ``(table, p_tau, algorithm)`` with
+  single-flight keys and explicit backpressure;
+* :mod:`repro.service.metrics` — per-endpoint latency histograms,
+  batch-size distribution and cache hit rates, rendered as JSON;
+* :mod:`repro.service.server` — the stdlib HTTP face
+  (``POST /v1/answer``, ``/v1/distribution``, ``/v1/typical``,
+  ``GET /healthz``, ``/metrics``);
+* :mod:`repro.service.loadgen` — the closed-loop client behind
+  ``repro loadgen`` and ``benchmarks/bench_service.py``.
+"""
+
+from repro.service.batching import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WORKERS,
+    BatchingExecutor,
+    batch_key,
+)
+from repro.service.catalog import (
+    DatasetCatalog,
+    load_catalog_file,
+    parse_binding,
+)
+from repro.service.loadgen import LoadgenResult, run_loadgen
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import (
+    DEFAULT_REQUEST_TIMEOUT_S,
+    QueryService,
+    ServiceHTTPServer,
+    build_spec,
+    make_server,
+)
+
+__all__ = [
+    "BatchingExecutor",
+    "batch_key",
+    "DatasetCatalog",
+    "load_catalog_file",
+    "parse_binding",
+    "LoadgenResult",
+    "run_loadgen",
+    "ServiceMetrics",
+    "QueryService",
+    "ServiceHTTPServer",
+    "build_spec",
+    "make_server",
+    "DEFAULT_WORKERS",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_REQUEST_TIMEOUT_S",
+]

@@ -1,0 +1,289 @@
+"""The micro-batching executor: group in-flight requests, run shared.
+
+Requests entering the service queue are grouped by their **batch
+key** ``(table, p_tau, algorithm)``: requests sharing a key share the
+expensive pipeline stages (one scored prefix, one shared-prefix DP or
+MC pass), so a worker executes a whole group through the shared
+:class:`~repro.api.session.Session` back to back — the first request
+of the group pays the compute, the rest are cache lookups.  Keys are
+additionally *single-flight*: while one worker is executing a group,
+other workers skip that key, so concurrent cold requests for one
+distribution never duplicate the DP — they accumulate in the queue
+and are served as one warm batch when the key frees up.
+
+Admission control is explicit: the queue is bounded, and a submit
+beyond the bound raises :class:`~repro.exceptions.BackpressureError`
+(surfaced by the HTTP layer as ``429 Retry-After``), so overload
+degrades into fast rejections instead of unbounded memory growth.
+
+``batched=False`` gives the naive baseline the service benchmark
+compares against: every request executes alone, through a fresh
+session with cold caches — exactly what each pre-service entry point
+(CLI, one-shot ``Session``) did per invocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Literal
+
+from repro.api.session import Session
+from repro.api.spec import QuerySpec
+from repro.exceptions import (
+    BackpressureError,
+    RequestTimeoutError,
+    ServiceError,
+)
+from repro.service.metrics import ServiceMetrics
+
+#: The pipeline operation a request runs.
+Op = Literal["execute", "distribution"]
+
+#: Default worker-pool size.
+DEFAULT_WORKERS = 2
+
+#: Default queue bound (pending requests beyond it are rejected).
+DEFAULT_MAX_QUEUE = 128
+
+#: Default cap on how many grouped requests one batch may hold.
+DEFAULT_MAX_BATCH = 32
+
+
+@dataclass
+class _Pending:
+    """One queued request.
+
+    :ivar deadline: ``time.monotonic()`` moment after which nobody is
+        waiting for the answer anymore (``None`` = wait forever).
+        Expired entries are purged from the queue instead of executed,
+        so abandoned (504'd) requests neither occupy queue slots nor
+        burn worker time.
+    """
+
+    op: Op
+    spec: QuerySpec
+    deadline: float | None = None
+    future: "Future[Any]" = field(default_factory=Future)
+
+    @property
+    def key(self) -> Hashable:
+        return batch_key(self.spec)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+
+def batch_key(spec: QuerySpec) -> Hashable:
+    """The grouping key: requests sharing it share pipeline stages."""
+    table = spec.table if isinstance(spec.table, str) else id(spec.table)
+    return (table, spec.p_tau, spec.algorithm)
+
+
+class BatchingExecutor:
+    """A bounded worker pool executing grouped requests on one Session.
+
+    :param session: the shared session (tables already registered).
+    :param workers: worker-thread count.
+    :param max_queue: pending-request bound (overflow raises
+        :class:`BackpressureError`).
+    :param max_batch: largest group one worker executes at once.
+    :param batched: ``False`` runs the naive per-request baseline
+        (fresh cold session per request, no grouping).
+    :param metrics: optional :class:`ServiceMetrics` sink.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batched: bool = True,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ServiceError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        self._session = session
+        self._max_queue = max_queue
+        self._max_batch = max_batch
+        self.batched = batched
+        self._metrics = metrics
+        self._pending: list[_Pending] = []
+        self._inflight: set[Hashable] = set()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._stopping = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, op: Op, spec: QuerySpec, *, timeout_s: float | None = None
+    ) -> "Future[Any]":
+        """Queue one request; returns its :class:`Future`.
+
+        :param timeout_s: how long the caller will wait for the
+            answer; once elapsed, the entry no longer holds a queue
+            slot and is failed with :class:`RequestTimeoutError`
+            instead of executed.
+        :raises BackpressureError: when the queue bound is reached
+            (after purging expired entries).
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        request = _Pending(op=op, spec=spec, deadline=deadline)
+        with self._wakeup:
+            if self._stopping:
+                raise ServiceError("executor is shut down")
+            self._purge_expired()
+            if len(self._pending) >= self._max_queue:
+                if self._metrics is not None:
+                    self._metrics.record_rejection()
+                raise BackpressureError(
+                    f"queue full ({self._max_queue} pending); retry later"
+                )
+            self._pending.append(request)
+            if self._metrics is not None:
+                self._metrics.record_queue_depth(len(self._pending))
+            self._wakeup.notify()
+        return request.future
+
+    def _purge_expired(self) -> None:
+        """Under the lock: fail and drop deadline-expired entries."""
+        now = time.monotonic()
+        if not any(request.expired(now) for request in self._pending):
+            return
+        live: list[_Pending] = []
+        for request in self._pending:
+            if request.expired(now):
+                request.future.set_exception(
+                    RequestTimeoutError(
+                        "request expired in the queue before execution"
+                    )
+                )
+            else:
+                live.append(request)
+        self._pending = live
+
+    def queue_depth(self) -> int:
+        """Currently pending (not yet executing) requests."""
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> list[_Pending] | None:
+        """Under the lock: claim the next executable group (or None)."""
+        self._purge_expired()
+        if not self._pending:
+            return None
+        if not self.batched:
+            batch = [self._pending.pop(0)]
+        else:
+            head_key = None
+            for request in self._pending:
+                if request.key not in self._inflight:
+                    head_key = request.key
+                    break
+            if head_key is None:
+                # Every pending key is being executed by another
+                # worker; wait for a completion notification.
+                return None
+            batch = []
+            rest: list[_Pending] = []
+            for request in self._pending:
+                if request.key == head_key and len(batch) < self._max_batch:
+                    batch.append(request)
+                else:
+                    rest.append(request)
+            self._pending = rest
+            self._inflight.add(head_key)
+        if self._metrics is not None:
+            self._metrics.record_queue_depth(len(self._pending))
+        return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                batch = self._take_batch()
+                while batch is None:
+                    if self._stopping:
+                        return
+                    self._wakeup.wait()
+                    batch = self._take_batch()
+            try:
+                self._execute(batch)
+            finally:
+                if self.batched:
+                    with self._wakeup:
+                        self._inflight.discard(batch[0].key)
+                        self._wakeup.notify_all()
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        if self._metrics is not None:
+            self._metrics.record_batch(len(batch))
+        session = (
+            self._session
+            if self.batched
+            # Naive baseline: a cold session over the same catalog.
+            else Session(self._session.catalog)
+        )
+        for request in batch:
+            if request.expired(time.monotonic()):
+                request.future.set_exception(
+                    RequestTimeoutError(
+                        "request expired in the queue before execution"
+                    )
+                )
+                continue
+            try:
+                if request.op == "distribution":
+                    result: Any = session.distribution(request.spec)
+                else:
+                    result = session.execute(request.spec)
+                request.future.set_result(result)
+            except BaseException as exc:  # propagate to the waiter
+                request.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, *, timeout: float = 5.0) -> None:
+        """Stop the workers; pending requests fail with ServiceError."""
+        with self._wakeup:
+            self._stopping = True
+            drained = self._pending
+            self._pending = []
+            self._wakeup.notify_all()
+        for request in drained:
+            request.future.set_exception(
+                ServiceError("executor shut down before execution")
+            )
+        for thread in self._workers:
+            thread.join(timeout)
+
+    def __enter__(self) -> "BatchingExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

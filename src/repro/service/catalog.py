@@ -1,0 +1,155 @@
+"""The dataset catalog: named resident tables behind one Session.
+
+A :class:`DatasetCatalog` loads every configured table **once at
+startup** — from ``.csv``/``.json`` files or from one-line generator
+specs (:mod:`repro.datasets.specs`) — and keeps it resident inside a
+shared, thread-safe :class:`~repro.api.session.Session`.  The
+session's staged LRU caches are the "conditioned distribution
+computed once, reused across queries" of the serving architecture:
+the first request against a ``(table, scorer, k, p_tau)`` shape pays
+for the scored prefix and the DP/MC distribution; every later request
+— any semantics, any ``c`` — is a cache lookup bounded by the
+configured LRU capacity.
+
+Catalog entries are declared as ``name=source`` strings::
+
+    readings=path/to/readings.csv
+    demo=synthetic:tuples=400,me=0.9,seed=5
+    soldiers=soldier:
+
+or as a JSON catalog file ``{"tables": {"name": "source", ...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.api.session import DEFAULT_CACHE_SIZE, Session
+from repro.api.spec import QuerySpec
+from repro.datasets.specs import generate_from_spec, is_generator_spec
+from repro.exceptions import ServiceError
+from repro.io import load_table_file
+from repro.uncertain.table import UncertainTable
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One catalog table: where it came from and its shape."""
+
+    name: str
+    source: str
+    tuples: int
+    me_rules: int
+
+
+def parse_binding(binding: str) -> tuple[str, str]:
+    """Split one ``name=source`` catalog binding."""
+    name, sep, source = binding.partition("=")
+    name = name.strip()
+    if not sep or not name or not source:
+        raise ServiceError(
+            f"catalog binding must be name=source, got {binding!r}"
+        )
+    return name, source
+
+
+def load_catalog_file(path: str | Path) -> dict[str, str]:
+    """``name -> source`` bindings of a JSON catalog file."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"cannot read catalog file {path}: {exc}") from exc
+    tables = document.get("tables")
+    if not isinstance(tables, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in tables.items()
+    ):
+        raise ServiceError(
+            f"catalog file {path} must hold "
+            '{"tables": {"name": "source", ...}}'
+        )
+    return tables
+
+
+class DatasetCatalog:
+    """Named tables loaded at startup, resident in one shared Session.
+
+    :param bindings: ``name -> source`` mapping or an iterable of
+        ``name=source`` strings; a source is a table-file path or a
+        generator spec.
+    :param cache_size: per-stage LRU capacity of the shared session
+        (bounds the resident prefix/PMF/answer state).
+    """
+
+    def __init__(
+        self,
+        bindings: Mapping[str, str] | Iterable[str],
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if not isinstance(bindings, Mapping):
+            bindings = dict(parse_binding(entry) for entry in bindings)
+        if not bindings:
+            raise ServiceError("the dataset catalog must name >= 1 table")
+        self._entries: dict[str, TableEntry] = {}
+        self.session = Session(cache_size=cache_size)
+        for name, source in bindings.items():
+            table = self._load(name, source)
+            self.session.register(name, table)
+            self._entries[name] = TableEntry(
+                name=name,
+                source=source,
+                tuples=len(table),
+                me_rules=len(table.explicit_rules),
+            )
+
+    @staticmethod
+    def _load(name: str, source: str) -> UncertainTable:
+        try:
+            if is_generator_spec(source):
+                return generate_from_spec(source)
+            return load_table_file(source)
+        except ServiceError:
+            raise
+        except Exception as exc:
+            raise ServiceError(
+                f"cannot load catalog table {name!r} from {source!r}: {exc}"
+            ) from exc
+
+    def names(self) -> tuple[str, ...]:
+        """Catalog table names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def describe(self) -> dict[str, dict[str, Any]]:
+        """Per-table metadata for ``/healthz`` and startup logging."""
+        return {
+            name: {
+                "source": entry.source,
+                "tuples": entry.tuples,
+                "me_rules": entry.me_rules,
+            }
+            for name, entry in sorted(self._entries.items())
+        }
+
+    def warm(
+        self, k: int, *, scorer: str = "score", p_tau: float = 0.0
+    ) -> int:
+        """Precompute each table's prefix + distribution for a shape.
+
+        Returns the number of tables warmed.  Useful at startup so the
+        first real request never pays the cold DP cost.
+        """
+        for name in self.names():
+            self.session.distribution(
+                QuerySpec(table=name, scorer=scorer, k=k, p_tau=p_tau)
+            )
+        return len(self._entries)

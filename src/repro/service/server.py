@@ -1,0 +1,337 @@
+"""The stdlib HTTP face of the query service (``repro serve``).
+
+Endpoints::
+
+    POST /v1/answer        any registered semantics over a catalog table
+    POST /v1/distribution  the top-k score distribution (pmf document)
+    POST /v1/typical       c-Typical-Topk answers
+    GET  /healthz          liveness + catalog summary
+    GET  /metrics          the ServiceMetrics JSON document
+
+Request bodies are JSON objects; ``table`` (a catalog name) and ``k``
+are required, everything else has the :class:`~repro.api.spec.QuerySpec`
+defaults::
+
+    {"table": "demo", "k": 5, "semantics": "u_topk", "p_tau": 0.1}
+
+Status codes: ``200`` success, ``400`` malformed request, ``404``
+unknown table or path, ``429`` queue full (with ``Retry-After``),
+``504`` request timed out in the queue, ``500`` internal error.
+Responses always carry ``application/json``.
+
+The server is a ``ThreadingHTTPServer`` so slow clients do not block
+each other; actual query execution is delegated to the bounded
+:class:`~repro.service.batching.BatchingExecutor`, which is where
+admission control and micro-batching happen.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, cast
+
+from repro.api.spec import QuerySpec
+from repro.core.pmf import ScorePMF
+from repro.exceptions import (
+    BackpressureError,
+    BadRequestError,
+    QueryPlanError,
+    ReproError,
+    RequestTimeoutError,
+    ServiceError,
+)
+from repro.io.json_io import answer_to_jsonable, pmf_to_json
+from repro.service.batching import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WORKERS,
+    BatchingExecutor,
+    Op,
+)
+from repro.service.catalog import DatasetCatalog
+from repro.service.metrics import ServiceMetrics
+
+#: How long a request may wait end to end before ``504``.
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+#: Spec fields a request body may set (beyond the required ones).
+_OPTIONAL_FIELDS = (
+    "scorer",
+    "semantics",
+    "c",
+    "threshold",
+    "p_tau",
+    "max_lines",
+    "algorithm",
+    "depth",
+    "epsilon",
+    "confidence",
+    "samples",
+    "seed",
+)
+
+
+@dataclass
+class _Reply:
+    """One endpoint result: HTTP status plus the JSON document."""
+
+    status: int
+    document: dict[str, Any]
+
+
+def build_spec(payload: dict[str, Any], endpoint: str) -> QuerySpec:
+    """Validate a request body into a :class:`QuerySpec`.
+
+    ``/v1/distribution`` ignores ``semantics``; ``/v1/typical`` forces
+    ``semantics="typical"``.  Unknown fields are rejected so typos
+    fail loudly instead of silently running defaults.
+    """
+    if not isinstance(payload, dict):
+        raise BadRequestError("request body must be a JSON object")
+    known = {"table", "k", *_OPTIONAL_FIELDS}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise BadRequestError(f"unknown request fields: {unknown}")
+    table = payload.get("table")
+    if not isinstance(table, str) or not table:
+        raise BadRequestError('"table" must name a catalog table')
+    if "k" not in payload:
+        raise BadRequestError('"k" is required')
+    scorer = payload.get("scorer", "score")
+    if not isinstance(scorer, str) or not scorer:
+        raise BadRequestError('"scorer" must be an attribute name')
+    kwargs: dict[str, Any] = {
+        "table": table,
+        "scorer": scorer,
+        "k": payload["k"],
+    }
+    for name in _OPTIONAL_FIELDS:
+        if name != "scorer" and name in payload:
+            kwargs[name] = payload[name]
+    if endpoint == "typical":
+        if kwargs.setdefault("semantics", "typical") != "typical":
+            raise BadRequestError(
+                "/v1/typical only serves semantics=typical; use "
+                "/v1/answer for other semantics"
+            )
+    try:
+        return QuerySpec(**kwargs)
+    except ReproError as exc:
+        raise BadRequestError(str(exc)) from exc
+    except TypeError as exc:
+        raise BadRequestError(f"bad request field: {exc}") from exc
+
+
+class QueryService:
+    """Catalog + shared session + executor + metrics, as one object.
+
+    This is the transport-independent core: the HTTP handler (and the
+    in-process tests and the service benchmark) call :meth:`handle`
+    with parsed JSON and get back a status plus a JSON-ready document.
+    """
+
+    #: POST endpoint name -> executor operation.
+    ENDPOINT_OPS: dict[str, Op] = {
+        "answer": "execute",
+        "typical": "execute",
+        "distribution": "distribution",
+    }
+
+    def __init__(
+        self,
+        catalog: DatasetCatalog,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batched: bool = True,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+    ) -> None:
+        self.catalog = catalog
+        self.metrics = ServiceMetrics()
+        self.request_timeout_s = request_timeout_s
+        self.executor = BatchingExecutor(
+            catalog.session,
+            workers=workers,
+            max_queue=max_queue,
+            max_batch=max_batch,
+            batched=batched,
+            metrics=self.metrics,
+        )
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def handle(self, endpoint: str, payload: dict[str, Any]) -> _Reply:
+        """Serve one POST endpoint; never raises."""
+        op = self.ENDPOINT_OPS.get(endpoint)
+        if op is None:
+            return _Reply(404, {"error": f"unknown endpoint {endpoint!r}"})
+        start = time.perf_counter()
+        status, document = self._run(endpoint, op, payload)
+        elapsed = time.perf_counter() - start
+        self.metrics.record_request(endpoint, elapsed, error=status != 200)
+        document.setdefault("elapsed_ms", round(elapsed * 1e3, 3))
+        return _Reply(status, document)
+
+    def _run(
+        self, endpoint: str, op: Op, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            spec = build_spec(payload, endpoint)
+            if spec.table not in self.catalog:
+                return 404, {
+                    "error": f"unknown table {spec.table!r}",
+                    "tables": list(self.catalog.names()),
+                }
+            future = self.executor.submit(
+                op, spec, timeout_s=self.request_timeout_s
+            )
+            answer = future.result(self.request_timeout_s)
+        except BadRequestError as exc:
+            return 400, {"error": str(exc)}
+        except BackpressureError as exc:
+            return 429, {"error": str(exc)}
+        except QueryPlanError as exc:
+            return 404, {"error": str(exc)}
+        except (RequestTimeoutError, FutureTimeoutError) as exc:
+            return 504, {
+                "error": str(exc)
+                or f"request timed out after {self.request_timeout_s}s"
+            }
+        except ServiceError as exc:
+            return 500, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"internal error: {exc}"}
+        document: dict[str, Any] = {
+            "table": spec.table,
+            "k": spec.k,
+        }
+        if endpoint == "distribution":
+            document.update(json.loads(pmf_to_json(answer)))
+        elif endpoint == "typical":
+            document["c"] = spec.c
+            document["result"] = answer_to_jsonable(answer)
+        else:
+            document["semantics"] = spec.semantics
+            document["answer"] = answer_to_jsonable(answer)
+            if isinstance(answer, ScorePMF):
+                document["answer_kind"] = "pmf"
+        return 200, document
+
+    def healthz(self) -> _Reply:
+        """Liveness: catalog summary + uptime + executor mode."""
+        return _Reply(
+            200,
+            {
+                "status": "ok",
+                "uptime_s": round(time.time() - self._started, 3),
+                "batched": self.executor.batched,
+                "tables": self.catalog.describe(),
+            },
+        )
+
+    def metrics_document(self) -> _Reply:
+        """The metrics JSON document (cache counters included)."""
+        return _Reply(
+            200, self.metrics.snapshot(self.catalog.session.cache_info())
+        )
+
+    def shutdown(self) -> None:
+        self.executor.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP to :class:`QueryService`; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    #: Largest accepted request body.
+    MAX_BODY_BYTES = 1 << 20
+
+    @property
+    def _service_server(self) -> "ServiceHTTPServer":
+        return cast("ServiceHTTPServer", self.server)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self._service_server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, reply: _Reply) -> None:
+        body = json.dumps(reply.document, default=str).encode()
+        self.send_response(reply.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if reply.status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self._service_server.service
+        if self.path == "/healthz":
+            self._send(service.healthz())
+        elif self.path == "/metrics":
+            self._send(service.metrics_document())
+        else:
+            self._send(_Reply(404, {"error": f"unknown path {self.path}"}))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        service = self._service_server.service
+        if not self.path.startswith("/v1/"):
+            self._send(_Reply(404, {"error": f"unknown path {self.path}"}))
+            return
+        endpoint = self.path.removeprefix("/v1/")
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > self.MAX_BODY_BYTES:
+            self._send(_Reply(400, {"error": "bad Content-Length"}))
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send(_Reply(400, {"error": f"bad JSON body: {exc}"}))
+            return
+        self._send(service.handle(endpoint, payload))
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server owning one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.service.shutdown()
+
+
+def make_server(
+    catalog: DatasetCatalog,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    **service_kwargs: Any,
+) -> ServiceHTTPServer:
+    """Build a ready-to-run server (``port=0`` picks a free port)."""
+    service = QueryService(catalog, **service_kwargs)
+    return ServiceHTTPServer((host, port), service, verbose=verbose)

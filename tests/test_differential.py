@@ -19,6 +19,10 @@ The suite doubles as the CI fuzz smoke: ``REPRO_DIFF_SEED`` shifts
 every case's seed (the workflow rotates it daily), and the effective
 seed is part of each case id, so a failing case is reproduced with
 ``REPRO_DIFF_SEED=<seed shown> pytest tests/test_differential.py -k <id>``.
+
+``REPRO_DIFF_DEPTH=N`` multiplies coverage: each shape runs ``2*N``
+seeds instead of the default 2 (the nightly workflow sets 5, i.e.
+5x depth = 200 cases; per-push CI keeps the fast default).
 """
 
 from __future__ import annotations
@@ -46,6 +50,16 @@ from tests.conftest import assert_pmf_equal, random_table
 
 #: Environment knob rotated by the CI fuzz-smoke step.
 SEED_OFFSET = int(os.environ.get("REPRO_DIFF_SEED", "0"))
+
+#: Depth multiplier (the nightly workflow runs at 5x): every shape
+#: gets ``2 * depth`` seeds, the first two being the tier-1 defaults.
+DIFF_DEPTH = max(1, int(os.environ.get("REPRO_DIFF_DEPTH", "1")))
+
+#: Per-shape seeds: the historical (11, 23) pair, extended by a fixed
+#: arithmetic tail when the depth multiplier asks for more.
+CASE_SEEDS = (11, 23) + tuple(
+    307 + 41 * extra for extra in range(2 * (DIFF_DEPTH - 1))
+)
 
 #: MC sample count per case (fixed: the CI width is the assertion).
 MC_SAMPLES = 20_000
@@ -99,7 +113,7 @@ SHAPES = [
 CASES = [
     pytest.param(shape, seed + SEED_OFFSET, id=f"{shape.name}-s{seed + SEED_OFFSET}")
     for shape in SHAPES
-    for seed in (11, 23)
+    for seed in CASE_SEEDS
 ]
 
 

@@ -9,7 +9,6 @@ from repro.core.dp import (
     dp_distribution,
     dp_distribution_without_lead_regions,
 )
-from repro.core.pmf import ScorePMF
 from repro.exceptions import AlgorithmError
 from repro.uncertain.scoring import ScoredTable, attribute_scorer
 from tests.conftest import (

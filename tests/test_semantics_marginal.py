@@ -10,7 +10,6 @@ from repro.semantics.answers import typicality_report
 from repro.semantics.global_topk import global_topk
 from repro.semantics.pt_k import pt_k
 from repro.semantics.u_kranks import u_kranks
-from repro.uncertain.scoring import ScoredTable, attribute_scorer
 from tests.conftest import make_table, random_table
 from tests.test_marginals import (
     rank_prob_by_enumeration,
