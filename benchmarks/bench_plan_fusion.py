@@ -1,0 +1,170 @@
+"""Plan-fusion benchmark: one fused sweep vs the unfused batched path.
+
+Drives the same cold mixed-k batch — one CarTel-style ME table, six
+distinct ``k`` values across two answer semantics — through
+
+* the **fused** path: one ``Session.execute_many`` call, whose
+  planner merges all exact DPs into a single shared-prefix sweep at
+  ``k_max`` and slices the per-k distributions out; and
+* the **unfused** batched path: the same warm shared session executing
+  request by request (the pre-planner ``BatchingExecutor`` behavior:
+  stage caches shared, but one scored prefix and one DP per distinct
+  ``k``).
+
+Both paths produce byte-identical answers (asserted here); the
+acceptance bar of the planner PR: **fused ≥ 1.5x unfused** on this
+CI-sized workload.  The gap grows with the number of distinct ``k``
+values in the batch, since the unfused path pays one full sweep per
+``k`` while the fused path pays one sweep total.
+
+Run as pytest (``pytest benchmarks/bench_plan_fusion.py -s``) or
+standalone (``python benchmarks/bench_plan_fusion.py [--json PATH]``,
+exits nonzero below the bar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+#: The batch: every (k, semantics) pair becomes one request.
+KS = (2, 3, 5, 8, 10, 12)
+SEMANTICS = ("typical", "distribution")
+
+#: Workload shape (ME-heavy, CI-sized; the high ME fraction makes the
+#: shared rule folding — the part fusion pays once — dominate).
+SEGMENTS = 50
+ME_FRACTION = 0.95
+P_TAU = 0.0
+
+#: The acceptance bar.
+MIN_SPEEDUP = 1.5
+
+#: Timing repeats (best-of, cold sessions each time).
+REPEATS = 2
+
+
+def _specs(scorer):
+    from repro.api import QuerySpec
+
+    return [
+        QuerySpec(
+            table="area", scorer=scorer, k=k, p_tau=P_TAU, semantics=sem
+        )
+        for k in KS
+        for sem in SEMANTICS
+    ]
+
+
+def _session(table):
+    from repro.api import Session
+    from repro.api.calibration import CostModel
+    from repro.api.planner import Planner
+
+    return Session({"area": table}, planner=Planner(CostModel()))
+
+
+def run_comparison() -> dict[str, Any]:
+    """Both paths over the identical cold batch, plus the speedup."""
+    from repro.bench.workloads import cartel_workload, congestion_scorer
+    from repro.core import dp
+
+    table = cartel_workload(segments=SEGMENTS, me_fraction=ME_FRACTION)
+    scorer = congestion_scorer()
+    specs = _specs(scorer)
+
+    fused_s = float("inf")
+    unfused_s = float("inf")
+    fused_results: list[Any] = []
+    unfused_results: list[Any] = []
+    sweeps = -1
+    for _ in range(REPEATS):
+        session = _session(table)
+        before = dp.dp_sweep_count()
+        start = time.perf_counter()
+        fused_results = session.execute_many(specs)
+        elapsed = time.perf_counter() - start
+        if elapsed < fused_s:
+            fused_s = elapsed
+            sweeps = dp.dp_sweep_count() - before
+
+        session = _session(table)
+        start = time.perf_counter()
+        unfused_results = [session.execute(spec) for spec in specs]
+        unfused_s = min(unfused_s, time.perf_counter() - start)
+
+    for got, want in zip(fused_results, unfused_results):
+        if hasattr(got, "scores"):
+            assert got.scores == want.scores and got.probs == want.probs, (
+                "fused distribution diverged from the unfused path"
+            )
+        else:
+            assert got == want, "fused answer diverged from the unfused path"
+
+    speedup = unfused_s / fused_s if fused_s > 0 else float("inf")
+    return {
+        "workload": {
+            "segments": SEGMENTS,
+            "me_fraction": ME_FRACTION,
+            "p_tau": P_TAU,
+            "ks": list(KS),
+            "semantics": list(SEMANTICS),
+            "requests": len(specs),
+        },
+        "fused": {
+            "elapsed_s": round(fused_s, 4),
+            "dp_sweeps": sweeps,
+        },
+        "unfused": {"elapsed_s": round(unfused_s, 4)},
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def test_fused_batch_beats_unfused_by_bar() -> None:
+    """CI bar: fused mixed-k batch >= MIN_SPEEDUP x the unfused path,
+    with exactly one DP sweep and byte-identical answers."""
+    result = run_comparison()
+    print(json.dumps(result, indent=2))
+    assert result["fused"]["dp_sweeps"] == 1, result
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"fusion speedup {result['speedup']}x below the "
+        f"{MIN_SPEEDUP}x bar: {result}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the result document to PATH")
+    args = parser.parse_args(argv)
+    result = run_comparison()
+    print(json.dumps(result, indent=2))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.json}")
+    if result["fused"]["dp_sweeps"] != 1:
+        print("FAIL: fused batch ran more than one DP sweep",
+              file=sys.stderr)
+        return 1
+    if result["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {result['speedup']}x below the "
+            f"{MIN_SPEEDUP}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import pathlib
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    )
+    raise SystemExit(main())

@@ -1,17 +1,26 @@
-"""Unified Session/QuerySpec API.
+"""Unified Session/QuerySpec API over an explicit plan layer.
 
-The package-level surface of the redesigned API (this PR's tentpole):
+The package-level surface:
 
 * :class:`~repro.api.spec.QuerySpec` — one frozen value describing a
   top-k request (table, scorer, k, semantics, and every tuning knob);
 * :mod:`~repro.api.registry` — the pluggable answer-semantics
   registry (``@register_semantics``) with the paper's semantics and
   all rival baselines pre-registered (:mod:`repro.api.builtin`);
-* :class:`~repro.api.session.Session` — plans a spec in stages
-  (resolve → scored prefix → score distribution → semantics) and
-  memoizes each stage, so one computed distribution serves typical
-  answers at any ``c``, histograms at any precision, and comparisons
-  across semantics without recomputation.
+* the **logical→physical plan layer** — specs normalize into a
+  :class:`~repro.api.logical.LogicalPlan` (the single source of every
+  batch/cache key), which the cost-calibrated
+  :class:`~repro.api.planner.Planner` lowers into a
+  :class:`~repro.api.physical.PhysicalPlan` of executable operators;
+  ``repro calibrate`` (:mod:`repro.api.calibration`) prices the cost
+  model per machine;
+* :class:`~repro.api.session.Session` — executes plans with every
+  stage memoized, so one computed distribution serves typical answers
+  at any ``c``, histograms at any precision, and comparisons across
+  semantics without recomputation; :meth:`Session.execute_many` fuses
+  a mixed-``k`` batch into one shared DP sweep, and
+  :meth:`Session.explain` renders any request's operator tree with
+  cost estimates and predicted cache hits.
 
 Quickstart::
 
@@ -27,6 +36,14 @@ Quickstart::
     rival = session.execute(spec.with_(semantics="u_topk"))
 """
 
+from repro.api.calibration import (
+    CostModel,
+    load_cost_model,
+    run_calibration,
+    write_calibration,
+)
+from repro.api.logical import LogicalPlan
+from repro.api.physical import PhysicalPlan
 from repro.api.plan import (
     AUTO_MC_COST_BUDGET,
     choose_algorithm,
@@ -35,6 +52,7 @@ from repro.api.plan import (
     resolve_algorithm,
     scored_prefix_for,
 )
+from repro.api.planner import DEFAULT_PLANNER, Planner
 from repro.api.registry import (
     SemanticsHandler,
     available_semantics,
@@ -57,6 +75,14 @@ from repro.api.spec import (
 __all__ = [
     "QuerySpec",
     "Session",
+    "LogicalPlan",
+    "PhysicalPlan",
+    "Planner",
+    "DEFAULT_PLANNER",
+    "CostModel",
+    "load_cost_model",
+    "run_calibration",
+    "write_calibration",
     "SemanticsHandler",
     "register_semantics",
     "unregister_semantics",

@@ -1,4 +1,4 @@
-"""Stage primitives of the query pipeline.
+"""Stage functions and planning shims of the query pipeline.
 
 The pipeline a :class:`~repro.api.session.Session` plans — and that
 the legacy free functions execute one-shot — has three stages:
@@ -10,47 +10,73 @@ the legacy free functions execute one-shot — has three stages:
 3. **semantics** — apply the requested answer semantics (dispatched
    through :mod:`repro.api.registry`).
 
-This module owns stages 1–2 plus the ``algorithm="auto"`` choice; it
-is deliberately stateless so the Session can memoize each stage under
-keys derived from the :class:`~repro.api.spec.QuerySpec`.
+Planning itself lives in the explicit logical→physical layer:
+:mod:`repro.api.logical` normalizes a spec,
+:mod:`repro.api.planner` chooses the concrete algorithm from the
+machine's cost model and lowers it to the executable operators of
+:mod:`repro.api.physical`.  This module remains the *stage-function
+namespace* those operators execute through — one patchable seam for
+tests and plugins — plus backward-compatible wrappers
+(:func:`choose_algorithm`, :func:`resolve_algorithm`,
+:func:`exact_cost`) that delegate to the process-wide planner.
+
+The ``AUTO_*`` constants below are the planner's builtin (frozen)
+thresholds; a machine calibrated with ``repro calibrate`` overrides
+them through :mod:`repro.api.calibration` without touching this
+module.
 """
 
 from __future__ import annotations
 
-import math
-
+from repro.api.calibration import (
+    DEFAULT_K_COMBO_MAX_COMBINATIONS,
+    DEFAULT_MC_COST_BUDGET,
+    DEFAULT_STATE_EXPANSION_MAX_DEPTH,
+)
+from repro.api.logical import LogicalPlan
+from repro.api.planner import DEFAULT_PLANNER, exact_cost
 from repro.core.distribution import prepare_scored_prefix
-from repro.core.dp import dp_distribution, dp_distribution_per_ending
-from repro.core.k_combo import k_combo_distribution
+from repro.core.dp import (  # noqa: F401  (stage-function namespace)
+    dp_distribution,
+    dp_distribution_per_ending,
+    dp_distribution_sliced,
+)
+from repro.core.k_combo import k_combo_distribution  # noqa: F401
 from repro.core.pmf import ScorePMF
-from repro.core.state_expansion import state_expansion_distribution
-from repro.exceptions import AlgorithmError
+from repro.core.state_expansion import (  # noqa: F401
+    state_expansion_distribution,
+)
 from repro.uncertain.scoring import ScoredTable
 from repro.uncertain.table import UncertainTable
 
-#: ``algorithm="auto"``: use k-Combo when the full combination count
-#: is below this (exhaustive enumeration is then cheapest).
-AUTO_K_COMBO_MAX_COMBINATIONS = 256
+__all__ = [
+    "AUTO_K_COMBO_MAX_COMBINATIONS",
+    "AUTO_STATE_EXPANSION_MAX_DEPTH",
+    "AUTO_MC_COST_BUDGET",
+    "exact_cost",
+    "choose_algorithm",
+    "resolve_algorithm",
+    "scored_prefix_for",
+    "distribution_from_prefix",
+    "mc_distribution",
+]
 
-#: ``algorithm="auto"``: use StateExpansion for prefixes at most this
-#: deep (its 2^n state space stays trivial there).
-AUTO_STATE_EXPANSION_MAX_DEPTH = 12
+#: ``algorithm="auto"`` builtin threshold: use k-Combo when the full
+#: combination count is below this (exhaustive enumeration is then
+#: cheapest).  Calibration may override per machine.
+AUTO_K_COMBO_MAX_COMBINATIONS = DEFAULT_K_COMBO_MAX_COMBINATIONS
 
-#: ``algorithm="auto"``: fall back to the Monte-Carlo estimator when
-#: the exact-cost model (:func:`exact_cost` units) exceeds this.  The
-#: exact sweep at the budget takes on the order of a second of pure
-#: Python/numpy; beyond it sampling with explicit ±ε bounds is the
-#: better trade.
-AUTO_MC_COST_BUDGET = 5_000_000
+#: ``algorithm="auto"`` builtin threshold: use StateExpansion for
+#: prefixes at most this deep (its 2^n state space stays trivial
+#: there).
+AUTO_STATE_EXPANSION_MAX_DEPTH = DEFAULT_STATE_EXPANSION_MAX_DEPTH
 
-
-def exact_cost(n: int, k: int, me_members: int = 0) -> int:
-    """Cost-model units of the exact shared-prefix DP: O(k·n·(m+1)).
-
-    ``m`` is the number of tuples sharing an ME group with another
-    tuple (the Section-3.3.3 bound); independent prefixes cost O(kn).
-    """
-    return k * n * (me_members + 1)
+#: ``algorithm="auto"`` builtin threshold: fall back to the
+#: Monte-Carlo estimator when the exact-cost model
+#: (:func:`exact_cost` units) exceeds this.  The exact sweep at the
+#: budget takes on the order of a second of pure Python/numpy; beyond
+#: it sampling with explicit ±ε bounds is the better trade.
+AUTO_MC_COST_BUDGET = DEFAULT_MC_COST_BUDGET
 
 
 def choose_algorithm(
@@ -58,40 +84,22 @@ def choose_algorithm(
 ) -> str:
     """Pick an algorithm from the problem shape.
 
-    ``n`` is the scanned prefix length (the effective input size after
-    Theorem-2 truncation or an explicit ``depth`` override).  The
-    baselines are exponential in general but cheapest on tiny inputs
-    (Figure 10): exhaustive k-Combo when there are only a handful of
-    k-combinations, StateExpansion on very short prefixes, and the
-    O(kn) dynamic program everywhere else — unless the exact-cost
-    model exceeds :data:`AUTO_MC_COST_BUDGET`, in which case the
-    Monte-Carlo estimator (sampled answers with confidence bounds)
-    takes over.
+    Delegates to the process-wide :data:`~repro.api.planner.DEFAULT_PLANNER`
+    (cost-model thresholds; the builtin model reproduces the frozen
+    ``AUTO_*`` literals exactly).
 
     :param me_members: the prefix's mutual-exclusion member count
         (``ScoredTable.me_member_count()``); drives the exact-cost
         escape hatch to ``"mc"``.
     """
-    size = n if depth is None else min(n, depth)
-    if size < k:
-        return "dp"  # no full vector exists; dp returns the empty PMF
-    if math.comb(size, k) <= AUTO_K_COMBO_MAX_COMBINATIONS:
-        return "k_combo"
-    if size <= AUTO_STATE_EXPANSION_MAX_DEPTH:
-        return "state_expansion"
-    if exact_cost(size, k, me_members) > AUTO_MC_COST_BUDGET:
-        return "mc"
-    # "dp" is the shared-prefix engine: on mutual-exclusion inputs it
-    # realizes the Section-3.3.3 O(kmn) bound; the per-ending ablation
-    # ("dp_per_ending") is never auto-selected.
-    return "dp"
+    return DEFAULT_PLANNER.choose_algorithm(
+        n, k, depth, me_members=me_members
+    )
 
 
 def resolve_algorithm(spec, n: int, *, me_members: int = 0) -> str:
     """The concrete algorithm a spec runs over a length-``n`` prefix."""
-    if spec.algorithm == "auto":
-        return choose_algorithm(n, spec.k, spec.depth, me_members=me_members)
-    return spec.algorithm
+    return DEFAULT_PLANNER.resolve_algorithm(spec, n, me_members=me_members)
 
 
 def scored_prefix_for(table: UncertainTable, spec) -> ScoredTable:
@@ -101,33 +109,32 @@ def scored_prefix_for(table: UncertainTable, spec) -> ScoredTable:
     )
 
 
+def mc_distribution(prefix: ScoredTable, spec) -> ScorePMF:
+    """Stage 2 under ``algorithm="mc"`` (lazy import: :mod:`repro.mc`
+    builds on this package's spec)."""
+    from repro.mc.engine import mc_distribution as run_mc
+
+    return run_mc(prefix, spec)
+
+
 def distribution_from_prefix(
     prefix: ScoredTable, spec, *, algorithm: str | None = None
 ) -> ScorePMF:
     """Stage 2: the top-k score distribution of a prepared prefix.
 
+    Lowers the request through the planner and runs the resulting
+    stage-2 physical operator (which executes back through this
+    module's stage functions, so patched stage functions are honored).
+
     :param algorithm: concrete algorithm override; when ``None`` it is
         resolved from the spec (including ``"auto"``).
     """
-    if algorithm is None:
-        algorithm = resolve_algorithm(
-            spec, len(prefix), me_members=prefix.me_member_count()
-        )
-    if algorithm == "mc":
-        # Imported lazily: repro.mc builds on this package's spec.
-        from repro.mc.engine import mc_distribution
-
-        return mc_distribution(prefix, spec)
-    if algorithm == "dp":
-        return dp_distribution(prefix, spec.k, max_lines=spec.max_lines)
-    if algorithm == "dp_per_ending":
-        return dp_distribution_per_ending(
-            prefix, spec.k, max_lines=spec.max_lines
-        )
-    if algorithm == "state_expansion":
-        return state_expansion_distribution(
-            prefix, spec.k, p_tau=spec.p_tau, max_lines=spec.max_lines
-        )
-    if algorithm == "k_combo":
-        return k_combo_distribution(prefix, spec.k, max_lines=spec.max_lines)
-    raise AlgorithmError(f"unknown algorithm {algorithm!r}")
+    physical = DEFAULT_PLANNER.lower(
+        LogicalPlan.from_spec(spec),
+        prefix,
+        table_rows=len(prefix),
+        include_semantics=False,
+        algorithm=algorithm,
+    )
+    assert physical.pmf_op is not None
+    return physical.pmf_op.run(prefix, spec)

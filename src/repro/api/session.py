@@ -1,9 +1,15 @@
 """The :class:`Session`: plan, cache and dispatch top-k requests.
 
 A session wraps a :class:`~repro.query.engine.Catalog` and executes
-:class:`~repro.api.spec.QuerySpec` values through the staged pipeline
-of :mod:`repro.api.plan`, memoizing every stage in a keyed LRU:
+:class:`~repro.api.spec.QuerySpec` values through the explicit
+logical→physical plan layer: each spec is normalized into a
+:class:`~repro.api.logical.LogicalPlan`, lowered by the cost-based
+:class:`~repro.api.planner.Planner` into a
+:class:`~repro.api.physical.PhysicalPlan` of executable operators, and
+run with every stage memoized in a keyed LRU:
 
+* **scored cache** — keyed by ``(table, scorer)``: the fully scored,
+  rank-ordered table the fused batch path slices prefixes from;
 * **prefix cache** — keyed by ``(table, scorer, k, p_tau, depth)``:
   changing only the semantics (or ``c``, ``max_lines``, the
   algorithm) reuses the scored, Theorem-2-truncated prefix;
@@ -16,11 +22,28 @@ of :mod:`repro.api.plan`, memoizing every stage in a keyed LRU:
 * **answer cache** — keyed by the consumed stage plus the semantics
   parameters, so hot repeated requests are pure lookups.
 
-Cache keys hold the resolved table (and prefix) *objects*, which are
-immutable and hashed by identity: re-registering a name in the catalog
-therefore invalidates naturally — the next ``execute`` resolves a
-different object and misses.  ``cache_info()`` exposes hit/miss
-counters per stage.
+Every key's parameter tail derives from the request's
+:class:`~repro.api.logical.LogicalPlan` — the same normalization the
+service's batch grouping uses — so grouping and caching can never
+drift.  Cache keys hold the resolved table (and prefix) *objects*,
+which are immutable and hashed by identity: re-registering a name in
+the catalog therefore invalidates naturally — the next ``execute``
+resolves a different object and misses.  ``cache_info()`` exposes
+hit/miss counters per stage.
+
+**Multi-query fusion**: :meth:`Session.execute_many` hands the whole
+batch to the planner, which merges exact-DP requests over one table
+and scorer into a single shared-prefix sweep at the largest ``k`` and
+deepest prefix (:class:`~repro.api.physical.FusedSweepOp`), slices the
+per-request distributions out, and seeds the ordinary stage caches —
+so a mixed-``k`` batch pays one DP instead of one per ``(k,
+algorithm)`` group, while every answer stays byte-identical to a
+dedicated :meth:`execute`.  ``fusion_info()`` counts the sweeps saved.
+
+**Inspection**: :meth:`Session.explain` renders a request's plan —
+normalized spec, operator tree with cost estimates from the machine's
+calibrated cost model, and predicted cache hits — without running the
+expensive stages.
 
 Sessions are safe to share across threads: each stage cache holds its
 own lock, answers are deterministic pure functions of the cache key,
@@ -44,12 +67,18 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Mapping
+from typing import Any, Hashable, Literal, Mapping, Sequence
 
-from repro.api import plan
-from repro.api.registry import get_semantics
+from repro.api.logical import ByIdentity, LogicalPlan, hashable
+from repro.api.planner import (
+    DEFAULT_PLANNER,
+    FusionCandidate,
+    FusionGroup,
+    Planner,
+)
 from repro.api.spec import QuerySpec
 from repro.core.pmf import ScorePMF
+from repro.core.scan_depth import scan_depth
 from repro.exceptions import AlgorithmError
 from repro.query.engine import Catalog
 from repro.uncertain.scoring import ScoredTable
@@ -58,33 +87,12 @@ from repro.uncertain.table import UncertainTable
 #: Default per-stage LRU capacity.
 DEFAULT_CACHE_SIZE = 64
 
+#: Backward-compatible aliases (pre-planner private names).
+_ByIdentity = ByIdentity
+_hashable = hashable
 
-class _ByIdentity:
-    """Hashable identity wrapper for unhashable key components.
-
-    Holds a strong reference, so the wrapped object cannot be
-    collected and its ``id`` recycled while the key is alive.
-    """
-
-    __slots__ = ("obj",)
-
-    def __init__(self, obj: Any) -> None:
-        self.obj = obj
-
-    def __hash__(self) -> int:
-        return id(self.obj)
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _ByIdentity) and other.obj is self.obj
-
-
-def _hashable(value: Any) -> Hashable:
-    """``value`` if hashable, else an identity wrapper."""
-    try:
-        hash(value)
-    except TypeError:
-        return _ByIdentity(value)
-    return value
+#: The operation a batch entry runs.
+BatchOp = Literal["execute", "distribution"]
 
 
 class _LRU:
@@ -125,6 +133,16 @@ class _LRU:
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
 
+    def contains(self, key: Hashable) -> bool:
+        """Counter-free membership probe (EXPLAIN's predicted hits)."""
+        with self._lock:
+            return key in self._data
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Counter-free, order-preserving lookup."""
+        with self._lock:
+            return self._data.get(key, default)
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
@@ -154,6 +172,8 @@ class Session:
     :param tables: a :class:`Catalog`, a ``name -> table`` mapping, or
         ``None`` for an empty catalog.
     :param cache_size: per-stage LRU capacity.
+    :param planner: the logical→physical planner; ``None`` shares the
+        process-wide (calibration-loading) planner.
     """
 
     def __init__(
@@ -161,13 +181,23 @@ class Session:
         tables: Catalog | Mapping[str, UncertainTable] | None = None,
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        planner: Planner | None = None,
     ) -> None:
         self._catalog = (
             tables if isinstance(tables, Catalog) else Catalog(tables)
         )
+        self._planner = planner if planner is not None else DEFAULT_PLANNER
+        self._scored = _LRU(cache_size)
         self._prefixes = _LRU(cache_size)
         self._pmfs = _LRU(cache_size)
         self._answers = _LRU(cache_size)
+        self._fusion_lock = threading.Lock()
+        self._fusion = {
+            "batches": 0,
+            "groups": 0,
+            "fused_specs": 0,
+            "sweeps_saved": 0,
+        }
 
     # ------------------------------------------------------------------
     # Catalog access
@@ -176,6 +206,11 @@ class Session:
     def catalog(self) -> Catalog:
         """The underlying catalog."""
         return self._catalog
+
+    @property
+    def planner(self) -> Planner:
+        """The logical→physical planner this session lowers through."""
+        return self._planner
 
     def register(self, name: str, table: UncertainTable) -> None:
         """Add (or replace) a table; cached stages for a replaced name
@@ -195,31 +230,45 @@ class Session:
     # ------------------------------------------------------------------
     # Staged execution
     # ------------------------------------------------------------------
-    def scored_prefix(self, spec: QuerySpec) -> ScoredTable:
-        """Stage 1 (cached): the scored, truncated prefix."""
-        table = self.resolve(spec)
-        key = (table, _hashable(spec.scorer)) + spec.prefix_params()
+    def _prefix_key(
+        self, table: UncertainTable, logical: LogicalPlan
+    ) -> Hashable:
+        return (table,) + logical.prefix_params()
+
+    def _prefix_for(
+        self, table: UncertainTable, logical: LogicalPlan
+    ) -> ScoredTable:
+        """Stage 1 get-or-compute (the one population point of the
+        prefix cache besides the batch path's shared-sort slicing)."""
+        key = self._prefix_key(table, logical)
         prefix = self._prefixes.get(key)
         if prefix is None:
-            prefix = plan.scored_prefix_for(table, spec)
+            from repro.api import plan
+
+            prefix = plan.scored_prefix_for(table, logical.spec)
             self._prefixes.put(key, prefix)
         return prefix
 
+    def scored_prefix(self, spec: QuerySpec) -> ScoredTable:
+        """Stage 1 (cached): the scored, truncated prefix."""
+        logical = LogicalPlan.from_spec(spec)
+        return self._prefix_for(self.resolve(spec), logical)
+
     def distribution(self, spec: QuerySpec) -> ScorePMF:
         """Stage 2 (cached): the top-k total-score distribution."""
-        prefix = self.scored_prefix(spec)
-        algorithm = plan.resolve_algorithm(
-            spec, len(prefix), me_members=prefix.me_member_count()
+        logical = LogicalPlan.from_spec(spec)
+        table = self.resolve(spec)
+        prefix = self._prefix_for(table, logical)
+        physical = self._planner.lower(
+            logical, prefix, table_rows=len(table), include_semantics=False
         )
         # The sampling knobs only shape MC estimates; exact-algorithm
         # entries stay shared across specs differing in a knob only.
-        mc_key = spec.mc_params() if algorithm == "mc" else ()
-        key = (prefix, spec.k, algorithm) + spec.pmf_params() + mc_key
+        key = (prefix,) + logical.pmf_params(physical.algorithm)
         pmf = self._pmfs.get(key)
         if pmf is None:
-            pmf = plan.distribution_from_prefix(
-                prefix, spec, algorithm=algorithm
-            )
+            assert physical.pmf_op is not None
+            pmf = physical.pmf_op.run(prefix, spec)
             self._pmfs.put(key, pmf)
         return pmf
 
@@ -233,13 +282,16 @@ class Session:
         MC variant (:mod:`repro.mc.semantics`), the variant runs
         instead of the exact implementation.
         """
-        prefix = self.scored_prefix(spec)
-        algorithm = plan.resolve_algorithm(
-            spec, len(prefix), me_members=prefix.me_member_count()
+        logical = LogicalPlan.from_spec(spec)
+        table = self.resolve(spec)
+        prefix = self._prefix_for(table, logical)
+        physical = self._planner.lower(
+            logical, prefix, table_rows=len(table)
         )
-        handler = get_semantics(spec.semantics, algorithm)
+        semantics_op = physical.semantics_op
+        assert semantics_op is not None
         pmf: ScorePMF | None = None
-        if handler.requires == "pmf":
+        if semantics_op.requires == "pmf":
             pmf = self.distribution(spec)
             source: Any = pmf
         else:
@@ -249,14 +301,12 @@ class Session:
         # different tables must not share an answer entry.  The
         # resolved algorithm participates, plus the MC knobs when an
         # MC variant's answer depends on them.
-        key = (
-            (_ByIdentity(source), algorithm)
-            + spec.semantics_params()
-            + (spec.mc_params() if algorithm == "mc" else ())
+        key = (ByIdentity(source),) + logical.answer_params(
+            physical.algorithm
         )
         answer = self._answers.get(key, _MISSING)
         if answer is _MISSING:
-            answer = handler.run(prefix, spec, pmf=pmf)
+            answer = semantics_op.run(prefix, spec, pmf=pmf)
             self._answers.put(key, answer)
         return answer
 
@@ -272,18 +322,254 @@ class Session:
         return self.execute(spec.with_(**changes))
 
     # ------------------------------------------------------------------
+    # Batch execution with multi-query fusion
+    # ------------------------------------------------------------------
+    def _scored_table(
+        self, table: UncertainTable, logical: LogicalPlan
+    ) -> ScoredTable:
+        """The fully scored, rank-ordered table (cached; fusion only)."""
+        from repro.core.distribution import resolve_scorer
+
+        key = (table, logical.scorer_key)
+        scored = self._scored.get(key)
+        if scored is None:
+            scored = ScoredTable.from_table(
+                table, resolve_scorer(logical.spec.scorer)
+            )
+            self._scored.put(key, scored)
+        return scored
+
+    def _batch_prefix(
+        self, table: UncertainTable, logical: LogicalPlan
+    ) -> ScoredTable:
+        """Stage 1 for the batch path: slice from the shared scored
+        table (byte-identical to :func:`prepare_scored_prefix`, which
+        sorts then truncates the same way), so one sort serves every
+        ``(k, p_tau, depth)`` in the batch."""
+        key = self._prefix_key(table, logical)
+        prefix = self._prefixes.get(key)
+        if prefix is not None:
+            return prefix
+        spec = logical.spec
+        scored = self._scored_table(table, logical)
+        depth = spec.depth
+        if depth is None:
+            depth = (
+                scan_depth(scored, spec.k, spec.p_tau)
+                if spec.p_tau > 0.0
+                else len(scored)
+            )
+        prefix = scored.prefix(min(depth, len(scored)))
+        self._prefixes.put(key, prefix)
+        return prefix
+
+    def execute_many(
+        self,
+        specs: Sequence[QuerySpec],
+        *,
+        ops: Sequence[BatchOp] | None = None,
+        return_exceptions: bool = False,
+    ) -> list[Any]:
+        """Execute a batch of specs with multi-query plan fusion.
+
+        The batch is handed to the planner, which merges fusable
+        exact-DP requests (same table, scorer and line budget; any mix
+        of ``k``) into single shared-prefix sweeps; every other
+        request runs through the ordinary per-spec path.  Answers are
+        byte-identical to per-spec :meth:`execute` calls — fused
+        distributions are sliced with
+        :func:`repro.core.dp.dp_distribution_sliced`, seeded into the
+        stage caches, and consumed by the exact same stage-3 code.
+
+        :param ops: per-spec operation (``"execute"`` default, or
+            ``"distribution"`` for the raw PMF).
+        :param return_exceptions: per-spec exceptions are returned in
+            the result list instead of raised (the service executor's
+            isolation mode).
+        """
+        batch_ops: list[BatchOp] = (
+            ["execute"] * len(specs) if ops is None else list(ops)
+        )
+        if len(batch_ops) != len(specs):
+            raise AlgorithmError(
+                f"ops length {len(batch_ops)} != specs length {len(specs)}"
+            )
+        with self._fusion_lock:
+            self._fusion["batches"] += 1
+        self._fuse_batch(specs, batch_ops)
+        results: list[Any] = []
+        for spec, op in zip(specs, batch_ops):
+            try:
+                if op == "distribution":
+                    results.append(self.distribution(spec))
+                else:
+                    results.append(self.execute(spec))
+            except Exception as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+
+    def _fuse_batch(
+        self, specs: Sequence[QuerySpec], ops: Sequence[BatchOp]
+    ) -> None:
+        """Run fused sweeps for the batch and seed the stage caches.
+
+        Best-effort by design: any planning failure simply leaves the
+        caches unseeded and the ordinary per-spec path takes over (so
+        fusion can never break an answer — only speed it up).
+        """
+        candidates: list[FusionCandidate] = []
+        seen_pmf_keys: set[Hashable] = set()
+        keyed: dict[int, Hashable] = {}
+        for index, (spec, op) in enumerate(zip(specs, ops)):
+            try:
+                logical = LogicalPlan.from_spec(spec)
+                needs_pmf = op == "distribution" or logical.requires == "pmf"
+                if not needs_pmf:
+                    continue
+                table = self.resolve(spec)
+                prefix = self._batch_prefix(table, logical)
+                algorithm = self._planner.resolve_algorithm(
+                    spec, len(prefix), me_members=prefix.me_member_count()
+                )
+                if algorithm != "dp":
+                    continue
+                pmf_key = (prefix,) + logical.pmf_params(algorithm)
+                if self._pmfs.contains(key=pmf_key):
+                    continue
+                if pmf_key in seen_pmf_keys:
+                    continue  # duplicate slice; first one seeds it
+                seen_pmf_keys.add(pmf_key)
+                keyed[index] = pmf_key
+                candidates.append(
+                    FusionCandidate(
+                        index=index,
+                        fusion_key=(
+                            ByIdentity(table),
+                            logical.scorer_key,
+                            spec.max_lines,
+                        ),
+                        prefix=prefix,
+                        k=spec.k,
+                        depth=len(prefix),
+                        has_me=prefix.me_member_count() > 0,
+                        max_lines=spec.max_lines,
+                    )
+                )
+            except Exception:
+                continue  # the per-spec path will surface the error
+        if not candidates:
+            return
+        groups = self._planner.fuse(candidates)
+        for group in groups:
+            self._run_fused(group, keyed)
+
+    def _run_fused(
+        self, group: FusionGroup, keyed: Mapping[int, Hashable]
+    ) -> None:
+        try:
+            sliced = group.op.run(group.anchor)
+        except Exception:
+            return  # fall back to per-spec execution
+        by_request = dict(zip(group.op.requests, sliced))
+        seeded = 0
+        for member in group.members:
+            pmf = by_request.get((member.k, member.depth))
+            key = keyed.get(member.index)
+            if pmf is None or key is None:
+                continue
+            self._pmfs.put(key, pmf)
+            seeded += 1
+        with self._fusion_lock:
+            self._fusion["groups"] += 1
+            self._fusion["fused_specs"] += seeded
+            self._fusion["sweeps_saved"] += max(
+                0, len(group.op.requests) - 1
+            )
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+    def explain(self, spec: QuerySpec) -> dict[str, Any]:
+        """The request's plan as a JSON-ready document.
+
+        Renders the normalized logical plan, the lowered operator tree
+        with cost estimates (from the planner's — possibly
+        calibrated — cost model), and the predicted cache outcome per
+        stage.  Stage 1 (score + rank + truncate) *is* executed when
+        not already cached, because the algorithm choice depends on
+        the truncated prefix's shape; the expensive stages (DP,
+        sampling, semantics) are never run.
+        """
+        logical = LogicalPlan.from_spec(spec)
+        table = self.resolve(spec)
+        prefix_key = self._prefix_key(table, logical)
+        prefix_hit = self._prefixes.contains(prefix_key)
+        prefix = self.scored_prefix(spec)
+        physical = self._planner.lower(
+            logical, prefix, table_rows=len(table)
+        )
+        algorithm = physical.algorithm
+        pmf_key = (prefix,) + logical.pmf_params(algorithm)
+        pmf = self._pmfs.peek(pmf_key)
+        cache: dict[str, str] = {
+            "prefix": "hit" if prefix_hit else "miss",
+        }
+        semantics_op = physical.semantics_op
+        if semantics_op is not None and semantics_op.requires == "prefix":
+            cache["pmf"] = "not required"
+            source: Any = prefix
+        else:
+            cache["pmf"] = "hit" if pmf is not None else "miss"
+            source = pmf
+        if source is None:
+            cache["answer"] = "miss"
+        else:
+            answer_key = (ByIdentity(source),) + logical.answer_params(
+                algorithm
+            )
+            cache["answer"] = (
+                "hit" if self._answers.contains(answer_key) else "miss"
+            )
+        model = self._planner.cost_model
+        return {
+            "spec": logical.describe(),
+            "logical": {
+                "stages": list(logical.stages()),
+                "batch_key": repr(logical.batch_key()),
+                "fusion_key": repr(logical.fusion_key()),
+            },
+            "physical": physical.explain(model),
+            "cache": cache,
+            "cost_model": {
+                "source": model.source,
+                "k_combo_max_combinations": model.k_combo_max_combinations,
+                "state_expansion_max_depth": model.state_expansion_max_depth,
+                "mc_cost_budget": model.mc_cost_budget,
+            },
+        }
+
+    # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
     def cache_info(self) -> dict[str, dict[str, int]]:
         """Hit/miss/size counters per pipeline stage."""
         return {
+            "scored": self._scored.info(),
             "prefix": self._prefixes.info(),
             "pmf": self._pmfs.info(),
             "answer": self._answers.info(),
         }
 
+    def fusion_info(self) -> dict[str, int]:
+        """Multi-query fusion counters (see :meth:`execute_many`)."""
+        with self._fusion_lock:
+            return dict(self._fusion)
+
     def clear_cache(self) -> None:
         """Drop every cached stage (counters are kept)."""
+        self._scored.clear()
         self._prefixes.clear()
         self._pmfs.clear()
         self._answers.clear()

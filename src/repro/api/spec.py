@@ -172,8 +172,14 @@ class QuerySpec:
         return dataclasses.replace(self, **changes)
 
     # ------------------------------------------------------------------
-    # Stage keys (used by the Session's caches)
+    # Stage parameter tuples (legacy accessors)
     # ------------------------------------------------------------------
+    # Batch/cache *keys* derive from the normalized
+    # :class:`repro.api.logical.LogicalPlan` — the single source shared
+    # by the Session's LRUs and the service's batch grouping.  These
+    # accessors remain for callers that only need the raw knob tuples
+    # (e.g. the MC engine's per-prefix sample cache) and must stay
+    # ordered consistently with ``LogicalPlan.mc``.
     def prefix_params(self) -> tuple:
         """Parameters that determine the scored, truncated prefix."""
         return (self.k, self.p_tau, self.depth)

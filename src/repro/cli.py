@@ -221,6 +221,84 @@ def cmd_answer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_explain(document: dict) -> str:
+    """Human-readable EXPLAIN tree (the ``--json`` flag gives the raw
+    document)."""
+    spec = document["spec"]
+    physical = document["physical"]
+    lines = [
+        f"plan: {spec['semantics']} top-{spec['k']} over "
+        f"{spec['table']} (algorithm {physical['algorithm']})"
+    ]
+    for note in physical.get("notes", ()):
+        lines.append(f"  note: {note}")
+    for op in physical["operators"]:
+        params = " ".join(
+            f"{key}={value}" for key, value in op["params"].items()
+        )
+        cost = (
+            f"  ~{op['cost_units']:.0f} units, est {op['est_ms']} ms"
+            if "cost_units" in op
+            else ""
+        )
+        lines.append(f"  -> {op['op']}  {params}{cost}")
+    lines.append(
+        "  total: ~{0:.0f} units, est {1} ms".format(
+            physical["total_cost_units"], physical["total_est_ms"]
+        )
+    )
+    cache = document["cache"]
+    lines.append(
+        "cache: "
+        + " ".join(f"{stage}={state}" for stage, state in cache.items())
+    )
+    model = document["cost_model"]
+    lines.append(
+        f"cost model: {model['source']} "
+        f"(k_combo<={model['k_combo_max_combinations']}, "
+        f"state_depth<={model['state_expansion_max_depth']}, "
+        f"mc_budget={model['mc_cost_budget']})"
+    )
+    return "\n".join(lines)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: show a request's physical plan, not answers."""
+    session = Session()
+    spec = spec_from_args(args, load_table(args.table)).with_(
+        semantics=args.semantics, c=args.c, threshold=args.threshold
+    )
+    document = session.explain(spec)
+    if args.json:
+        print(json.dumps(document, indent=2, default=str))
+    else:
+        print(_render_explain(document))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """``repro calibrate``: measure per-unit costs, persist constants."""
+    from repro.api.calibration import run_calibration, write_calibration
+
+    document = run_calibration(
+        target_ms=args.target_ms,
+        small_case_ms=args.small_case_ms,
+        repeats=args.repeats,
+    )
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        for name, value in document["constants"].items():
+            print(f"{name:28s} {value}")
+    if args.dry_run:
+        print("dry run: nothing persisted")
+        return 0
+    path = write_calibration(document, args.out)
+    print(f"wrote {path} (planners pick it up on next start; "
+          "REPRO_CALIBRATION overrides the path)")
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: execute a SQL-like top-k query."""
     session = Session()
@@ -450,6 +528,48 @@ def build_parser() -> argparse.ArgumentParser:
                    "the pmf document shape)")
     _add_common_options(p)
     p.set_defaults(func=cmd_answer)
+
+    p = sub.add_parser(
+        "explain",
+        help="show a request's logical/physical plan and cost estimates",
+    )
+    p.add_argument("table", help="table file (.csv or .json)")
+    p.add_argument("--score", required=True,
+                   help="attribute name or scoring expression")
+    p.add_argument("-k", type=int, required=True, help="top-k size")
+    p.add_argument("--semantics", default="typical",
+                   choices=available_semantics(),
+                   help="answer semantics to plan for (default typical)")
+    p.add_argument("-c", type=int, default=3,
+                   help="typical-answer count (semantics=typical)")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="membership threshold (semantics=pt_k)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw EXPLAIN document as JSON")
+    _add_common_options(p)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="measure per-machine planner constants and persist them",
+    )
+    p.add_argument("--target-ms", type=float, default=1000.0,
+                   help="exact-DP latency budget backing the mc "
+                   "escape hatch (default 1000)")
+    p.add_argument("--small-case-ms", type=float, default=0.5,
+                   help="budget defining 'trivially small' baseline "
+                   "inputs (default 0.5)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of repeats per probe (default 3)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="calibration file path (default "
+                   "~/.cache/repro/calibration.json or "
+                   "$REPRO_CALIBRATION)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full calibration document")
+    p.add_argument("--dry-run", action="store_true",
+                   help="measure and print, but persist nothing")
+    p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser("query", help="run a SQL-like top-k query")
     p.add_argument("sql", help="the query text")

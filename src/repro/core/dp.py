@@ -59,6 +59,7 @@ pairwise strategy for presentation-time coalescing.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from typing import Any, Sequence
 
@@ -71,6 +72,31 @@ from repro.uncertain.scoring import ScoredTable
 #: Default cap on the number of lines kept per distribution; the paper
 #: uses c' = 200 as its running example (Section 3.2.1).
 DEFAULT_MAX_LINES = 200
+
+# ----------------------------------------------------------------------
+# Sweep accounting (used by fusion tests and service metrics)
+# ----------------------------------------------------------------------
+_SWEEP_LOCK = threading.Lock()
+_SWEEP_COUNT = 0
+
+
+def _count_sweep() -> None:
+    global _SWEEP_COUNT
+    with _SWEEP_LOCK:
+        _SWEEP_COUNT += 1
+
+
+def dp_sweep_count() -> int:
+    """Dynamic programs launched since import (monotonic counter).
+
+    Each bottom-up program (:func:`_dp_run` — single- or multi-k) and
+    each forward shared-prefix sweep counts once, regardless of how
+    many ``(k, depth)`` slices it serves; the per-ending ablation
+    counts once per ending unit.  Fusion tests snapshot this counter
+    to assert that a mixed-k batch paid exactly one sweep.
+    """
+    with _SWEEP_LOCK:
+        return _SWEEP_COUNT
 
 #: A cell distribution: (scores ascending, probs, vectors) or None.
 _Cell = tuple
@@ -315,26 +341,35 @@ def _combine(
     return _reduce_cell(scores, probs, vectors, max_lines)
 
 
-def _dp_run(
+def _dp_run_multi(
     units: Sequence[_Unit],
-    k: int,
+    ks: Sequence[int],
     exit_enabled: Sequence[bool],
     max_lines: int,
-) -> _Cell | None:
-    """One bottom-up dynamic program over ``units``.
+) -> dict[int, _Cell | None]:
+    """One bottom-up dynamic program, read out at several columns.
 
     ``exit_enabled[r]`` states whether a top-k vector may *end* with
     the tuple at row ``r`` (i.e. whether the column-0 cell below row
     ``r`` holds the enabling distribution ``(0, 1)`` instead of the
     blocking ``(0, 0)`` of Section 3.3.2).
 
-    Returns the final cell — row 0, column k — with vectors already
-    materialized as tid tuples in an object array, or ``None`` when no
-    vector can be formed.
+    The recurrence of column ``j`` reads only columns ``j`` and
+    ``j - 1``, so computing extra columns never changes a column's
+    cells: the ``k``-column of a multi-k run is byte-identical to a
+    dedicated ``k``-run (the column-range pruning below only widens).
+    Returns the final row-0 cells per requested ``k`` — vectors
+    materialized as tid tuples in an object array — with ``None``
+    where no vector can be formed.
     """
+    _count_sweep()
     n = len(units)
-    if n < k:
-        return None
+    ks = sorted(set(ks))
+    results: dict[int, _Cell | None] = {k: None for k in ks}
+    live = [k for k in ks if k <= n]
+    if not live:
+        return results
+    k_min, k_max = live[0], live[-1]
     arena = _Arena()
     exit_cell = (
         np.zeros(1),
@@ -342,28 +377,45 @@ def _dp_run(
         np.zeros(1, dtype=np.int64),
     )
     # below[j] holds D[r+1][j]; initially r+1 == n (virtual bottom row).
-    below: list[_Cell | None] = [None] * (k + 1)
+    below: list[_Cell | None] = [None] * (k_max + 1)
     for r in range(n - 1, -1, -1):
         unit = units[r]
         # Column 0 below row r: the exit point after picking row r last.
         below[0] = exit_cell if exit_enabled[r] else None
-        cur: list[_Cell | None] = [None] * (k + 1)
+        cur: list[_Cell | None] = [None] * (k_max + 1)
         # Only columns completable from above matter: rows 0..r-1 can
-        # supply at most r more picks (j >= k - r) and rows r..n-1 at
-        # most n - r picks (j <= n - r).
-        j_low = max(1, k - r)
-        j_high = min(k, n - r)
+        # supply at most r more picks (j >= k_min - r) and rows r..n-1
+        # at most n - r picks (j <= n - r).
+        j_low = max(1, k_min - r)
+        j_high = min(k_max, n - r)
         for j in range(j_low, j_high + 1):
             cur[j] = _combine(unit, below[j], below[j - 1], arena, max_lines)
         below = cur
-    final = below[k]
-    if final is None:
-        return None
-    scores, probs, ids = final
-    vectors = np.empty(len(ids), dtype=object)
-    for index, vec_id in enumerate(ids):
-        vectors[index] = arena.vector(int(vec_id))
-    return scores, probs, vectors
+    for k in live:
+        final = below[k]
+        if final is None:
+            continue
+        scores, probs, ids = final
+        vectors = np.empty(len(ids), dtype=object)
+        for index, vec_id in enumerate(ids):
+            vectors[index] = arena.vector(int(vec_id))
+        results[k] = (scores, probs, vectors)
+    return results
+
+
+def _dp_run(
+    units: Sequence[_Unit],
+    k: int,
+    exit_enabled: Sequence[bool],
+    max_lines: int,
+) -> _Cell | None:
+    """One bottom-up dynamic program over ``units`` (single read-out).
+
+    Returns the final cell — row 0, column k — with vectors already
+    materialized as tid tuples in an object array, or ``None`` when no
+    vector can be formed.
+    """
+    return _dp_run_multi(units, (k,), exit_enabled, max_lines)[k]
 
 
 def _compressed_units(
@@ -478,6 +530,110 @@ def dp_distribution(
     return _cell_to_pmf(merged)
 
 
+def me_straddle_intervals(scored: ScoredTable) -> tuple[tuple[int, int], ...]:
+    """Depth intervals that split a multi-member group to a singleton.
+
+    For each multi-member ME group with sorted member positions
+    ``p0 < p1 < ...``, any truncation depth ``d`` with
+    ``p0 < d <= p1`` keeps exactly one member — the depth-``d`` prefix
+    then treats the survivor as an *independent* tuple, while a deeper
+    sweep compresses it into a rule tuple, so sliced results would not
+    be byte-identical to a dedicated run.  The planner refuses to fuse
+    requests whose depth falls inside any returned ``(p0, p1]``
+    interval (and requests whose depth is ``<= p0`` for every group,
+    whose prefix is therefore independent, take the bottom-up path).
+    """
+    intervals = []
+    for g in scored.groups():
+        positions = scored.group_positions(g)
+        if len(positions) > 1:
+            intervals.append((positions[0], positions[1]))
+    return tuple(intervals)
+
+
+def sliceable_depth(scored: ScoredTable, depth: int) -> bool:
+    """Whether ``depth`` may be sliced from a fused ME sweep of
+    ``scored``: the depth-prefix must see the exact same rule-tuple
+    structure the full sweep sees (no straddled group, and at least
+    one multi-member group fully inside the prefix)."""
+    has_me = False
+    for p0, p1 in me_straddle_intervals(scored):
+        if p0 < depth <= p1:
+            return False
+        if p1 < depth:
+            has_me = True
+    return has_me
+
+
+def dp_distribution_sliced(
+    scored: ScoredTable,
+    requests: Sequence[tuple[int, int]],
+    *,
+    max_lines: int = DEFAULT_MAX_LINES,
+) -> list[ScorePMF]:
+    """Several ``(k, depth)`` distributions from one dynamic program.
+
+    This is the fused execution path behind
+    :meth:`repro.api.session.Session.execute_many`: each returned PMF
+    is byte-identical to
+    ``dp_distribution(scored.prefix(depth), k, max_lines=max_lines)``
+    while the sweep itself runs once.
+
+    Two regimes:
+
+    * **mutual exclusion** (``scored.me_member_count() > 0``): the
+      forward shared-prefix sweep serves any mix of ``k`` and
+      ``depth``, as long as every depth passes
+      :func:`sliceable_depth` (callers group accordingly);
+    * **independent tuples**: the bottom-up program is sliced per
+      column, which requires every request to share the same depth
+      (``len(scored)`` — nested-depth independent requests cannot
+      share a bottom-up program, whose sub-problems are suffixes).
+
+    :raises AlgorithmError: on an invalid ``k``/``depth`` or a request
+        mix the single sweep cannot serve byte-identically.
+    """
+    if not requests:
+        return []
+    n = len(scored)
+    for k, depth in requests:
+        if k < 1:
+            raise AlgorithmError(f"k must be >= 1, got {k}")
+        if not 0 <= depth <= n:
+            raise AlgorithmError(
+                f"depth must be in [0, {n}], got {depth}"
+            )
+
+    if scored.me_member_count() == 0:
+        if any(depth != n for _, depth in requests):
+            raise AlgorithmError(
+                "independent-prefix requests must all share the sweep "
+                "depth; group nested depths into separate sweeps"
+            )
+        units = [
+            _Unit([(item.score, item.prob, item.tid)]) for item in scored
+        ]
+        cells = _dp_run_multi(
+            units, [k for k, _ in requests], [True] * n, max_lines
+        )
+        return [_cell_to_pmf(cells[k]) for k, _ in requests]
+
+    for _, depth in requests:
+        if depth < n and not sliceable_depth(scored, depth):
+            raise AlgorithmError(
+                f"depth {depth} cannot be sliced from this sweep: the "
+                "prefix's rule-tuple structure differs (straddled or "
+                "absent ME group)"
+            )
+    partial = _shared_prefix_sweep_multi(scored, requests, max_lines)
+    return [
+        _cell_to_pmf(
+            _order_cell_vectors(_merge_cells(cells, max_lines), scored)
+        )
+        for cells in partial
+    ]
+
+
 def _fold_unit(
     state: list[_Cell | None],
     unit: _Unit,
@@ -524,17 +680,19 @@ def _take_ending(
     )
 
 
-def _shared_prefix_sweep(
+def _shared_prefix_sweep_multi(
     scored: ScoredTable,
-    k: int,
+    requests: Sequence[tuple[int, int]],
     max_lines: int,
-) -> list[_Cell]:
-    """Per-ending final cells from one forward pass (Section 3.3.3).
+) -> list[list[_Cell]]:
+    """Per-ending final cells from one forward pass (Section 3.3.3),
+    sliced per ``(k, depth)`` request.
 
     The sweep maintains, incrementally:
 
-    * ``ind_state`` — DP columns ``0..k-1`` over every singleton-group
-      tuple passed so far (the shared compressed prefix);
+    * ``ind_state`` — DP columns ``0..k_max-1`` over every
+      singleton-group tuple passed so far (the shared compressed
+      prefix);
     * ``members[g]`` — the constituents of each multi-member group
       passed so far (the group's rule tuple, grown member-by-member
       instead of being rebuilt from scratch per ending).
@@ -546,11 +704,26 @@ def _shared_prefix_sweep(
     Lead-tuple regions pay the rule fold once and then extend the
     state row by row, emitting one exit cell per region row.
 
+    Multi-request slicing: each request ``(k, depth)`` collects the
+    exit cells at column ``k - 1`` for ending positions ``< depth``.
+    A per-ending cell depends only on the rows *above* the ending and
+    on its own column, so the collected cells — and hence the merged
+    per-request distribution — are byte-identical to a dedicated
+    sweep over ``scored.prefix(depth)`` with that ``k``, provided no
+    multi-member group of ``scored`` is split by ``depth`` down to a
+    single member (the planner's straddle check; see
+    :func:`dp_distribution_sliced`).  Column-range pruning is driven
+    by the smallest requested ``k``, which only widens the computed
+    range and never changes a column's cells.
+
     Emitted cells are materialized (vectors as tid tuples) right away
     and the per-ending fold chunks released from the arena, so the
     arena footprint tracks the shared prefix, not the whole sweep.
     """
+    _count_sweep()
     arena = _Arena()
+    k_min = min(k for k, _ in requests)
+    k_max = max(k for k, _ in requests)
     multi = {
         g
         for g in scored.groups()
@@ -564,7 +737,7 @@ def _shared_prefix_sweep(
         np.ones(1),
         np.zeros(1, dtype=np.int64),
     )
-    ind_state: list[_Cell | None] = [base_cell] + [None] * (k - 1)
+    ind_state: list[_Cell | None] = [base_cell] + [None] * (k_max - 1)
 
     def folded_rules(
         exclude_group: int | None, row_slack: int
@@ -573,7 +746,7 @@ def _shared_prefix_sweep(
 
         ``row_slack`` is how many more per-row folds the caller will
         apply before its last exit (region width minus one); it widens
-        the column range that can still reach ``k-1``.
+        the column range that can still reach ``k_min - 1``.
         """
         rules = [
             g for g in rule_order if g != exclude_group and members[g]
@@ -585,7 +758,7 @@ def _shared_prefix_sweep(
                 unit = rule_cache[g] = _Unit(members[g])
             remaining = len(rules) - index - 1 + row_slack
             state = _fold_unit(
-                state, unit, arena, max_lines, max(0, k - 1 - remaining)
+                state, unit, arena, max_lines, max(0, k_min - 1 - remaining)
             )
         return state
 
@@ -596,32 +769,37 @@ def _shared_prefix_sweep(
             vectors[index] = arena.vector(int(vec_id))
         return scores, probs, vectors
 
-    partial: list[_Cell] = []
+    partial: list[list[_Cell]] = [[] for _ in requests]
+
+    def emit(state: list[_Cell | None], pos: int) -> None:
+        item = scored[pos]
+        for index, (k, depth) in enumerate(requests):
+            if pos >= depth:
+                continue
+            cell = _take_ending(state[k - 1], item, arena)
+            if cell is not None:
+                partial[index].append(materialize(cell))
+
     for start, end in _ending_units(scored):
         # Emit this span's exit cells from the state accumulated so
         # far; the fold chunks are scratch, released after emitting.
-        if end > k - 1:
+        if end > k_min - 1:
             scratch = arena.mark()
             if end - start == 1 and not scored.is_lead(start):
-                item = scored[start]
-                state = folded_rules(item.group, 0)
-                cell = _take_ending(state[k - 1], item, arena)
-                if cell is not None:
-                    partial.append(materialize(cell))
+                state = folded_rules(scored[start].group, 0)
+                emit(state, start)
             else:
                 state = folded_rules(None, end - start - 1)
                 for pos in range(start, end):
                     item = scored[pos]
-                    cell = _take_ending(state[k - 1], item, arena)
-                    if cell is not None:
-                        partial.append(materialize(cell))
+                    emit(state, pos)
                     if pos + 1 < end:
                         state = _fold_unit(
                             state,
                             _Unit([(item.score, item.prob, item.tid)]),
                             arena,
                             max_lines,
-                            max(0, k - 1 - (end - 2 - pos)),
+                            max(0, k_min - 1 - (end - 2 - pos)),
                         )
             arena.release(scratch)
         # Advance the shared prefix past the span's rows.
@@ -640,6 +818,17 @@ def _shared_prefix_sweep(
                     max_lines,
                 )
     return partial
+
+
+def _shared_prefix_sweep(
+    scored: ScoredTable,
+    k: int,
+    max_lines: int,
+) -> list[_Cell]:
+    """Per-ending final cells for one ``k`` over the whole table."""
+    return _shared_prefix_sweep_multi(
+        scored, [(k, len(scored))], max_lines
+    )[0]
 
 
 def _ending_units(scored: ScoredTable) -> list[tuple[int, int]]:

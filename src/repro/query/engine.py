@@ -181,10 +181,18 @@ def execute_query(
         samples=samples,
         seed=seed,
     )
-    pmf = session.distribution(spec)
-    # The "typical" semantics clamps c and tolerates the empty
-    # distribution left when fewer than LIMIT tuples can co-exist.
-    typical = session.execute(spec)
+    # One planned batch serves the distribution, the typical answers
+    # (which clamp c and tolerate the empty distribution left when
+    # fewer than LIMIT tuples can co-exist) and the U-Topk comparison:
+    # the session's planner shares the scored prefix and the computed
+    # PMF across all three.
+    batch = [spec, spec]
+    ops: list = ["distribution", "execute"]
+    if include_u_topk:
+        batch.append(spec.with_(semantics="u_topk"))
+        ops.append("execute")
+    results = session.execute_many(batch, ops=ops)
+    pmf, typical = results[0], results[1]
 
     answers = tuple(
         AnswerRow(
@@ -194,11 +202,7 @@ def execute_query(
         )
         for answer in typical.answers
     )
-    best = (
-        session.execute(spec.with_(semantics="u_topk"))
-        if include_u_topk
-        else None
-    )
+    best = results[2] if include_u_topk else None
     return QueryResult(query, pmf, typical, answers, best)
 
 

@@ -1,11 +1,17 @@
-"""The micro-batching executor: group in-flight requests, run shared.
+"""The micro-batching executor: group in-flight requests, run fused.
 
 Requests entering the service queue are grouped by their **batch
-key** ``(table, p_tau, algorithm)``: requests sharing a key share the
-expensive pipeline stages (one scored prefix, one shared-prefix DP or
-MC pass), so a worker executes a whole group through the shared
-:class:`~repro.api.session.Session` back to back — the first request
-of the group pays the compute, the rest are cache lookups.  Keys are
+key** — :meth:`~repro.api.logical.LogicalPlan.batch_key`, i.e.
+``(table, p_tau, algorithm)`` plus the canonical Monte-Carlo knobs
+under ``"mc"``; the key derives from the same normalized
+:class:`~repro.api.logical.LogicalPlan` the Session's cache keys
+derive from, so grouping and caching can never drift.  Requests
+sharing a key share the expensive pipeline stages, and a worker hands
+the whole group to :meth:`~repro.api.session.Session.execute_many`,
+whose planner **fuses** the group's exact dynamic programs: a mixed-k
+group over one table runs a single shared-prefix sweep at the largest
+``k``, sliced per request (byte-identical to per-request execution) —
+instead of one DP per distinct ``(k, algorithm)``.  Keys are
 additionally *single-flight*: while one worker is executing a group,
 other workers skip that key, so concurrent cold requests for one
 distribution never duplicate the DP — they accumulate in the queue
@@ -30,6 +36,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Literal
 
+from repro.api.logical import LogicalPlan
 from repro.api.session import Session
 from repro.api.spec import QuerySpec
 from repro.exceptions import (
@@ -77,9 +84,16 @@ class _Pending:
 
 
 def batch_key(spec: QuerySpec) -> Hashable:
-    """The grouping key: requests sharing it share pipeline stages."""
-    table = spec.table if isinstance(spec.table, str) else id(spec.table)
-    return (table, spec.p_tau, spec.algorithm)
+    """The grouping key: requests sharing it share pipeline stages.
+
+    Derived from the normalized logical plan — the single source the
+    Session's LRU keys also derive from — so service grouping and
+    session caching can never drift.  Under ``algorithm="mc"`` the
+    sampling knobs participate (in canonical order): MC requests with
+    different knobs share neither estimates nor cache entries, so
+    grouping them would be a false economy.
+    """
+    return LogicalPlan.from_spec(spec).batch_key()
 
 
 class BatchingExecutor:
@@ -248,6 +262,7 @@ class BatchingExecutor:
             # Naive baseline: a cold session over the same catalog.
             else Session(self._session.catalog)
         )
+        live: list[_Pending] = []
         for request in batch:
             if request.expired(time.monotonic()):
                 request.future.set_exception(
@@ -255,7 +270,26 @@ class BatchingExecutor:
                         "request expired in the queue before execution"
                     )
                 )
-                continue
+            else:
+                live.append(request)
+        if not live:
+            return
+        if self.batched:
+            # One planner pass for the whole group: fusable exact DPs
+            # merge into a single shared sweep, everything else runs
+            # per spec; per-request errors come back as values.
+            results = session.execute_many(
+                [request.spec for request in live],
+                ops=[request.op for request in live],
+                return_exceptions=True,
+            )
+            for request, result in zip(live, results):
+                if isinstance(result, BaseException):
+                    request.future.set_exception(result)
+                else:
+                    request.future.set_result(result)
+            return
+        for request in live:
             try:
                 if request.op == "distribution":
                     result: Any = session.distribution(request.spec)

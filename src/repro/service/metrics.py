@@ -11,7 +11,9 @@ Everything is rendered as one JSON document by
       "batches": {"count", "requests", "mean_size",
                   "sizes": {"1": n, "2": n, "4": n, ...}},
       "queue": {"depth", "max_depth", "rejected"},
-      "cache": <Session.cache_info() plus per-stage hit rates>
+      "cache": <Session.cache_info() plus per-stage hit rates>,
+      "fusion": <Session.fusion_info(): batches, groups, fused_specs,
+                 sweeps_saved>
     }
 
 Histograms use fixed power-of-two bucket upper bounds, so recording
@@ -140,7 +142,9 @@ class ServiceMetrics:
     # Rendering
     # ------------------------------------------------------------------
     def snapshot(
-        self, cache_info: dict[str, dict[str, int]] | None = None
+        self,
+        cache_info: dict[str, dict[str, int]] | None = None,
+        fusion_info: dict[str, int] | None = None,
     ) -> dict[str, Any]:
         """The full metrics document (see the module docstring)."""
         with self._lock:
@@ -190,4 +194,6 @@ class ServiceMetrics:
                     ),
                 )
             document["cache"] = cache
+        if fusion_info is not None:
+            document["fusion"] = dict(fusion_info)
         return document

@@ -5,8 +5,14 @@ Endpoints::
     POST /v1/answer        any registered semantics over a catalog table
     POST /v1/distribution  the top-k score distribution (pmf document)
     POST /v1/typical       c-Typical-Topk answers
+    POST /v1/explain       the request's plan (operators, costs, caches)
     GET  /healthz          liveness + catalog summary
     GET  /metrics          the ServiceMetrics JSON document
+
+``/v1/explain`` never runs the expensive stages: it lowers the request
+through the session's planner and reports the operator tree, the
+cost-model estimates and the predicted cache outcome — the service
+twin of ``Session.explain`` / ``repro explain``.
 
 Request bodies are JSON objects; ``table`` (a catalog name) and ``k``
 are required, everything else has the :class:`~repro.api.spec.QuerySpec`
@@ -169,6 +175,15 @@ class QueryService:
     # ------------------------------------------------------------------
     def handle(self, endpoint: str, payload: dict[str, Any]) -> _Reply:
         """Serve one POST endpoint; never raises."""
+        if endpoint == "explain":
+            start = time.perf_counter()
+            status, document = self._explain(payload)
+            elapsed = time.perf_counter() - start
+            self.metrics.record_request(
+                endpoint, elapsed, error=status != 200
+            )
+            document.setdefault("elapsed_ms", round(elapsed * 1e3, 3))
+            return _Reply(status, document)
         op = self.ENDPOINT_OPS.get(endpoint)
         if op is None:
             return _Reply(404, {"error": f"unknown endpoint {endpoint!r}"})
@@ -178,6 +193,29 @@ class QueryService:
         self.metrics.record_request(endpoint, elapsed, error=status != 200)
         document.setdefault("elapsed_ms", round(elapsed * 1e3, 3))
         return _Reply(status, document)
+
+    def _explain(
+        self, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """``/v1/explain``: plan inspection, bypassing the executor
+        (planning is cheap and must stay observable under overload)."""
+        try:
+            spec = build_spec(payload, "explain")
+            if spec.table not in self.catalog:
+                return 404, {
+                    "error": f"unknown table {spec.table!r}",
+                    "tables": list(self.catalog.names()),
+                }
+            document = self.catalog.session.explain(spec)
+        except BadRequestError as exc:
+            return 400, {"error": str(exc)}
+        except QueryPlanError as exc:
+            return 404, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"internal error: {exc}"}
+        return 200, document
 
     def _run(
         self, endpoint: str, op: Op, payload: dict[str, Any]
@@ -239,9 +277,13 @@ class QueryService:
         )
 
     def metrics_document(self) -> _Reply:
-        """The metrics JSON document (cache counters included)."""
+        """The metrics JSON document (cache + fusion counters included)."""
+        session = self.catalog.session
         return _Reply(
-            200, self.metrics.snapshot(self.catalog.session.cache_info())
+            200,
+            self.metrics.snapshot(
+                session.cache_info(), session.fusion_info()
+            ),
         )
 
     def shutdown(self) -> None:

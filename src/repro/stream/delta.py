@@ -37,8 +37,13 @@ this state only while the window holds no live multi-member ME group
 and falls back to the full Section-3 pipeline otherwise — expiry of a
 group member that makes the group degrade to a singleton re-enables
 the delta path automatically.  Cells here carry no representative
-vectors (scores and probabilities only); window results therefore
-report ``vector=None`` lines in delta mode.
+vectors (scores and probabilities only); representative vectors are
+reconstructed *lazily* from the cached rank order — the window wraps
+delta results in a :class:`~repro.core.pmf.LazyVectorPMF` whose first
+vector access runs one vector-carrying dynamic program over
+:meth:`DeltaWindowState.vector_inputs` (the segments' rank-ordered
+rows up to the incremental Theorem-2 depth, snapshot at query time so
+later slides cannot skew the reconstruction).
 """
 
 from __future__ import annotations
@@ -356,6 +361,28 @@ class DeltaWindowState:
             segment.rebuild(self._k, self._max_lines)
         return segment.cache_lines * self._k <= 2 * rows
 
+    def vector_inputs(
+        self, p_tau: float
+    ) -> list[tuple[Any, float, float]]:
+        """Snapshot of the consumed rows, ``(tid, score, prob)`` in
+        canonical rank order up to the incremental Theorem-2 depth.
+
+        This is the cached segment state a lazy vector reconstruction
+        runs over: no re-scoring, no re-sorting — the segments already
+        hold the window's rank order, and the depth matches what
+        :meth:`query` consumed.  Taken as a snapshot so the
+        reconstruction stays correct even if the window slides before
+        the vectors are first read.
+        """
+        depth = self._scan_depth(p_tau)
+        rows: list[tuple[Any, float, float]] = []
+        for segment in self._segments:
+            for entry in segment.entries:
+                if len(rows) == depth:
+                    return rows
+                rows.append((entry.tid, entry.score, entry.prob))
+        return rows
+
     def query(self, p_tau: float) -> ScorePMF:
         """The window's top-k score distribution.
 
@@ -401,3 +428,23 @@ class DeltaWindowState:
         return ScorePMF(
             (float(s), float(p), None) for s, p in zip(scores, probs)
         )
+
+
+def reconstruct_vector_pmf(
+    rows: list[tuple[Any, float, float]], k: int, max_lines: int
+) -> ScorePMF:
+    """A vector-carrying top-k distribution over snapshot ``rows``.
+
+    Runs the exact bottom-up dynamic program of :mod:`repro.core.dp`
+    (independent tuples, every exit enabled) over the rank-ordered
+    rows :meth:`DeltaWindowState.vector_inputs` captured — the same
+    computation the from-scratch session path performs, minus the
+    re-scoring, validation and sorting of the window table.  Each
+    line carries the most probable top-k vector attaining its score.
+    """
+    from repro.core.dp import _cell_to_pmf, _dp_run, _Unit
+
+    units = [_Unit([(score, prob, tid)]) for tid, score, prob in rows]
+    return _cell_to_pmf(
+        _dp_run(units, k, [True] * len(units), max_lines)
+    )

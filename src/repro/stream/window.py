@@ -22,10 +22,21 @@ and :meth:`SlidingWindowTopK.typical` at a new ``c`` reuses the
 cached distribution instead of re-running the dynamic program.
 
 The two paths agree on the consumed tuple set (the delta state
-replicates the Theorem-2 scan depth incrementally); delta-mode PMFs
-carry no representative vectors, and once the per-cell line budget
-forces coalescing the two paths may place coalesced lines a grid
-width apart (same bound as the DP's internal coalescing).
+replicates the Theorem-2 scan depth incrementally); once the per-cell
+line budget forces coalescing the two paths may place coalesced lines
+a grid width apart (same bound as the DP's internal coalescing).
+
+Delta-mode PMFs carry **lazily reconstructed** representative vectors:
+the segment caches track scores and probabilities only, so the window
+wraps delta results in a :class:`~repro.core.pmf.LazyVectorPMF` — the
+first read of the vector column (JSON serialization, typical-answer
+vectors) runs one vector-carrying dynamic program over the cached rank
+order (:func:`repro.stream.delta.reconstruct_vector_pmf`), memoized
+until the window slides.  Consumers that never touch vectors
+(expectations, histograms, threshold queries) keep paying nothing, so
+the delta path's slide-and-query speedup survives intact.  Under
+line-budget coalescing the reconstruction pass may bucket lines
+slightly differently; lines it cannot match keep ``vector=None``.
 """
 
 from __future__ import annotations
@@ -38,7 +49,7 @@ from repro.api.session import Session
 from repro.api.spec import DEFAULT_MC_CONFIDENCE, SPEC_ALGORITHMS, QuerySpec
 from repro.core.distribution import DEFAULT_P_TAU
 from repro.core.dp import DEFAULT_MAX_LINES
-from repro.core.pmf import ScorePMF
+from repro.core.pmf import LazyVectorPMF, ScorePMF
 from repro.core.typical import TypicalResult, select_typical_clamped
 from repro.exceptions import (
     AlgorithmError,
@@ -46,9 +57,53 @@ from repro.exceptions import (
     InvalidProbabilityError,
     ScoringError,
 )
-from repro.stream.delta import DeltaWindowState
+from repro.stream.delta import DeltaWindowState, reconstruct_vector_pmf
 from repro.uncertain.model import UncertainTuple, validate_probability
 from repro.uncertain.table import UncertainTable
+
+
+def _match_vectors(
+    scores: tuple[float, ...], vector_pmf: ScorePMF
+) -> list:
+    """Align a reconstruction pass's vectors with delta-query scores.
+
+    The two computations are mathematically identical over the same
+    rows, so in the common (un-coalesced) regime the line sets match
+    one to one — score for score — and the vectors transfer
+    positionally.  Once the line budget forces coalescing, bucket
+    boundaries may differ between the passes; every line is then
+    matched by nearest score within a relative tolerance, and
+    unmatched lines keep ``vector=None`` (a vector must attain its
+    line's score, never merely sit at the same position).
+    """
+    from bisect import bisect_left
+
+    def tolerance(score: float) -> float:
+        return 1e-9 * max(1.0, abs(score))
+
+    if len(vector_pmf) == len(scores) and all(
+        abs(a - b) <= tolerance(a)
+        for a, b in zip(scores, vector_pmf.scores)
+    ):
+        return list(vector_pmf.vectors)
+    reference = vector_pmf.scores
+    matched: list = []
+    for score in scores:
+        index = bisect_left(reference, score)
+        best = None
+        distance = float("inf")
+        for candidate in (index - 1, index):
+            if 0 <= candidate < len(reference):
+                gap = abs(reference[candidate] - score)
+                if gap < distance:
+                    distance = gap
+                    best = candidate
+        matched.append(
+            vector_pmf.vectors[best]
+            if best is not None and distance <= tolerance(score)
+            else None
+        )
+    return matched
 
 
 class WindowSnapshot(NamedTuple):
@@ -75,10 +130,11 @@ class SlidingWindowTopK:
     :param incremental: serve queries from the delta-maintained state
         while no ME group is live (default); ``False`` forces the
         from-scratch session path on every query.  Delta-mode PMFs
-        (and the typical answers drawn from them) carry
-        ``vector=None`` lines — the segment caches track scores and
-        probabilities only; construct with ``incremental=False`` when
-        representative tuple vectors are required.
+        (and the typical answers drawn from them) reconstruct their
+        representative vectors lazily: the segment caches track
+        scores and probabilities only, and the first vector access
+        pays one vector-carrying DP over the cached rank order
+        (memoized until the window slides).
     :param algorithm: the query pipeline's algorithm (default
         ``"dp"``).  ``"mc"`` serves every query from the Monte-Carlo
         answer engine — the escape hatch for windows too wide for the
@@ -320,12 +376,27 @@ class SlidingWindowTopK:
         Served from the delta-maintained segment states when eligible
         (see :mod:`repro.stream.delta`); otherwise recomputed through
         the session pipeline, whose stage caches memoize until the
-        window slides.
+        window slides.  Delta-mode results reconstruct their
+        representative vectors lazily on first access (see the module
+        docstring).
         """
         if not self._delta_eligible():
             return self._session.distribution(self._spec())
         if self._cached_pmf is None:
-            self._cached_pmf = self._delta.query(self._p_tau)
+            base = self._delta.query(self._p_tau)
+            if base.is_empty():
+                self._cached_pmf = base
+            else:
+                rows = self._delta.vector_inputs(self._p_tau)
+                k, max_lines = self._k, self._max_lines
+
+                def fill(scores: tuple[float, ...]) -> list:
+                    vector_pmf = reconstruct_vector_pmf(rows, k, max_lines)
+                    return _match_vectors(scores, vector_pmf)
+
+                self._cached_pmf = LazyVectorPMF(
+                    zip(base.scores, base.probs, base.vectors), fill
+                )
         return self._cached_pmf
 
     def typical(self, c: int) -> TypicalResult:

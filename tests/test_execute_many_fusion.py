@@ -1,0 +1,277 @@
+"""Multi-query batch fusion: one DP sweep, byte-identical answers.
+
+The tentpole guarantees: ``Session.execute_many`` over a mixed-k
+same-table batch runs exactly one DP sweep (asserted via the
+``dp_sweep_count`` counter and the session's fusion counters), and
+every answer is byte-identical to a dedicated per-spec ``execute`` on
+a fresh session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import QuerySpec, Session
+from repro.api.calibration import CostModel
+from repro.api.planner import Planner
+from repro.bench.workloads import (
+    cartel_workload,
+    congestion_scorer,
+    synthetic_workload,
+)
+from repro.core import dp
+from repro.core.dp import dp_distribution_sliced
+from repro.core.distribution import prepare_scored_prefix
+from repro.exceptions import AlgorithmError, QueryPlanError
+from repro.service.batching import BatchingExecutor
+
+
+def assert_pmf_identical(a, b) -> None:
+    assert a.scores == b.scores
+    assert a.probs == b.probs
+    assert a.vectors == b.vectors
+
+
+def assert_answer_identical(got, want) -> None:
+    if hasattr(got, "scores"):
+        assert_pmf_identical(got, want)
+    else:
+        assert got == want
+
+
+def fresh(tables) -> Session:
+    return Session(tables, planner=Planner(CostModel()))
+
+
+CARTEL = {"area": cartel_workload(segments=50)}
+SYNTH = {"synth": synthetic_workload(tuples=200, me_fraction=0.0)}
+SCORER = congestion_scorer()
+
+
+class TestMixedKFusion:
+    def test_me_batch_runs_exactly_one_sweep(self) -> None:
+        session = fresh(CARTEL)
+        specs = [
+            QuerySpec(
+                table="area", scorer=SCORER, k=k, p_tau=0.0, semantics=sem
+            )
+            for k, sem in [
+                (3, "typical"),
+                (5, "typical"),
+                (8, "distribution"),
+                (12, "typical"),
+                (5, "distribution"),  # duplicate slice: same cache entry
+            ]
+        ]
+        before = dp.dp_sweep_count()
+        results = session.execute_many(specs)
+        assert dp.dp_sweep_count() - before == 1
+        info = session.fusion_info()
+        assert info["batches"] == 1
+        assert info["groups"] == 1
+        assert info["fused_specs"] == 4
+        assert info["sweeps_saved"] == 3  # 4 distinct (k, depth) slices
+        reference = fresh(CARTEL)
+        for spec, got in zip(specs, results):
+            assert_answer_identical(got, reference.execute(spec))
+
+    def test_independent_batch_runs_exactly_one_sweep(self) -> None:
+        session = fresh(SYNTH)
+        specs = [
+            QuerySpec(table="synth", scorer="score", k=k, p_tau=0.0)
+            for k in (2, 5, 9, 13)
+        ]
+        before = dp.dp_sweep_count()
+        results = session.execute_many(specs)
+        assert dp.dp_sweep_count() - before == 1
+        assert session.fusion_info()["sweeps_saved"] == 3
+        reference = fresh(SYNTH)
+        for spec, got in zip(specs, results):
+            assert_answer_identical(got, reference.execute(spec))
+
+    def test_mixed_semantics_slice_from_one_pmf_stage(self) -> None:
+        session = fresh(CARTEL)
+        specs = [
+            QuerySpec(
+                table="area", scorer=SCORER, k=k, p_tau=0.0, semantics=sem
+            )
+            for k, sem in [
+                (4, "typical"),
+                (4, "distribution"),
+                (9, "u_topk"),  # prefix semantics: no DP at all
+                (9, "typical"),
+                (6, "pt_k"),  # prefix semantics
+                (6, "distribution"),
+            ]
+        ]
+        before = dp.dp_sweep_count()
+        results = session.execute_many(specs)
+        assert dp.dp_sweep_count() - before == 1
+        reference = fresh(CARTEL)
+        for spec, got in zip(specs, results):
+            assert_answer_identical(got, reference.execute(spec))
+
+    def test_warm_cache_skips_fusion_entirely(self) -> None:
+        session = fresh(CARTEL)
+        specs = [
+            QuerySpec(table="area", scorer=SCORER, k=k, p_tau=0.0)
+            for k in (3, 7)
+        ]
+        session.execute_many(specs)
+        before = dp.dp_sweep_count()
+        session.execute_many(specs)
+        assert dp.dp_sweep_count() - before == 0
+        assert session.fusion_info()["groups"] == 1  # only the cold batch
+
+    def test_distribution_op_and_execute_op_agree(self) -> None:
+        session = fresh(CARTEL)
+        spec = QuerySpec(table="area", scorer=SCORER, k=5, p_tau=0.0)
+        via_batch = session.execute_many(
+            [spec, spec.with_(k=9)], ops=["distribution", "distribution"]
+        )
+        reference = fresh(CARTEL)
+        assert_pmf_identical(via_batch[0], reference.distribution(spec))
+        assert_pmf_identical(
+            via_batch[1], reference.distribution(spec.with_(k=9))
+        )
+
+    def test_nonfusable_algorithms_still_byte_identical(self) -> None:
+        session = fresh(CARTEL)
+        specs = [
+            QuerySpec(table="area", scorer=SCORER, k=3, p_tau=0.0),
+            QuerySpec(
+                table="area",
+                scorer=SCORER,
+                k=3,
+                p_tau=0.0,
+                algorithm="k_combo",
+                depth=10,
+            ),
+            QuerySpec(
+                table="area",
+                scorer=SCORER,
+                k=4,
+                p_tau=0.0,
+                algorithm="mc",
+                samples=2048,
+            ),
+            QuerySpec(table="area", scorer=SCORER, k=11, p_tau=0.0),
+        ]
+        results = session.execute_many(specs)
+        assert session.fusion_info()["fused_specs"] == 2  # the two dp specs
+        reference = fresh(CARTEL)
+        for spec, got in zip(specs, results):
+            assert_answer_identical(got, reference.execute(spec))
+
+    def test_theorem2_depths_fuse_only_when_provably_safe(self) -> None:
+        """p_tau > 0 gives every k its own scan depth; fusion must
+        never trade byte-identity for speed — unsafe slices simply run
+        per spec."""
+        session = fresh(CARTEL)
+        specs = [
+            QuerySpec(table="area", scorer=SCORER, k=k, p_tau=1e-3)
+            for k in (2, 4, 6, 9)
+        ]
+        results = session.execute_many(specs)
+        reference = fresh(CARTEL)
+        for spec, got in zip(specs, results):
+            assert_answer_identical(got, reference.execute(spec))
+
+    def test_return_exceptions_isolates_bad_specs(self) -> None:
+        session = fresh(CARTEL)
+        good = QuerySpec(table="area", scorer=SCORER, k=3, p_tau=0.0)
+        bad = QuerySpec(table="ghost", scorer="score", k=3)
+        results = session.execute_many(
+            [good, bad], return_exceptions=True
+        )
+        assert hasattr(results[0], "answers")
+        assert isinstance(results[1], QueryPlanError)
+        with pytest.raises(QueryPlanError):
+            session.execute_many([good, bad])
+
+    def test_ops_length_mismatch_rejected(self) -> None:
+        session = fresh(CARTEL)
+        spec = QuerySpec(table="area", scorer=SCORER, k=3)
+        with pytest.raises(AlgorithmError):
+            session.execute_many([spec], ops=["execute", "execute"])
+
+
+class TestSlicedSweepContract:
+    def test_independent_depth_mismatch_rejected(self) -> None:
+        table = synthetic_workload(tuples=60, me_fraction=0.0)
+        scored = prepare_scored_prefix(table, "score", 5, p_tau=0.0)
+        with pytest.raises(AlgorithmError):
+            dp_distribution_sliced(scored, [(3, len(scored)), (5, 20)])
+
+    def test_unsliceable_me_depth_rejected(self) -> None:
+        table = cartel_workload(segments=50)
+        scored = prepare_scored_prefix(table, SCORER, 10, p_tau=0.0)
+        straddles = dp.me_straddle_intervals(scored)
+        assert straddles, "cartel should have multi-member groups"
+        p0, p1 = straddles[0]
+        bad_depth = p1  # inside (p0, p1]: splits the group
+        if not dp.sliceable_depth(scored, bad_depth):
+            with pytest.raises(AlgorithmError):
+                dp_distribution_sliced(
+                    scored, [(5, len(scored)), (3, bad_depth)]
+                )
+
+    def test_invalid_requests_rejected(self) -> None:
+        table = synthetic_workload(tuples=30, me_fraction=0.0)
+        scored = prepare_scored_prefix(table, "score", 3, p_tau=0.0)
+        with pytest.raises(AlgorithmError):
+            dp_distribution_sliced(scored, [(0, len(scored))])
+        with pytest.raises(AlgorithmError):
+            dp_distribution_sliced(scored, [(3, len(scored) + 1)])
+        assert dp_distribution_sliced(scored, []) == []
+
+
+class TestExecutorFusion:
+    def test_batched_executor_fuses_mixed_k_groups(self) -> None:
+        import threading
+
+        from repro.api import register_semantics, unregister_semantics
+
+        gate = threading.Event()
+
+        @register_semantics("fusion_test_gate", replace=True)
+        def _gate(prefix, spec):
+            gate.wait(10.0)
+            return len(prefix)
+
+        session = fresh(CARTEL)
+        try:
+            with BatchingExecutor(session, workers=1) as executor:
+                # Occupy the only worker so the mixed-k requests
+                # accumulate and are claimed as one micro-batch.
+                blocker = executor.submit(
+                    "execute",
+                    QuerySpec(
+                        table="area",
+                        scorer=SCORER,
+                        k=2,
+                        p_tau=0.0,
+                        semantics="fusion_test_gate",
+                    ),
+                )
+                futures = [
+                    executor.submit(
+                        "execute",
+                        QuerySpec(
+                            table="area", scorer=SCORER, k=k, p_tau=0.0
+                        ),
+                    )
+                    for k in (3, 5, 8)
+                ]
+                gate.set()
+                assert blocker.result(30.0) > 0
+                results = [future.result(30.0) for future in futures]
+        finally:
+            unregister_semantics("fusion_test_gate")
+        assert session.fusion_info()["fused_specs"] >= 2
+        reference = fresh(CARTEL)
+        for k, got in zip((3, 5, 8), results):
+            want = reference.execute(
+                QuerySpec(table="area", scorer=SCORER, k=k, p_tau=0.0)
+            )
+            assert_answer_identical(got, want)

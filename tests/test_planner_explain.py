@@ -1,0 +1,296 @@
+"""Golden EXPLAIN snapshots across the algorithm-choice matrix, plus
+cost-model calibration plumbing.
+
+Every case pins the builtin cost model (so thresholds — and the
+per-operator time estimates derived from the builtin unit costs — are
+machine independent) and compares the ``physical`` section of the
+EXPLAIN document against a literal golden value.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import QuerySpec, Session
+from repro.api.calibration import (
+    CostModel,
+    load_cost_model,
+    run_calibration,
+    write_calibration,
+)
+from repro.api.logical import LogicalPlan
+from repro.api.planner import Planner
+from repro.bench.workloads import (
+    cartel_workload,
+    congestion_scorer,
+    synthetic_workload,
+)
+from repro.datasets.soldier import soldier_table
+from repro.service.batching import batch_key
+
+
+@pytest.fixture
+def session() -> Session:
+    """All matrix tables behind one session with the builtin model."""
+    return Session(
+        {
+            "soldiers": soldier_table(),
+            "synth": synthetic_workload(tuples=300, me_fraction=0.0),
+            "dense_me": synthetic_workload(tuples=2500, me_fraction=0.9),
+        },
+        planner=Planner(CostModel()),
+    )
+
+
+def physical(session: Session, spec: QuerySpec) -> dict:
+    document = session.explain(spec)
+    # The document must be JSON-serializable end to end (the service
+    # endpoint and the nightly artifacts depend on it).
+    json.dumps(document)
+    return document["physical"]
+
+
+class TestGoldenExplain:
+    def test_k_combo_on_tiny_input(self, session) -> None:
+        spec = QuerySpec(table="soldiers", scorer="score", k=2, p_tau=0.0)
+        assert physical(session, spec) == {
+            "algorithm": "k_combo",
+            "operators": [
+                {
+                    "op": "ScorePrefixOp",
+                    "params": {
+                        "k": 2,
+                        "p_tau": 0.0,
+                        "rows_in": 7,
+                        "rows_out": 7,
+                    },
+                    "cost_units": 7.0,
+                    "est_ms": 0.0105,
+                },
+                {
+                    "op": "KComboOp",
+                    "params": {
+                        "k": 2,
+                        "n": 7,
+                        "max_lines": 200,
+                        "combinations": 21,
+                    },
+                    "cost_units": 21.0,
+                    "est_ms": 0.042,
+                },
+                {
+                    "op": "SemanticsOp",
+                    "params": {
+                        "semantics": "typical",
+                        "algorithm": "k_combo",
+                        "requires": "pmf",
+                        "c": 3,
+                    },
+                },
+            ],
+            "total_cost_units": 28.0,
+            "total_est_ms": 0.0525,
+            "notes": ["algorithm resolved by cost model: k_combo"],
+        }
+
+    def test_state_expansion_on_short_prefix(self, session) -> None:
+        spec = QuerySpec(
+            table="synth", scorer="score", k=6, p_tau=0.0, depth=12
+        )
+        document = physical(session, spec)
+        assert document["algorithm"] == "state_expansion"
+        assert document["operators"][1] == {
+            "op": "StateExpansionOp",
+            "params": {
+                "k": 6,
+                "n": 12,
+                "max_lines": 200,
+                "p_tau": 0.0,
+            },
+            "cost_units": 49152.0,  # 12 * 2^12
+            "est_ms": 19.6608,
+        }
+
+    def test_shared_prefix_dp_independent(self, session) -> None:
+        spec = QuerySpec(table="synth", scorer="score", k=10, p_tau=0.0)
+        document = physical(session, spec)
+        assert document["algorithm"] == "dp"
+        assert document["operators"][1] == {
+            "op": "SharedPrefixDPOp",
+            "params": {
+                "k": 10,
+                "n": 300,
+                "max_lines": 200,
+                "me_members": 0,
+            },
+            "cost_units": 3000.0,  # k * n * (m + 1)
+            "est_ms": 0.6,
+        }
+
+    def test_shared_prefix_dp_me(self) -> None:
+        session = Session(
+            {"area": cartel_workload(segments=40)},
+            planner=Planner(CostModel()),
+        )
+        spec = QuerySpec(
+            table="area", scorer=congestion_scorer(), k=5, p_tau=0.0
+        )
+        document = physical(session, spec)
+        assert document["algorithm"] == "dp"
+        dp = document["operators"][1]
+        assert dp["op"] == "SharedPrefixDPOp"
+        assert dp["params"]["me_members"] > 0
+        assert dp["cost_units"] == (
+            5 * dp["params"]["n"] * (dp["params"]["me_members"] + 1)
+        )
+
+    def test_per_ending_ablation_explicit(self) -> None:
+        session = Session(
+            {"area": cartel_workload(segments=40)},
+            planner=Planner(CostModel()),
+        )
+        spec = QuerySpec(
+            table="area",
+            scorer=congestion_scorer(),
+            k=5,
+            p_tau=0.0,
+            algorithm="dp_per_ending",
+        )
+        document = physical(session, spec)
+        assert document["algorithm"] == "dp_per_ending"
+        op = document["operators"][1]
+        assert op["op"] == "PerEndingDPOp"
+        assert op["params"]["ending_units"] > 1
+        assert op["cost_units"] == (
+            5 * op["params"]["n"] * op["params"]["ending_units"]
+        )
+        assert document.get("notes", []) == []  # explicit, not auto
+
+    def test_mc_via_exact_cost_escape_hatch(self, session) -> None:
+        spec = QuerySpec(table="dense_me", scorer="score", k=10, p_tau=0.0)
+        document = physical(session, spec)
+        assert document["algorithm"] == "mc"
+        op = document["operators"][1]
+        assert op["op"] == "MCSampleOp"
+        assert op["params"]["samples"] is None
+        assert op["params"]["planned_samples"] > 1000
+        assert (
+            op["cost_units"]
+            == op["params"]["planned_samples"] * op["params"]["n"]
+        )
+        assert document["notes"] == [
+            "algorithm resolved by cost model: mc"
+        ]
+
+    def test_prefix_semantics_skip_the_pmf_stage(self, session) -> None:
+        spec = QuerySpec(
+            table="synth",
+            scorer="score",
+            k=10,
+            p_tau=0.0,
+            semantics="u_topk",
+        )
+        document = physical(session, spec)
+        assert [op["op"] for op in document["operators"]] == [
+            "ScorePrefixOp",
+            "SemanticsOp",
+        ]
+
+    def test_cache_prediction_flips_to_hits(self, session) -> None:
+        spec = QuerySpec(table="synth", scorer="score", k=10, p_tau=0.0)
+        assert session.explain(spec)["cache"] == {
+            "prefix": "miss",
+            "pmf": "miss",
+            "answer": "miss",
+        }
+        session.execute(spec)
+        assert session.explain(spec)["cache"] == {
+            "prefix": "hit",
+            "pmf": "hit",
+            "answer": "hit",
+        }
+
+
+class TestCostModelCalibration:
+    def test_builtin_model_matches_frozen_literals(self) -> None:
+        from repro.api.plan import (
+            AUTO_K_COMBO_MAX_COMBINATIONS,
+            AUTO_MC_COST_BUDGET,
+            AUTO_STATE_EXPANSION_MAX_DEPTH,
+        )
+
+        model = CostModel()
+        assert model.k_combo_max_combinations == AUTO_K_COMBO_MAX_COMBINATIONS
+        assert model.state_expansion_max_depth == AUTO_STATE_EXPANSION_MAX_DEPTH
+        assert model.mc_cost_budget == AUTO_MC_COST_BUDGET
+        assert model.source == "builtin"
+
+    def test_calibrated_thresholds_change_routing(self) -> None:
+        planner = Planner(CostModel(mc_cost_budget=100))
+        assert planner.choose_algorithm(500, 10) == "mc"
+        assert Planner(CostModel()).choose_algorithm(500, 10) == "dp"
+
+    def test_calibration_round_trip(self, tmp_path) -> None:
+        document = run_calibration(repeats=1, target_ms=100.0)
+        assert document["schema"] == 1
+        constants = document["constants"]
+        assert constants["mc_cost_budget"] >= 1
+        assert constants["k_combo_max_combinations"] >= 1
+        assert 1 <= constants["state_expansion_max_depth"] < 24
+        path = write_calibration(document, tmp_path / "cal.json")
+        model = load_cost_model(path)
+        assert model.source == str(path)
+        assert model.mc_cost_budget == constants["mc_cost_budget"]
+        # A session built on the calibrated planner uses it.
+        session = Session(planner=Planner(model))
+        assert (
+            session.explain(
+                QuerySpec(
+                    table=soldier_table(), scorer="score", k=2, p_tau=0.0
+                )
+            )["cost_model"]["source"]
+            == str(path)
+        )
+
+    def test_unreadable_calibration_falls_back(self, tmp_path) -> None:
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json")
+        assert load_cost_model(bad) is not None
+        assert load_cost_model(bad).source == "builtin"
+        assert load_cost_model(tmp_path / "absent.json").source == "builtin"
+
+
+class TestSharedKeyDerivation:
+    """The satellite: one key-derivation source for service + session."""
+
+    def test_batch_key_comes_from_the_logical_plan(self) -> None:
+        spec = QuerySpec(table="t", scorer="score", k=5, p_tau=0.1)
+        assert batch_key(spec) == LogicalPlan.from_spec(spec).batch_key()
+
+    def test_exact_specs_share_keys_across_mc_knobs(self) -> None:
+        base = QuerySpec(table="t", scorer="score", k=5)
+        assert batch_key(base) == batch_key(base.with_(seed=9))
+        assert batch_key(base) == batch_key(base.with_(epsilon=0.5))
+
+    def test_mc_knobs_split_mc_batch_keys_canonically(self) -> None:
+        base = QuerySpec(table="t", scorer="score", k=5, algorithm="mc")
+        assert batch_key(base) != batch_key(base.with_(seed=9))
+        assert batch_key(base) != batch_key(base.with_(epsilon=0.5))
+        assert batch_key(base) == batch_key(
+            QuerySpec(table="t", scorer="score", k=8, algorithm="mc")
+        )  # k is shareable (fused); the knobs are not
+
+    def test_k_and_semantics_do_not_split_batches(self) -> None:
+        base = QuerySpec(table="t", scorer="score", k=5)
+        assert batch_key(base) == batch_key(base.with_(k=20))
+        assert batch_key(base) == batch_key(base.with_(semantics="u_topk"))
+
+    def test_session_pmf_keys_share_the_same_mc_rule(self) -> None:
+        logical = LogicalPlan.from_spec(
+            QuerySpec(table="t", scorer="score", k=5, seed=3)
+        )
+        assert logical.pmf_params("dp") == logical.pmf_params("dp")
+        assert logical.mc_params("dp") == ()
+        assert logical.mc_params("mc") == (None, 0.95, None, 3)

@@ -375,7 +375,12 @@ class TestQueryService:
         assert answer["count"] == 2 and answer["errors"] == 1
         assert answer["latency_ms"]["count"] == 2
         assert document["batches"]["requests"] == 1
-        assert set(document["cache"]) == {"prefix", "pmf", "answer"}
+        assert set(document["cache"]) == {
+            "scored",
+            "prefix",
+            "pmf",
+            "answer",
+        }
         assert service.healthz().document["status"] == "ok"
 
     def test_concurrent_overload_yields_429(self, catalog) -> None:

@@ -1,8 +1,13 @@
-"""The delta-window caveat from the shared-prefix PR: delta-mode PMFs
-carry ``vector=None`` lines.  Every downstream consumer — JSON
-round-trips (the ``repro answer --json`` document shape), histogram
-rendering, typicality selection — must handle them without crashing
-or inventing vectors.
+"""Delta-window representative vectors, reconstructed lazily.
+
+The shared-prefix PR left a caveat: delta-mode PMFs carried
+``vector=None`` lines (the segment caches track scores and
+probabilities only).  The window now wraps delta results in a
+:class:`~repro.core.pmf.LazyVectorPMF` whose first vector access runs
+one vector-carrying dynamic program over the cached rank order — so
+window PMFs round-trip like session PMFs, consumers that never touch
+vectors keep paying nothing, and the vectors agree with the
+from-scratch (``incremental=False``) path.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.core.pmf import LazyVectorPMF
 from repro.core.typical import select_typical_clamped
 from repro.io.csv_io import write_table_csv
 from repro.io.json_io import pmf_from_json, pmf_to_json
@@ -19,10 +25,7 @@ from repro.stats.histogram import render_pmf
 from repro.stream.window import SlidingWindowTopK
 
 
-@pytest.fixture
-def delta_window() -> SlidingWindowTopK:
-    """A delta-eligible window (independent tuples, incremental)."""
-    win = SlidingWindowTopK(window=12, k=3, p_tau=0.0)
+def _fill_window(win: SlidingWindowTopK) -> SlidingWindowTopK:
     for i in range(20):
         win.append(
             {"score": float((i * 7) % 13)}, probability=0.3 + 0.04 * (i % 10)
@@ -30,25 +33,56 @@ def delta_window() -> SlidingWindowTopK:
     return win
 
 
-def test_delta_pmf_has_vectorless_lines(delta_window):
+@pytest.fixture
+def delta_window() -> SlidingWindowTopK:
+    """A delta-eligible window (independent tuples, incremental)."""
+    return _fill_window(SlidingWindowTopK(window=12, k=3, p_tau=0.0))
+
+
+@pytest.fixture
+def scratch_window() -> SlidingWindowTopK:
+    """The same stream through the from-scratch session path."""
+    return _fill_window(
+        SlidingWindowTopK(window=12, k=3, p_tau=0.0, incremental=False)
+    )
+
+
+def test_delta_pmf_vectors_are_lazy(delta_window):
     pmf = delta_window.distribution()
-    assert len(pmf) > 1
-    assert all(line.vector is None for line in pmf)
+    assert isinstance(pmf, LazyVectorPMF)
+    assert not pmf.vectors_materialized()
+    # Vector-free consumers never trigger the reconstruction...
+    assert pmf.expectation() > 0.0
+    assert pmf.total_mass() == pytest.approx(sum(pmf.probs))
+    assert not pmf.vectors_materialized()
+    # ...and the first vector read materializes exactly once.
+    vectors = pmf.vectors
+    assert pmf.vectors_materialized()
+    assert len(vectors) == len(pmf)
+    assert pmf.vectors is vectors
 
 
-def test_vectorless_pmf_json_round_trip(delta_window):
+def test_delta_vectors_match_scratch_path(delta_window, scratch_window):
+    delta_pmf = delta_window.distribution()
+    scratch_pmf = scratch_window.distribution()
+    assert delta_pmf.scores == pytest.approx(scratch_pmf.scores)
+    assert list(delta_pmf.vectors) == list(scratch_pmf.vectors)
+
+
+def test_delta_pmf_json_round_trip(delta_window):
     pmf = delta_window.distribution()
     text = pmf_to_json(pmf)
-    # None vectors are omitted from the document entirely...
-    assert "vector" not in text
+    assert "vector" in text  # vectors are now part of the document
     restored = pmf_from_json(text)
-    # ...and come back as None, with scores/probs intact.
     assert restored.scores == pmf.scores
     assert restored.probs == pytest.approx(pmf.probs)
-    assert all(vector is None for vector in restored.vectors)
+    assert list(restored.vectors) == [
+        tuple(v) if v is not None else None for v in pmf.vectors
+    ]
+    assert all(vector is not None for vector in restored.vectors)
 
 
-def test_vectorless_pmf_histogram_consumers(delta_window):
+def test_delta_pmf_histogram_consumers(delta_window):
     pmf = delta_window.distribution()
     rendered = render_pmf(pmf, buckets=8)
     assert rendered.count("\n") >= 1
@@ -56,18 +90,42 @@ def test_vectorless_pmf_histogram_consumers(delta_window):
     assert sum(prob for _, _, prob in buckets) == pytest.approx(
         pmf.total_mass()
     )
+    # Histogram access is vector-free: still lazy afterwards.
+    assert not pmf.vectors_materialized()
 
 
-def test_vectorless_pmf_typicality_consumers(delta_window):
+def test_delta_typical_answers_carry_vectors(delta_window, scratch_window):
     pmf = delta_window.distribution()
     result = select_typical_clamped(pmf, 2)
     assert len(result.answers) == 2
-    assert all(answer.vector is None for answer in result.answers)
+    assert all(answer.vector is not None for answer in result.answers)
+    reference = select_typical_clamped(scratch_window.distribution(), 2)
+    assert [a.vector for a in result.answers] == [
+        a.vector for a in reference.answers
+    ]
     # The window's own typical() path agrees and caches per c.
     again = delta_window.typical(2)
     assert [a.score for a in again.answers] == [
         a.score for a in result.answers
     ]
+
+
+def test_reconstruction_snapshot_survives_slides(delta_window):
+    """Vectors requested *after* the window slid reflect the queried
+    state, not the current one (the reconstruction inputs are a
+    snapshot)."""
+    pmf = delta_window.distribution()
+    expected_scores = pmf.scores
+    for i in range(12):  # slide the whole window away
+        delta_window.append({"score": 1000.0 + i}, probability=0.9)
+    vectors = pmf.vectors  # materialize late
+    assert pmf.scores == expected_scores
+    assert len(vectors) == len(expected_scores)
+    assert all(v is not None for v in vectors)
+    # The new window state is unaffected and lazily vectored again.
+    fresh = delta_window.distribution()
+    assert fresh.scores != expected_scores
+    assert all(v is not None for v in fresh.vectors)
 
 
 def test_cli_answer_json_round_trips_window_table(delta_window, tmp_path, capsys):
@@ -93,10 +151,14 @@ def test_cli_answer_json_round_trips_window_table(delta_window, tmp_path, capsys
     assert code == 0
     restored = pmf_from_json(capsys.readouterr().out)
     # Same tuple set, same exact semantics: the session-path PMF the
-    # CLI computes matches the delta-maintained one line for line.
+    # CLI computes matches the delta-maintained one line for line —
+    # vectors included, now that delta PMFs reconstruct them.
     delta_pmf = delta_window.distribution()
     assert restored.scores == pytest.approx(delta_pmf.scores)
     assert restored.probs == pytest.approx(delta_pmf.probs)
+    assert list(restored.vectors) == [
+        tuple(v) if v is not None else None for v in delta_pmf.vectors
+    ]
 
 
 def test_cli_answer_json_mc_estimates(delta_window, tmp_path, capsys):
