@@ -106,7 +106,7 @@ class _LRU:
     deterministic pure functions of the key.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock")
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data", "_lock")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
@@ -114,6 +114,7 @@ class _LRU:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -147,6 +148,22 @@ class _LRU:
         with self._lock:
             self._data.clear()
 
+    def evict_where(self, predicate: Any) -> list[Any]:
+        """Remove entries whose ``predicate(key, value)`` is true.
+
+        Returns the evicted *values* (explicit invalidation, e.g. a
+        catalog table reload) and counts them in ``evictions``.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, value in self._data.items()
+                if predicate(key, value)
+            ]
+            values = [self._data.pop(key) for key in doomed]
+            self.evictions += len(values)
+            return values
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
@@ -158,6 +175,7 @@ class _LRU:
                 "misses": self.misses,
                 "size": len(self._data),
                 "maxsize": self.maxsize,
+                "evictions": self.evictions,
             }
 
 
@@ -233,7 +251,12 @@ class Session:
     def _prefix_key(
         self, table: UncertainTable, logical: LogicalPlan
     ) -> Hashable:
-        return (table,) + logical.prefix_params()
+        # The *data version* participates alongside the table identity:
+        # tables that mutate in place (repro.standing) bump their
+        # version, so a cached stage computed before a mutation can
+        # never be served after it — downstream stages chain off the
+        # prefix object's identity and miss transitively.
+        return (table, table.version) + logical.prefix_params()
 
     def _prefix_for(
         self, table: UncertainTable, logical: LogicalPlan
@@ -253,6 +276,53 @@ class Session:
         """Stage 1 (cached): the scored, truncated prefix."""
         logical = LogicalPlan.from_spec(spec)
         return self._prefix_for(self.resolve(spec), logical)
+
+    def seed_prefix(self, spec: QuerySpec, prefix: ScoredTable) -> None:
+        """Install ``prefix`` as the stage-1 entry for ``spec`` at the
+        table's *current* version.
+
+        This is the standing-query maintainer's patch point: after a
+        mutation that provably cannot change the prefix (or whose new
+        prefix was rebuilt incrementally from segment state), seeding
+        keeps the downstream PMF/answer chain warm — the PMF cache is
+        keyed by the prefix *object*, so re-seeding the same object
+        under the new version preserves every downstream entry.  The
+        caller guarantees the seeded prefix is byte-identical to what
+        stage 1 would compute cold; nothing here can check that.
+        """
+        logical = LogicalPlan.from_spec(spec)
+        table = self.resolve(spec)
+        self._prefixes.put(self._prefix_key(table, logical), prefix)
+
+    def invalidate_table(self, table: UncertainTable) -> int:
+        """Evict every cached stage derived from ``table``.
+
+        Version-keyed stage keys already guarantee correctness when a
+        table mutates in place or is re-registered — old entries can
+        never be *hit* again — so this is about promptly releasing the
+        resident state (and the table itself, which its keys pin) on a
+        catalog (re)load.  Eviction chains through the stages: scored
+        tables and prefixes match on the table in their key, PMFs on
+        an evicted prefix, answers on an evicted prefix or PMF.
+        Returns the number of entries evicted (also counted per stage
+        in :meth:`cache_info`).
+        """
+        evicted = self._scored.evict_where(
+            lambda key, _value: key[0] is table
+        )
+        prefixes = self._prefixes.evict_where(
+            lambda key, _value: key[0] is table
+        )
+        stale = {id(value) for value in prefixes}
+        pmfs = self._pmfs.evict_where(
+            lambda key, _value: id(key[0]) in stale
+        )
+        stale.update(id(value) for value in pmfs)
+        answers = self._answers.evict_where(
+            lambda key, _value: isinstance(key[0], ByIdentity)
+            and id(key[0].obj) in stale
+        )
+        return len(evicted) + len(prefixes) + len(pmfs) + len(answers)
 
     def distribution(self, spec: QuerySpec) -> ScorePMF:
         """Stage 2 (cached): the top-k total-score distribution."""
@@ -330,7 +400,7 @@ class Session:
         """The fully scored, rank-ordered table (cached; fusion only)."""
         from repro.core.distribution import resolve_scorer
 
-        key = (table, logical.scorer_key)
+        key = (table, table.version, logical.scorer_key)
         scored = self._scored.get(key)
         if scored is None:
             scored = ScoredTable.from_table(

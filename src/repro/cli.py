@@ -31,7 +31,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.api import (
     DEFAULT_MC_CONFIDENCE,
@@ -411,8 +411,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"  table {name}: {info['tuples']} tuples "
             f"({info['me_rules']} ME rules) from {info['source']}"
         )
-    print("endpoints: POST /v1/answer /v1/distribution /v1/typical; "
-          "GET /healthz /metrics", flush=True)
+    print("endpoints: POST /v1/answer /v1/distribution /v1/typical "
+          "/v1/mutate /v1/subscribe /v1/unsubscribe /v1/reload; "
+          "GET /v1/watch /healthz /metrics", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -443,6 +444,92 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_mutate(args: argparse.Namespace) -> int:
+    """``repro mutate``: apply one mutation to a served table."""
+    import urllib.error
+    import urllib.request
+
+    payload: dict[str, Any] = {
+        "table": args.table,
+        "op": args.op,
+        "tid": args.tid,
+    }
+    if args.probability is not None:
+        payload["probability"] = args.probability
+    if args.attr:
+        attributes: dict[str, Any] = {}
+        for item in args.attr:
+            name, sep, value = item.partition("=")
+            if not sep or not name:
+                print(f"error: --attr must be name=value, got {item!r}",
+                      file=sys.stderr)
+                return 2
+            try:
+                attributes[name] = float(value)
+            except ValueError:
+                attributes[name] = value
+        payload["attributes"] = attributes
+    if args.group_with is not None:
+        payload["group_with"] = args.group_with
+    request = urllib.request.Request(
+        f"{args.url.rstrip('/')}/v1/mutate",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as r:
+            document = json.loads(r.read())
+    except urllib.error.HTTPError as exc:
+        print(exc.read().decode(), file=sys.stderr)
+        return 1
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """``repro watch``: subscribe to a standing query and stream it."""
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    body: dict[str, Any] = {
+        "table": args.table,
+        "scorer": args.score,
+        "k": args.k,
+        "semantics": args.semantics,
+    }
+    if args.p_tau is not None:
+        body["p_tau"] = args.p_tau
+    request = urllib.request.Request(
+        f"{base}/v1/subscribe",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as r:
+            subscription = json.loads(r.read())
+    except urllib.error.HTTPError as exc:
+        print(exc.read().decode(), file=sys.stderr)
+        return 1
+    sid = subscription["sid"]
+    print(json.dumps(subscription, indent=2), flush=True)
+    watch_url = (
+        f"{base}/v1/watch?sid={sid}&after={subscription['version']}"
+        f"&count={args.count}&timeout_s={args.timeout}"
+    )
+    try:
+        with urllib.request.urlopen(
+            watch_url, timeout=args.timeout + 5
+        ) as stream:
+            for raw in stream:
+                line = raw.decode().rstrip("\n")
+                if line.startswith("data: "):
+                    print(line.removeprefix("data: "), flush=True)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -645,6 +732,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--expect-ok", action="store_true",
                    help="exit nonzero unless every request returned 200")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "mutate", help="apply one mutation to a served catalog table"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8000",
+                   help="service base URL (default http://127.0.0.1:8000)")
+    p.add_argument("--table", required=True, help="catalog table name")
+    p.add_argument("--op", required=True,
+                   choices=["insert", "expire", "update_probability",
+                            "update_score"],
+                   help="the mutation operation")
+    p.add_argument("--tid", required=True, help="affected tuple id")
+    p.add_argument("--probability", type=float, default=None,
+                   help="membership probability (insert / "
+                   "update_probability)")
+    p.add_argument("--attr", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="attribute value (repeatable; numeric when it "
+                   "parses, else string)")
+    p.add_argument("--group-with", default=None, metavar="TID",
+                   help="join this tuple's ME group (insert only)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="client timeout in seconds")
+    p.set_defaults(func=cmd_mutate)
+
+    p = sub.add_parser(
+        "watch", help="subscribe to a standing query and stream updates"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8000",
+                   help="service base URL (default http://127.0.0.1:8000)")
+    p.add_argument("--table", required=True, help="catalog table name")
+    p.add_argument("--score", default="score",
+                   help="scorer attribute name (default score)")
+    p.add_argument("-k", type=int, required=True, help="top-k size")
+    p.add_argument("--semantics", default="u_topk",
+                   choices=available_semantics(),
+                   help="answer semantics (default u_topk)")
+    p.add_argument("--p-tau", type=float, default=None,
+                   help="Theorem-2 truncation threshold")
+    p.add_argument("--count", type=int, default=10,
+                   help="stop after this many updates (default 10)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="stream lifetime in seconds (default 60)")
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(
         "bench", help="run the core perf baseline workloads"

@@ -127,6 +127,10 @@ def k_combo_distribution(
 
     for combo in itertools.combinations(range(n), k):
         chosen_groups = set()
+        # Division order below must not depend on gid *values* (set
+        # iteration order would): positional order keeps the float
+        # result identical under any relabeling of the same partition.
+        chosen_order = []
         valid = True
         membership = 1.0
         for pos in combo:
@@ -135,6 +139,7 @@ def k_combo_distribution(
                 valid = False
                 break
             chosen_groups.add(item.group)
+            chosen_order.append(item.group)
             membership *= prob_at[pos]
         if not valid:
             continue
@@ -144,7 +149,7 @@ def k_combo_distribution(
         if not zero_groups[e] <= chosen_groups:
             continue
         prob = membership * prod_nonzero[e]
-        for group in chosen_groups:
+        for group in chosen_order:
             if group in zero_groups[e]:
                 continue
             factor = 1.0 - group_mass[group].mass_above(e)

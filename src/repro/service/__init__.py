@@ -11,8 +11,10 @@ Layers:
 * :mod:`repro.service.metrics` — per-endpoint latency histograms,
   batch-size distribution and cache hit rates, rendered as JSON;
 * :mod:`repro.service.server` — the stdlib HTTP face
-  (``POST /v1/answer``, ``/v1/distribution``, ``/v1/typical``,
-  ``GET /healthz``, ``/metrics``);
+  (``POST /v1/answer``, ``/v1/distribution``, ``/v1/typical``, the
+  standing-query control plane ``/v1/mutate`` / ``/v1/subscribe`` /
+  ``/v1/unsubscribe`` / ``/v1/reload``, the SSE stream
+  ``GET /v1/watch``, plus ``GET /healthz``, ``/metrics``);
 * :mod:`repro.service.loadgen` — the closed-loop client behind
   ``repro loadgen`` and ``benchmarks/bench_service.py``.
 """
@@ -33,6 +35,7 @@ from repro.service.loadgen import LoadgenResult, run_loadgen
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import (
     DEFAULT_REQUEST_TIMEOUT_S,
+    MAX_WATCH_TIMEOUT_S,
     QueryService,
     ServiceHTTPServer,
     build_spec,
@@ -56,4 +59,5 @@ __all__ = [
     "DEFAULT_MAX_QUEUE",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_REQUEST_TIMEOUT_S",
+    "MAX_WATCH_TIMEOUT_S",
 ]

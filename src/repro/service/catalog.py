@@ -32,6 +32,7 @@ from repro.api.spec import QuerySpec
 from repro.datasets.specs import generate_from_spec, is_generator_spec
 from repro.exceptions import ServiceError
 from repro.io import load_table_file
+from repro.standing.changelog import MutableUncertainTable
 from repro.uncertain.table import UncertainTable
 
 
@@ -82,6 +83,10 @@ class DatasetCatalog:
         generator spec.
     :param cache_size: per-stage LRU capacity of the shared session
         (bounds the resident prefix/PMF/answer state).
+    :param mutable: load every table as a
+        :class:`~repro.standing.changelog.MutableUncertainTable`, so
+        ``/v1/mutate`` (and the standing-query registry) can change it
+        in place.  The default; pass ``False`` for a read-only catalog.
     """
 
     def __init__(
@@ -89,22 +94,30 @@ class DatasetCatalog:
         bindings: Mapping[str, str] | Iterable[str],
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        mutable: bool = True,
     ) -> None:
         if not isinstance(bindings, Mapping):
             bindings = dict(parse_binding(entry) for entry in bindings)
         if not bindings:
             raise ServiceError("the dataset catalog must name >= 1 table")
         self._entries: dict[str, TableEntry] = {}
+        self._mutable = mutable
         self.session = Session(cache_size=cache_size)
         for name, source in bindings.items():
-            table = self._load(name, source)
-            self.session.register(name, table)
-            self._entries[name] = TableEntry(
-                name=name,
-                source=source,
-                tuples=len(table),
-                me_rules=len(table.explicit_rules),
-            )
+            self._install(name, source)
+
+    def _install(self, name: str, source: str) -> UncertainTable:
+        table = self._load(name, source)
+        if self._mutable:
+            table = MutableUncertainTable.from_table(table)
+        self.session.register(name, table)
+        self._entries[name] = TableEntry(
+            name=name,
+            source=source,
+            tuples=len(table),
+            me_rules=len(table.explicit_rules),
+        )
+        return table
 
     @staticmethod
     def _load(name: str, source: str) -> UncertainTable:
@@ -118,6 +131,29 @@ class DatasetCatalog:
             raise ServiceError(
                 f"cannot load catalog table {name!r} from {source!r}: {exc}"
             ) from exc
+
+    def reload(self, name: str) -> dict[str, Any]:
+        """Re-load one table from its source and drop its cached stages.
+
+        The freshly loaded table replaces the old object under the
+        name; :meth:`Session.invalidate_table` then evicts every
+        prefix/PMF/answer entry derived from the *old* object (the
+        eviction counts surface per stage in ``/metrics``).  Mutations
+        applied since the original load are discarded — the source is
+        the truth a reload returns to.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ServiceError(f"unknown catalog table {name!r}")
+        old = self.session.catalog.resolve(name)
+        table = self._install(name, entry.source)
+        evicted = self.session.invalidate_table(old)
+        return {
+            "table": name,
+            "source": entry.source,
+            "tuples": len(table),
+            "evicted": evicted,
+        }
 
     def names(self) -> tuple[str, ...]:
         """Catalog table names, sorted."""

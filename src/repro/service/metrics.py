@@ -145,6 +145,7 @@ class ServiceMetrics:
         self,
         cache_info: dict[str, dict[str, int]] | None = None,
         fusion_info: dict[str, int] | None = None,
+        standing_info: dict[str, int] | None = None,
     ) -> dict[str, Any]:
         """The full metrics document (see the module docstring)."""
         with self._lock:
@@ -196,4 +197,6 @@ class ServiceMetrics:
             document["cache"] = cache
         if fusion_info is not None:
             document["fusion"] = dict(fusion_info)
+        if standing_info is not None:
+            document["standing"] = dict(standing_info)
         return document

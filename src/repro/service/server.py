@@ -6,8 +6,27 @@ Endpoints::
     POST /v1/distribution  the top-k score distribution (pmf document)
     POST /v1/typical       c-Typical-Topk answers
     POST /v1/explain       the request's plan (operators, costs, caches)
+    POST /v1/mutate        apply one mutation to a mutable catalog table
+    POST /v1/subscribe     register a standing query (returns a sid)
+    POST /v1/unsubscribe   drop a standing query
+    POST /v1/reload        re-load a catalog table, evicting its caches
+    GET  /v1/watch         SSE stream of a subscription's answers
     GET  /healthz          liveness + catalog summary
     GET  /metrics          the ServiceMetrics JSON document
+
+``/v1/mutate`` takes ``{"table", "op", "tid", ...}`` with ``op`` one
+of ``insert`` / ``expire`` / ``update_probability`` / ``update_score``
+(payload fields per op; see :mod:`repro.standing.changelog`); the
+response carries the applied delta and the table's new version.
+``/v1/subscribe`` takes the same body as ``/v1/answer`` and returns a
+subscription id plus the initial answer; after every mutation the
+standing registry brings each affected subscription current (see
+:mod:`repro.standing.registry` for the skip/patch/recompute tiers).
+``GET /v1/watch?sid=...&after=V&count=N&timeout_s=T`` streams
+``text/event-stream`` events — the current snapshot when it is
+already past ``after``, then one event per advance — until ``count``
+events were sent or ``timeout_s`` elapses (long-poll: try
+``curl -N``).
 
 ``/v1/explain`` never runs the expensive stages: it lowers the request
 through the session's planner and reports the operator tree, the
@@ -39,6 +58,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, cast
+from urllib.parse import parse_qs
 
 from repro.api.spec import QuerySpec
 from repro.core.pmf import ScorePMF
@@ -60,9 +80,13 @@ from repro.service.batching import (
 )
 from repro.service.catalog import DatasetCatalog
 from repro.service.metrics import ServiceMetrics
+from repro.standing.registry import StandingRegistry
 
 #: How long a request may wait end to end before ``504``.
 DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+#: Hard ceiling on one ``/v1/watch`` stream's lifetime.
+MAX_WATCH_TIMEOUT_S = 120.0
 
 #: Spec fields a request body may set (beyond the required ones).
 _OPTIONAL_FIELDS = (
@@ -168,16 +192,29 @@ class QueryService:
             batched=batched,
             metrics=self.metrics,
         )
+        self.standing = StandingRegistry(catalog.session)
         self._started = time.time()
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
+    #: Endpoints served inline (no executor queue): planning and the
+    #: standing-query control plane, which must stay responsive (and
+    #: ordered) even when the query queue is saturated.
+    _INLINE_HANDLERS = (
+        "explain",
+        "mutate",
+        "subscribe",
+        "unsubscribe",
+        "reload",
+    )
+
     def handle(self, endpoint: str, payload: dict[str, Any]) -> _Reply:
         """Serve one POST endpoint; never raises."""
-        if endpoint == "explain":
+        if endpoint in self._INLINE_HANDLERS:
+            handler = getattr(self, f"_{endpoint}")
             start = time.perf_counter()
-            status, document = self._explain(payload)
+            status, document = handler(payload)
             elapsed = time.perf_counter() - start
             self.metrics.record_request(
                 endpoint, elapsed, error=status != 200
@@ -216,6 +253,129 @@ class QueryService:
         except Exception as exc:  # pragma: no cover - defensive
             return 500, {"error": f"internal error: {exc}"}
         return 200, document
+
+    # ------------------------------------------------------------------
+    # Standing queries: mutation + subscription control plane
+    # ------------------------------------------------------------------
+    def _mutate(
+        self, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """``/v1/mutate``: apply one mutation, maintain subscriptions."""
+        if not isinstance(payload, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        table = payload.get("table")
+        if not isinstance(table, str) or not table:
+            return 400, {"error": '"table" must name a catalog table'}
+        if table not in self.catalog:
+            return 404, {
+                "error": f"unknown table {table!r}",
+                "tables": list(self.catalog.names()),
+            }
+        op = payload.get("op")
+        mutation = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("table", "op")
+        }
+        try:
+            delta = self.standing.mutate(table, op, mutation)
+        except ServiceError as exc:
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"internal error: {exc}"}
+        return 200, {
+            "table": table,
+            "delta": delta.to_jsonable(),
+            "version": delta.version,
+        }
+
+    def _subscribe(
+        self, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """``/v1/subscribe``: register a standing query, answer cold."""
+        try:
+            spec = build_spec(payload, "subscribe")
+            if spec.table not in self.catalog:
+                return 404, {
+                    "error": f"unknown table {spec.table!r}",
+                    "tables": list(self.catalog.names()),
+                }
+            sub = self.standing.subscribe(spec)
+        except BadRequestError as exc:
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"internal error: {exc}"}
+        snapshot = self.standing.snapshot(sub.sid)
+        assert snapshot is not None
+        return 200, snapshot
+
+    def _unsubscribe(
+        self, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """``/v1/unsubscribe``: drop a subscription by sid."""
+        sid = payload.get("sid") if isinstance(payload, dict) else None
+        if not isinstance(sid, str) or not sid:
+            return 400, {"error": '"sid" is required'}
+        return 200, {"sid": sid, "removed": self.standing.unsubscribe(sid)}
+
+    def _reload(
+        self, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """``/v1/reload``: re-load a table from its source, evicting
+        every cached stage derived from the replaced object."""
+        name = payload.get("table") if isinstance(payload, dict) else None
+        if not isinstance(name, str) or not name:
+            return 400, {"error": '"table" must name a catalog table'}
+        if name not in self.catalog:
+            return 404, {
+                "error": f"unknown table {name!r}",
+                "tables": list(self.catalog.names()),
+            }
+        try:
+            return 200, self.catalog.reload(name)
+        except ServiceError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, {"error": f"internal error: {exc}"}
+
+    def watch_events(
+        self,
+        sid: str,
+        *,
+        after: int,
+        count: int,
+        timeout_s: float,
+    ):
+        """``/v1/watch``: yield subscription snapshots as SSE events.
+
+        Yields up to ``count`` snapshot documents: the current one
+        immediately when its version already exceeds ``after``, then
+        one per maintained advance, until the deadline.  Terminates
+        (StopIteration) on timeout or when the subscription vanishes.
+        """
+        deadline = time.monotonic() + min(
+            max(timeout_s, 0.0), MAX_WATCH_TIMEOUT_S
+        )
+        watermark = after
+        sent = 0
+        while sent < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            snapshot = self.standing.wait(
+                sid, after_version=watermark, timeout=remaining
+            )
+            if snapshot is None:
+                return
+            if snapshot["version"] <= watermark:
+                continue  # timed out inside wait; loop re-checks clock
+            watermark = snapshot["version"]
+            sent += 1
+            yield snapshot
 
     def _run(
         self, endpoint: str, op: Op, payload: dict[str, Any]
@@ -282,7 +442,9 @@ class QueryService:
         return _Reply(
             200,
             self.metrics.snapshot(
-                session.cache_info(), session.fusion_info()
+                session.cache_info(),
+                session.fusion_info(),
+                self.standing.describe(),
             ),
         )
 
@@ -317,12 +479,59 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         service = self._service_server.service
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
             self._send(service.healthz())
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             self._send(service.metrics_document())
+        elif path == "/v1/watch":
+            self._watch(service, query)
         else:
             self._send(_Reply(404, {"error": f"unknown path {self.path}"}))
+
+    def _watch(self, service: QueryService, query: str) -> None:
+        """Stream a subscription as chunked ``text/event-stream``."""
+        params = parse_qs(query)
+
+        def _int_param(name: str, default: int) -> int:
+            try:
+                return int(params[name][0])
+            except (KeyError, IndexError, ValueError):
+                return default
+
+        sid = params.get("sid", [""])[0]
+        if not sid or service.standing.get(sid) is None:
+            self._send(
+                _Reply(404, {"error": f"unknown subscription {sid!r}"})
+            )
+            return
+        after = _int_param("after", -1)
+        count = max(1, _int_param("count", 1))
+        try:
+            timeout_s = float(params["timeout_s"][0])
+        except (KeyError, IndexError, ValueError):
+            timeout_s = service.request_timeout_s
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for snapshot in service.watch_events(
+                sid, after=after, count=count, timeout_s=timeout_s
+            ):
+                payload = json.dumps(snapshot, default=str)
+                self._chunk(f"event: update\ndata: {payload}\n\n")
+            self._chunk("event: end\ndata: {}\n\n")
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the watcher went away; nothing to clean up
+
+    def _chunk(self, text: str) -> None:
+        """One HTTP/1.1 chunked-transfer chunk, flushed immediately."""
+        data = text.encode()
+        self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+        self.wfile.flush()
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         service = self._service_server.service

@@ -1,0 +1,47 @@
+"""Standing queries: mutable tables, change logs, delta maintenance.
+
+The subsystem has three layers:
+
+* :mod:`repro.standing.changelog` — :class:`MutableUncertainTable`,
+  whose in-place mutations are validated, version-bumped, and recorded
+  as :class:`Delta` entries in an append-only :class:`ChangeLog`;
+* :mod:`repro.standing.registry` — the :class:`StandingRegistry`,
+  which keeps registered queries' materialized answers current per
+  delta through the skip / patch / recompute tiers (see that module's
+  docstring for the Theorem-2 applicability argument);
+* the service endpoints (``/v1/mutate``, ``/v1/subscribe``,
+  ``/v1/watch``) in :mod:`repro.service.server`, which expose both
+  over HTTP with long-poll watching.
+"""
+
+from repro.standing.changelog import (
+    MUTATION_OPS,
+    ChangeLog,
+    Delta,
+    MutableUncertainTable,
+)
+from repro.standing.registry import (
+    PATCH,
+    RECOMPUTE,
+    SKIP,
+    PrefixFingerprint,
+    PrefixMirror,
+    StandingRegistry,
+    Subscription,
+    classify_delta,
+)
+
+__all__ = [
+    "MUTATION_OPS",
+    "ChangeLog",
+    "Delta",
+    "MutableUncertainTable",
+    "PATCH",
+    "RECOMPUTE",
+    "SKIP",
+    "PrefixFingerprint",
+    "PrefixMirror",
+    "StandingRegistry",
+    "Subscription",
+    "classify_delta",
+]

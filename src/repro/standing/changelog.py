@@ -1,0 +1,374 @@
+"""Mutable uncertain tables and their append-only change log.
+
+A :class:`MutableUncertainTable` is an :class:`~repro.uncertain.table.
+UncertainTable` whose contents may change *in place* through four
+operations — :meth:`~MutableUncertainTable.insert`,
+:meth:`~MutableUncertainTable.expire`,
+:meth:`~MutableUncertainTable.update_probability` and
+:meth:`~MutableUncertainTable.update_score` — each of which:
+
+* re-validates every table invariant (unique tids, disjoint ME rules,
+  group mass <= 1) by *probing*: the candidate state is constructed as
+  a throwaway immutable table first, so a rejected mutation raises and
+  leaves the live table untouched;
+* bumps the table's monotone :attr:`~repro.uncertain.table.
+  UncertainTable.version` (which every
+  :class:`~repro.api.session.Session` cache key includes, so stale
+  stage entries can never be hit after a mutation);
+* appends a :class:`Delta` record to the table's :class:`ChangeLog`,
+  carrying both the old and the new payload plus the affected ME
+  group's membership — everything the standing-query maintainer
+  (:mod:`repro.standing.registry`) needs to classify the mutation
+  against a subscription *without* consulting historical table state.
+
+Ordering guarantee: ``insert`` appends (so insertion order keeps
+following arrival order), ``expire`` preserves the relative order of
+the survivors, and the update operations keep the tuple at its
+position.  The canonical rank order (stable sort by descending
+``(score, prob)``) of a mutated table is therefore reproducible from
+an arrival-sequence-tie-broken rank index — the property
+:class:`repro.standing.registry.PrefixMirror` relies on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import DataModelError, MutualExclusionError
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.table import UncertainTable
+
+#: The four mutation operations, as they appear in :attr:`Delta.op`.
+MUTATION_OPS = ("insert", "expire", "update_probability", "update_score")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One table mutation, as recorded in the change log.
+
+    :ivar version: the table version this mutation produced (the log
+        is dense: the delta at version ``v`` turns state ``v-1`` into
+        state ``v``).
+    :ivar op: one of :data:`MUTATION_OPS`.
+    :ivar tid: the affected tuple id.
+    :ivar probability: the new membership probability (``insert`` /
+        ``update_probability``), else ``None``.
+    :ivar attributes: the new attribute mapping (``insert`` /
+        ``update_score``; the latter records the *merged* result).
+    :ivar old_probability: the pre-mutation probability (every op but
+        ``insert``).
+    :ivar old_attributes: the pre-mutation attributes (every op but
+        ``insert``).
+    :ivar group: the tids of the affected tuple's ME group, including
+        the tuple itself — post-state for ``insert``, pre-state
+        otherwise.  The maintainer's straddle check intersects this
+        with a subscription's prefix, so it needs no table history.
+    """
+
+    version: int
+    op: str
+    tid: Any
+    probability: float | None = None
+    attributes: Mapping[str, Any] | None = None
+    old_probability: float | None = None
+    old_attributes: Mapping[str, Any] | None = None
+    group: tuple = ()
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """JSON-ready record (the service's mutation response body)."""
+        document: dict[str, Any] = {
+            "version": self.version,
+            "op": self.op,
+            "tid": self.tid,
+            "group": list(self.group),
+        }
+        if self.probability is not None:
+            document["probability"] = self.probability
+        if self.attributes is not None:
+            document["attributes"] = dict(self.attributes)
+        if self.old_probability is not None:
+            document["old_probability"] = self.old_probability
+        if self.old_attributes is not None:
+            document["old_attributes"] = dict(self.old_attributes)
+        return document
+
+
+class ChangeLog:
+    """An append-only, thread-safe sequence of :class:`Delta` records.
+
+    Versions are dense and start at 1, so ``log.since(v)`` yields
+    exactly the mutations a consumer at version ``v`` has not seen.
+    """
+
+    __slots__ = ("_deltas", "_lock")
+
+    def __init__(self) -> None:
+        self._deltas: list[Delta] = []
+        self._lock = threading.Lock()
+
+    @property
+    def version(self) -> int:
+        """The version of the latest recorded delta (0 when empty)."""
+        with self._lock:
+            return self._deltas[-1].version if self._deltas else 0
+
+    def append(self, delta: Delta) -> None:
+        """Record one mutation; versions must arrive dense and ordered."""
+        with self._lock:
+            expected = (self._deltas[-1].version if self._deltas else 0) + 1
+            if delta.version != expected:
+                raise DataModelError(
+                    f"change log expected version {expected}, "
+                    f"got {delta.version}"
+                )
+            self._deltas.append(delta)
+
+    def since(self, version: int) -> tuple[Delta, ...]:
+        """Every delta with ``delta.version > version``, in order.
+
+        Versions are dense, so this is an O(1) slice, not a scan.
+        """
+        with self._lock:
+            if not self._deltas:
+                return ()
+            first = self._deltas[0].version
+            start = max(0, version - first + 1)
+            return tuple(self._deltas[start:])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._deltas)
+
+    def __iter__(self) -> Iterator[Delta]:
+        with self._lock:
+            snapshot = tuple(self._deltas)
+        return iter(snapshot)
+
+
+class MutableUncertainTable(UncertainTable):
+    """An uncertain table with in-place, change-logged mutations.
+
+    All mutations are serialized through one re-entrant lock and
+    validated by probing (see the module docstring), so readers always
+    observe a fully consistent state and a rejected mutation has no
+    effect.  Reads go through the inherited :class:`UncertainTable`
+    interface unchanged.
+    """
+
+    def __init__(
+        self,
+        tuples: Iterable[UncertainTuple],
+        rules: Iterable[Sequence[Any]] = (),
+        *,
+        name: str = "uncertain",
+    ) -> None:
+        self._mutex = threading.RLock()
+        self._log = ChangeLog()
+        super().__init__(tuples, rules, name=name)
+
+    @classmethod
+    def from_table(cls, table: UncertainTable) -> "MutableUncertainTable":
+        """A mutable copy of an immutable table (fresh log, version 0)."""
+        return cls(table.tuples, table.explicit_rules, name=table.name)
+
+    @property
+    def log(self) -> ChangeLog:
+        """This table's change log (one delta per version bump)."""
+        return self._log
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def _adopt(self, tuples, rules, make_delta) -> Delta:
+        """Validate the candidate state, then swap it in atomically.
+
+        The probe table runs the full :class:`UncertainTable`
+        constructor — duplicate tids, malformed rules and group mass
+        violations raise *before* any live state changes.
+        """
+        probe = UncertainTable(tuples, rules, name=self._name)
+        # One C-level dict.update: readers on other threads observe
+        # either the whole old state or the whole new one (data and
+        # version together), never a mix — which is what keeps the
+        # session's version-keyed caches sound without a read lock.
+        self.__dict__.update(
+            _tuples=probe._tuples,
+            _by_tid=probe._by_tid,
+            _group_of=probe._group_of,
+            _groups=probe._groups,
+            _version=self._version + 1,
+        )
+        delta = make_delta(self._version)
+        self._log.append(delta)
+        return delta
+
+    def insert(
+        self,
+        tid: Any,
+        attributes: Mapping[str, Any],
+        probability: float,
+        *,
+        group_with: Any = None,
+    ) -> Delta:
+        """Append a new tuple; optionally join an existing ME group.
+
+        :param group_with: a tid whose ME group the new tuple joins (a
+            singleton partner becomes an explicit two-member rule).
+        """
+        with self._mutex:
+            if tid in self._by_tid:
+                raise DataModelError(f"duplicate tuple id {tid!r}")
+            new = UncertainTuple(tid, attributes, probability)
+            tuples = self._tuples + [new]
+            rules = [list(g) for g in self.explicit_rules]
+            group = (tid,)
+            if group_with is not None:
+                if group_with not in self._by_tid:
+                    raise MutualExclusionError(
+                        f"group_with references unknown tuple id "
+                        f"{group_with!r}"
+                    )
+                joined = False
+                for rule in rules:
+                    if group_with in rule:
+                        rule.append(tid)
+                        group = tuple(rule)
+                        joined = True
+                        break
+                if not joined:
+                    rules.append([group_with, tid])
+                    group = (group_with, tid)
+            return self._adopt(
+                tuples,
+                [tuple(rule) for rule in rules],
+                lambda v: Delta(
+                    version=v,
+                    op="insert",
+                    tid=tid,
+                    probability=new.probability,
+                    attributes=dict(new.attributes),
+                    group=group,
+                ),
+            )
+
+    def expire(self, tid: Any) -> Delta:
+        """Remove a tuple; its ME rule sheds the member (rules reduced
+        below two members disappear, their survivor going singleton)."""
+        with self._mutex:
+            old = self._by_tid.get(tid)
+            if old is None:
+                raise DataModelError(f"unknown tuple id {tid!r}")
+            group = self._groups[self._group_of[tid]]
+            tuples = [t for t in self._tuples if t.tid != tid]
+            rules = [
+                reduced
+                for g in self.explicit_rules
+                if len(reduced := tuple(x for x in g if x != tid)) >= 2
+            ]
+            return self._adopt(
+                tuples,
+                rules,
+                lambda v: Delta(
+                    version=v,
+                    op="expire",
+                    tid=tid,
+                    old_probability=old.probability,
+                    old_attributes=dict(old.attributes),
+                    group=group,
+                ),
+            )
+
+    def update_probability(self, tid: Any, probability: float) -> Delta:
+        """Change a tuple's membership probability in place."""
+        with self._mutex:
+            old = self._by_tid.get(tid)
+            if old is None:
+                raise DataModelError(f"unknown tuple id {tid!r}")
+            updated = old.with_probability(probability)
+            tuples = [updated if t.tid == tid else t for t in self._tuples]
+            group = self._groups[self._group_of[tid]]
+            return self._adopt(
+                tuples,
+                self.explicit_rules,
+                lambda v: Delta(
+                    version=v,
+                    op="update_probability",
+                    tid=tid,
+                    probability=updated.probability,
+                    old_probability=old.probability,
+                    group=group,
+                ),
+            )
+
+    def update_score(
+        self, tid: Any, attributes: Mapping[str, Any]
+    ) -> Delta:
+        """Merge new attribute values into a tuple (re-scoring it under
+        attribute scorers; the delta records the merged result)."""
+        with self._mutex:
+            old = self._by_tid.get(tid)
+            if old is None:
+                raise DataModelError(f"unknown tuple id {tid!r}")
+            updated = old.with_attributes(**dict(attributes))
+            tuples = [updated if t.tid == tid else t for t in self._tuples]
+            group = self._groups[self._group_of[tid]]
+            return self._adopt(
+                tuples,
+                self.explicit_rules,
+                lambda v: Delta(
+                    version=v,
+                    op="update_score",
+                    tid=tid,
+                    attributes=dict(updated.attributes),
+                    old_probability=old.probability,
+                    old_attributes=dict(old.attributes),
+                    group=group,
+                ),
+            )
+
+    def apply_payload(self, op: str, payload: Mapping[str, Any]) -> Delta:
+        """Dispatch a JSON mutation payload (the service's entry point).
+
+        :param op: one of :data:`MUTATION_OPS`.
+        :param payload: keyword payload; ``tid`` is always required,
+            the rest depends on the operation.
+        """
+        try:
+            tid = payload["tid"]
+        except KeyError:
+            raise DataModelError("mutation payload requires 'tid'") from None
+        if op == "insert":
+            return self.insert(
+                tid,
+                dict(payload.get("attributes") or {}),
+                payload.get("probability", 1.0),
+                group_with=payload.get("group_with"),
+            )
+        if op == "expire":
+            return self.expire(tid)
+        if op == "update_probability":
+            try:
+                probability = payload["probability"]
+            except KeyError:
+                raise DataModelError(
+                    "update_probability requires 'probability'"
+                ) from None
+            return self.update_probability(tid, probability)
+        if op == "update_score":
+            attributes = payload.get("attributes")
+            if not attributes:
+                raise DataModelError(
+                    "update_score requires a non-empty 'attributes'"
+                )
+            return self.update_score(tid, dict(attributes))
+        raise DataModelError(
+            f"unknown mutation op {op!r}; expected one of {MUTATION_OPS}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MutableUncertainTable(name={self._name!r}, "
+            f"tuples={len(self._tuples)}, version={self._version})"
+        )

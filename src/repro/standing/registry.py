@@ -1,0 +1,563 @@
+"""The standing-query registry: delta-maintained subscriptions.
+
+A client registers a :class:`~repro.api.spec.QuerySpec` over a
+:class:`~repro.standing.changelog.MutableUncertainTable` and the
+registry keeps the materialized answer current as mutations arrive.
+Per ``(subscription, delta)`` the maintainer picks the cheapest sound
+tier:
+
+**skip** — the mutation provably cannot change the answer.  This is
+the Theorem-2 argument turned into an applicability test: when the
+subscription's prefix was *truncated* (the scan stopped before the end
+of the table), the stopping position was justified by the probability
+mass of rows strictly above it — all inside the prefix.  A delta whose
+tuple (old and new state alike) scores strictly below the boundary
+score, is not itself a prefix row, and shares no ME group with a
+prefix row, leaves that mass and the tie structure at the boundary
+intact, so a cold re-evaluation would reproduce the *identical* prefix
+— and every downstream stage is a pure function of the prefix rows.
+The maintainer re-seeds the retained prefix object into the session
+under the table's new version (:meth:`~repro.api.session.Session.
+seed_prefix`), which keeps the whole cached PMF/answer chain warm, and
+leaves the answer untouched.
+
+**patch** — the prefix may change, but it can be rebuilt from the
+subscription's :class:`PrefixMirror` — a
+:class:`~repro.stream.segments.RankedSegments` rank index over the
+whole table, maintained in O(segment) per delta — instead of
+re-scoring and re-sorting the table in O(n log n).  The rebuilt prefix
+is row-identical to the cold sort (arrival sequence reproduces the
+stable tie-break; see :mod:`repro.standing.changelog` on ordering),
+gets seeded, and the answer is recomputed through the ordinary session
+pipeline — so maintained answers stay byte-identical to cold ones by
+construction.  Eligibility: the Theorem-2 depth computed by the mirror
+matches :func:`~repro.core.scan_depth.scan_depth` only for ME-free
+tables (singleton groups), so ``p_tau``-truncating subscriptions over
+tables with explicit rules fall through to recompute.
+
+**recompute** — the fallback: the session re-runs the query cold (its
+version-keyed caches miss by construction after a mutation).
+
+Watchers long-poll :meth:`StandingRegistry.wait`, which blocks until a
+subscription's maintained version passes the watermark they have seen.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping
+
+from repro.api.logical import LogicalPlan
+from repro.api.session import Session
+from repro.api.spec import QuerySpec
+from repro.core.distribution import resolve_scorer
+from repro.exceptions import DataModelError, ScoringError, ServiceError
+from repro.standing.changelog import Delta, MutableUncertainTable
+from repro.stream.segments import (
+    DEFAULT_SEGMENT_SIZE,
+    RankedSegments,
+)
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.scoring import ScoredItem, ScoredTable, Scorer
+from repro.uncertain.table import UncertainTable
+
+#: The maintenance tiers, cheapest first.
+SKIP, PATCH, RECOMPUTE = "skip", "patch", "recompute"
+
+
+@dataclass(frozen=True)
+class PrefixFingerprint:
+    """What the maintainer remembers about a subscription's prefix.
+
+    :ivar prefix: the materialized stage-1 object (retained so a skip
+        can re-seed it — and with it the downstream cache chain).
+    :ivar depth: ``len(prefix)``.
+    :ivar tids: the prefix rows' tuple ids.
+    :ivar boundary_score: the last (lowest-ranked) prefix row's score,
+        or ``None`` for an empty prefix.
+    :ivar truncated: whether the prefix stopped before the end of the
+        table at evaluation time.  Only a truncated prefix admits
+        skips; the flag stays valid across skipped deltas because a
+        skipped delta never touches the rows that justified the stop.
+    """
+
+    prefix: ScoredTable
+    depth: int
+    tids: frozenset
+    boundary_score: float | None
+    truncated: bool
+
+    @classmethod
+    def of(
+        cls, prefix: ScoredTable, table_rows: int
+    ) -> "PrefixFingerprint":
+        """Fingerprint a freshly evaluated prefix."""
+        depth = len(prefix)
+        return cls(
+            prefix=prefix,
+            depth=depth,
+            tids=frozenset(item.tid for item in prefix),
+            boundary_score=prefix[depth - 1].score if depth else None,
+            truncated=depth < table_rows,
+        )
+
+
+def classify_delta(
+    fingerprint: PrefixFingerprint,
+    delta: Delta,
+    *,
+    old_score: float | None = None,
+    new_score: float | None = None,
+) -> str:
+    """The cheapest sound tier for one delta against one prefix.
+
+    Returns :data:`SKIP` when the mutation provably cannot change the
+    prefix (hence the answer), else :data:`PATCH` — whether the patch
+    actually runs on the mirror or degrades to a recompute is the
+    registry's call (it depends on table/mirror state, not on the
+    delta).
+
+    :param old_score: the affected tuple's score under the
+        subscription's scorer *before* the mutation (``None`` for
+        inserts).
+    :param new_score: the score *after* the mutation (``None`` for
+        expiries).
+    """
+    if not fingerprint.truncated or fingerprint.boundary_score is None:
+        # Untruncated prefixes contain every row: all deltas touch them.
+        return PATCH
+    if delta.tid in fingerprint.tids:
+        return PATCH
+    if fingerprint.tids.intersection(delta.group):
+        # ME straddle: the group's below-prefix mass feeds the mu of
+        # its in-prefix members, so the Theorem-2 stop could move.
+        return PATCH
+    boundary = fingerprint.boundary_score
+    for score in (old_score, new_score):
+        # Strictly below the boundary: the delta row sorts after every
+        # prefix row and cannot join the boundary tie group, so the
+        # stop position, its justifying mass, and the prefix rows are
+        # all unchanged.
+        if score is None:
+            continue
+        if math.isnan(score) or score >= boundary:
+            return PATCH
+    return SKIP
+
+
+class PrefixMirror:
+    """An incrementally maintained rank order for one (table, scorer).
+
+    Mirrors the *whole* table as a
+    :class:`~repro.stream.segments.RankedSegments` index keyed by
+    descending ``(score, prob)`` with the tuple's arrival sequence
+    breaking ties — which reproduces the stable
+    :meth:`ScoredTable.from_table` sort exactly, because mutable
+    tables only ever append (see :mod:`repro.standing.changelog`).
+    Applying one delta costs O(segment); rebuilding a subscription's
+    prefix costs O(depth) — no re-scoring, no O(n log n) sort.
+    """
+
+    def __init__(
+        self,
+        table: UncertainTable,
+        scorer: Scorer,
+        *,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> None:
+        self._scorer = scorer
+        self._index = RankedSegments(segment_size=segment_size)
+        #: tid -> (score, prob, seq): the removal key of each entry.
+        self._entries: dict[Any, tuple[float, float, int]] = {}
+        self._next_seq = 0
+        for t in table:
+            self._add(t.tid, self.score_of(t), t.probability)
+        self.version = table.version
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def score_of(self, t: UncertainTuple) -> float:
+        """The tuple's score; NaN raises exactly like the cold sort."""
+        score = float(self._scorer(t))
+        if math.isnan(score):
+            raise ScoringError(f"score of tuple {t.tid!r} is NaN")
+        return score
+
+    def _add(
+        self, tid: Any, score: float, prob: float, seq: int | None = None
+    ) -> None:
+        if seq is None:
+            seq = self._next_seq
+            self._next_seq += 1
+        self._index.insert(tid, score, prob, seq)
+        self._entries[tid] = (score, prob, seq)
+
+    def _remove(self, tid: Any) -> tuple[float, float, int]:
+        score, prob, seq = self._entries.pop(tid)
+        self._index.remove(tid, score, prob, seq)
+        return score, prob, seq
+
+    def apply(self, delta: Delta, table: UncertainTable) -> None:
+        """Advance the mirror by one log delta (already applied to
+        ``table``).  Updates keep the tuple's original arrival
+        sequence, so ties keep resolving to the stable sort order."""
+        if delta.op == "insert":
+            t = table[delta.tid]
+            self._add(delta.tid, self.score_of(t), t.probability)
+        elif delta.op == "expire":
+            self._remove(delta.tid)
+        elif delta.op == "update_probability":
+            score, _prob, seq = self._remove(delta.tid)
+            self._add(
+                delta.tid, score, table[delta.tid].probability, seq=seq
+            )
+        elif delta.op == "update_score":
+            t = table[delta.tid]
+            _score, prob, seq = self._remove(delta.tid)
+            self._add(delta.tid, self.score_of(t), prob, seq=seq)
+        else:
+            raise DataModelError(f"unknown delta op {delta.op!r}")
+        self.version = delta.version
+
+    def build_prefix(
+        self, spec: QuerySpec, table: UncertainTable
+    ) -> ScoredTable:
+        """The subscription's stage-1 prefix, straight off the index.
+
+        Row-identical to ``scored_prefix_for(table, spec)``: same
+        order (stable-sort reproduction), same depth (explicit depth,
+        or the Theorem-2 depth — the caller guarantees the table is
+        ME-free when ``p_tau`` governs the depth), same group ids
+        (read off the *current* table).
+        """
+        count = len(self._index)
+        if spec.depth is not None:
+            depth = min(spec.depth, count)
+        elif spec.p_tau > 0.0:
+            depth = self._index.scan_depth(spec.k, spec.p_tau)
+        else:
+            depth = count
+        return ScoredTable(
+            [
+                ScoredItem(
+                    entry.tid,
+                    entry.score,
+                    entry.prob,
+                    table.group_of(entry.tid),
+                )
+                for entry in self._index.rows(depth)
+            ]
+        )
+
+
+class Subscription:
+    """One registered standing query and its maintained answer."""
+
+    __slots__ = (
+        "sid",
+        "spec",
+        "logical",
+        "answer",
+        "version",
+        "fingerprint",
+        "error",
+        "tiers",
+    )
+
+    def __init__(
+        self, sid: str, spec: QuerySpec, logical: LogicalPlan
+    ) -> None:
+        self.sid = sid
+        self.spec = spec
+        self.logical = logical
+        self.answer: Any = None
+        #: The table version the answer reflects.
+        self.version = 0
+        self.fingerprint: PrefixFingerprint | None = None
+        #: Sticky maintenance failure (e.g. the scorer rejects a new
+        #: tuple); surfaced to watchers, cleared by a successful tier.
+        self.error: str | None = None
+        self.tiers = {SKIP: 0, PATCH: 0, RECOMPUTE: 0}
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready status (no answer payload)."""
+        return {
+            "sid": self.sid,
+            "table": self.spec.table
+            if isinstance(self.spec.table, str)
+            else "<in-memory>",
+            "semantics": self.spec.semantics,
+            "k": self.spec.k,
+            "version": self.version,
+            "error": self.error,
+            "tiers": dict(self.tiers),
+        }
+
+
+class StandingRegistry:
+    """Subscriptions over a session's mutable tables, kept current.
+
+    Thread-safe: mutations serialize on the registry lock (after the
+    table's own mutation lock), and watchers block on the registry's
+    condition until the subscription they follow advances.
+
+    :param session: the (shared, version-keyed) session queries run
+        through.
+    """
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._subs: dict[str, Subscription] = {}
+        self._counter = itertools.count(1)
+        #: (table id, scorer key) -> mirror; populated lazily by the
+        #: first patch and advanced per delta while any sub needs it.
+        self._mirrors: dict[tuple[int, Hashable], PrefixMirror] = {}
+        self._stats = {
+            "subscriptions": 0,
+            "mutations": 0,
+            SKIP: 0,
+            PATCH: 0,
+            RECOMPUTE: 0,
+            "errors": 0,
+        }
+
+    @property
+    def session(self) -> Session:
+        """The session subscriptions evaluate through."""
+        return self._session
+
+    # ------------------------------------------------------------------
+    # Subscription lifecycle
+    # ------------------------------------------------------------------
+    def subscribe(self, spec: QuerySpec) -> Subscription:
+        """Register a standing query; evaluates it once, cold."""
+        logical = LogicalPlan.from_spec(spec)
+        sub = Subscription(f"sub-{next(self._counter)}", spec, logical)
+        # Held across the first evaluation: mutations funnel through
+        # the same lock (on_delta), so a subscription can never miss a
+        # delta between its cold evaluation and its registration.
+        with self._cond:
+            table = self._session.resolve(spec)
+            self._evaluate(sub, table, table.version)
+            self._subs[sub.sid] = sub
+            self._stats["subscriptions"] += 1
+        return sub
+
+    def unsubscribe(self, sid: str) -> bool:
+        """Drop a subscription; wakes its watchers (which then see it
+        gone and stop).  Returns whether it existed."""
+        with self._cond:
+            existed = self._subs.pop(sid, None) is not None
+            self._cond.notify_all()
+            return existed
+
+    def get(self, sid: str) -> Subscription | None:
+        with self._lock:
+            return self._subs.get(sid)
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready registry status (the /metrics section)."""
+        with self._lock:
+            return {
+                "active": len(self._subs),
+                **{k: v for k, v in self._stats.items()},
+            }
+
+    # ------------------------------------------------------------------
+    # Mutation intake
+    # ------------------------------------------------------------------
+    def mutate(
+        self, table_name: str, op: str, payload: Mapping[str, Any]
+    ) -> Delta:
+        """Apply one mutation to a catalog table and maintain every
+        subscription standing on it; wakes watchers on completion."""
+        table = self._session.catalog.resolve(table_name)
+        if not isinstance(table, MutableUncertainTable):
+            raise ServiceError(
+                f"table {table_name!r} is not mutable; load the catalog "
+                "with mutable tables to accept mutations"
+            )
+        delta = table.apply_payload(op, payload)
+        self.on_delta(table, delta)
+        return delta
+
+    def on_delta(self, table: MutableUncertainTable, delta: Delta) -> None:
+        """Maintain all subscriptions after an already-applied delta.
+
+        Split from :meth:`mutate` so embedders that hold a direct
+        table reference can drive maintenance themselves.
+        """
+        with self._cond:
+            self._stats["mutations"] += 1
+            self._advance_mirrors(table, delta)
+            for sub in self._subs.values():
+                if self._session.resolve(sub.spec) is table:
+                    self._maintain(sub, table, delta)
+            self._cond.notify_all()
+
+    def _advance_mirrors(
+        self, table: MutableUncertainTable, delta: Delta
+    ) -> None:
+        """Keep every mirror of this table in lock-step with its log.
+
+        A mirror whose scorer rejects the delta is dropped — the next
+        patch attempt recreates it from current state (or the
+        subscription recomputes and errors on its own terms).
+        """
+        for key in [
+            key for key in self._mirrors if key[0] == id(table)
+        ]:
+            try:
+                self._mirrors[key].apply(delta, table)
+            except Exception:
+                del self._mirrors[key]
+
+    # ------------------------------------------------------------------
+    # Maintenance tiers
+    # ------------------------------------------------------------------
+    def _delta_scores(
+        self, sub: Subscription, table: UncertainTable, delta: Delta
+    ) -> tuple[float | None, float | None]:
+        """The affected tuple's (old, new) scores under the sub's
+        scorer — from the delta payloads alone, no table history."""
+        scorer = resolve_scorer(sub.spec.scorer)
+        old_score = new_score = None
+        if delta.old_attributes is not None:
+            old_score = float(
+                scorer(
+                    UncertainTuple(
+                        delta.tid,
+                        delta.old_attributes,
+                        delta.old_probability or 1.0,
+                    )
+                )
+            )
+        elif delta.op == "update_probability":
+            # Attributes unchanged: score both states off the live row.
+            old_score = new_score = float(scorer(table[delta.tid]))
+        if delta.attributes is not None:
+            new_score = float(scorer(table[delta.tid]))
+        return old_score, new_score
+
+    def _patchable(
+        self, sub: Subscription, table: MutableUncertainTable
+    ) -> bool:
+        """Whether the mirror's prefix is provably row-identical.
+
+        The mirror's incremental Theorem-2 depth assumes singleton ME
+        groups, so ``p_tau``-truncating subscriptions require an
+        ME-free table; explicit-depth and untruncated subscriptions
+        only need the (always valid) rank order.
+        """
+        spec = sub.spec
+        if spec.depth is None and spec.p_tau > 0.0:
+            return not table.explicit_rules
+        return True
+
+    def _mirror_for(
+        self, sub: Subscription, table: MutableUncertainTable
+    ) -> PrefixMirror:
+        key = (id(table), sub.logical.scorer_key)
+        mirror = self._mirrors.get(key)
+        if mirror is None or mirror.version != table.version:
+            mirror = PrefixMirror(table, resolve_scorer(sub.spec.scorer))
+            self._mirrors[key] = mirror
+        return mirror
+
+    def _evaluate(
+        self, sub: Subscription, table: UncertainTable, version: int
+    ) -> None:
+        """Cold evaluation: answer + fresh fingerprint at ``version``."""
+        sub.answer = self._session.execute(sub.spec)
+        sub.fingerprint = PrefixFingerprint.of(
+            self._session.scored_prefix(sub.spec), len(table)
+        )
+        sub.version = version
+        sub.error = None
+
+    def _maintain(
+        self,
+        sub: Subscription,
+        table: MutableUncertainTable,
+        delta: Delta,
+    ) -> None:
+        try:
+            tier = RECOMPUTE
+            fingerprint = sub.fingerprint
+            if fingerprint is not None and sub.error is None:
+                old_score, new_score = self._delta_scores(
+                    sub, table, delta
+                )
+                tier = classify_delta(
+                    fingerprint,
+                    delta,
+                    old_score=old_score,
+                    new_score=new_score,
+                )
+            if tier == SKIP:
+                assert fingerprint is not None
+                # The prefix is unchanged: re-seeding the *same object*
+                # under the table's new version keeps the downstream
+                # PMF/answer cache chain warm (they key by identity).
+                self._session.seed_prefix(sub.spec, fingerprint.prefix)
+                sub.version = delta.version
+                sub.error = None
+            elif tier == PATCH and self._patchable(sub, table):
+                prefix = self._mirror_for(sub, table).build_prefix(
+                    sub.spec, table
+                )
+                self._session.seed_prefix(sub.spec, prefix)
+                self._evaluate(sub, table, delta.version)
+            else:
+                tier = RECOMPUTE
+                self._evaluate(sub, table, delta.version)
+            sub.tiers[tier] += 1
+            self._stats[tier] += 1
+        except Exception as exc:  # sticky; cleared by a later success
+            sub.error = f"{type(exc).__name__}: {exc}"
+            sub.version = delta.version
+            sub.fingerprint = None
+            self._stats["errors"] += 1
+
+    # ------------------------------------------------------------------
+    # Watching
+    # ------------------------------------------------------------------
+    def snapshot(self, sid: str) -> dict[str, Any] | None:
+        """The subscription's current state as a JSON-ready document
+        (``None`` when the sid is unknown)."""
+        from repro.io.json_io import answer_to_jsonable
+
+        with self._lock:
+            sub = self._subs.get(sid)
+            if sub is None:
+                return None
+            document = sub.describe()
+            document["answer"] = (
+                None if sub.error else answer_to_jsonable(sub.answer)
+            )
+            return document
+
+    def wait(
+        self, sid: str, *, after_version: int, timeout: float | None = None
+    ) -> dict[str, Any] | None:
+        """Block until the subscription advances past ``after_version``.
+
+        Returns the post-advance snapshot; the current snapshot on
+        timeout; ``None`` when the subscription does not (or no
+        longer) exist.
+        """
+        with self._cond:
+            self._cond.wait_for(
+                lambda: (
+                    sid not in self._subs
+                    or self._subs[sid].version > after_version
+                ),
+                timeout=timeout,
+            )
+        return self.snapshot(sid)

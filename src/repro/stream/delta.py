@@ -2,9 +2,9 @@
 
 :class:`DeltaWindowState` keeps the window's tuples in canonical rank
 order (descending ``(score, prob)``, arrival order breaking ties —
-exactly the :class:`~repro.uncertain.scoring.ScoredTable` sort), split
-into small *segments*.  Per segment it caches two families of partial
-DP states over the segment's rows:
+exactly the :class:`~repro.uncertain.scoring.ScoredTable` sort) inside
+a :class:`~repro.stream.segments.RankedSegments` index, and attaches
+two families of cached partial DP states to each segment:
 
 * ``exist[j]`` — the distribution of the total score of exactly ``j``
   existing rows (with the absent factor of every other segment row
@@ -22,8 +22,14 @@ row: combining a prefix state ``P`` with a segment contributes
 ``sum_i P[i] (x) exist[j-i]`` — the two-stack-style trick of keeping
 partial aggregates per block so a slide only rebuilds the block it
 touches.  ``insert``/``remove`` therefore do amortized sub-window
-work: they edit one segment and mark it stale; stale segments rebuild
-lazily (O(segment * k)) the next time a query consumes them.
+work: they edit one segment of the index and mark it stale; stale
+segments rebuild lazily (O(segment * k)) the next time a query
+consumes them.
+
+The rank-order/segment-split/scan-depth machinery itself lives in
+:mod:`repro.stream.segments` (shared with the standing-query
+maintainer's :class:`~repro.standing.registry.PrefixMirror`); this
+module owns only the DP-cell caching layered on top.
 
 The Theorem-2 truncation is honoured incrementally: the query walks
 segments only up to the scan depth (recomputed in O(depth) per query
@@ -48,20 +54,26 @@ later slides cannot skew the reconstruction).
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from typing import Any
 
 import numpy as np
 
 from repro.core.dp import _merge_parts  # stable k-way merge (shared)
 from repro.core.pmf import ScorePMF
-from repro.core.scan_depth import scan_depth_threshold
+from repro.stream.segments import (
+    DEFAULT_SEGMENT_SIZE,
+    RankedSegments,
+    RankSegment,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENT_SIZE",
+    "DeltaWindowState",
+    "reconstruct_vector_pmf",
+]
 
 #: A light DP cell: ``(scores ascending, probs)`` numpy pair, or None.
 _Cell = tuple
-
-#: Default rows per segment; splits happen at twice this.
-DEFAULT_SEGMENT_SIZE = 32
 
 
 def _base_cell() -> _Cell:
@@ -156,32 +168,15 @@ def _fold_states(
     return new
 
 
-class _Entry:
-    """One window tuple in the rank index."""
+class _DPSegment(RankSegment):
+    """A rank segment plus its cached partial DP states."""
 
-    __slots__ = ("key", "tid", "score", "prob")
+    __slots__ = ("exist", "ending", "cache_lines")
 
-    def __init__(self, key: tuple, tid: Any, score: float, prob: float):
-        self.key = key
-        self.tid = tid
-        self.score = score
-        self.prob = prob
-
-    def __lt__(self, other: "_Entry") -> bool:
-        return self.key < other.key
-
-
-class _Segment:
-    """A contiguous run of rank-ordered entries plus cached DP states."""
-
-    __slots__ = ("entries", "mass", "exist", "ending", "stale", "cache_lines")
-
-    def __init__(self, entries: list[_Entry]):
-        self.entries = entries
-        self.mass = sum(e.prob for e in entries)
+    def __init__(self, entries):
+        super().__init__(entries)
         self.exist: list[_Cell | None] | None = None
         self.ending: list[_Cell | None] | None = None
-        self.stale = True
         #: Widest cell (in lines) of the last rebuild; None = never built.
         self.cache_lines: int | None = None
 
@@ -212,6 +207,10 @@ class _Segment:
         )
 
 
+class _DPIndex(RankedSegments):
+    segment_class = _DPSegment
+
+
 class DeltaWindowState:
     """Incrementally maintained top-k DP state of a sliding window.
 
@@ -229,12 +228,15 @@ class DeltaWindowState:
     ) -> None:
         self._k = k
         self._max_lines = max_lines
-        self._segment_size = max(2, segment_size)
-        self._segments: list[_Segment] = []
-        self._count = 0
+        self._index = _DPIndex(segment_size=segment_size)
 
     def __len__(self) -> int:
-        return self._count
+        return len(self._index)
+
+    @property
+    def _segments(self) -> list[_DPSegment]:
+        """The index's segments (kept for tests and introspection)."""
+        return self._index.segments  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -246,102 +248,25 @@ class DeltaWindowState:
         descending ``(score, prob)`` with arrival breaking ties, i.e.
         the exact :class:`ScoredTable` sort of the window's table.
         """
-        entry = _Entry((-score, -prob, seq), tid, score, prob)
-        if not self._segments:
-            self._segments.append(_Segment([entry]))
-            self._count += 1
-            return
-        index = max(
-            0,
-            bisect_left(
-                [seg.entries[0].key for seg in self._segments], entry.key
-            )
-            - 1,
-        )
-        segment = self._segments[index]
-        insort(segment.entries, entry)
-        segment.mass += prob
-        segment.stale = True
-        self._count += 1
-        if len(segment.entries) > 2 * self._segment_size:
-            mid = len(segment.entries) // 2
-            right = _Segment(segment.entries[mid:])
-            del segment.entries[mid:]
-            segment.mass = sum(e.prob for e in segment.entries)
-            self._segments.insert(index + 1, right)
+        self._index.insert(tid, score, prob, seq)
 
     def remove(self, tid: Any, score: float, prob: float, seq: int) -> None:
         """Drop an expired tuple (located by its rank key)."""
-        key = (-score, -prob, seq)
-        for si, segment in enumerate(self._segments):
-            if segment.entries and segment.entries[-1].key >= key:
-                position = bisect_left(
-                    [e.key for e in segment.entries], key
-                )
-                while position < len(segment.entries):
-                    if segment.entries[position].tid == tid:
-                        segment.mass -= segment.entries[position].prob
-                        del segment.entries[position]
-                        segment.stale = True
-                        self._count -= 1
-                        if not segment.entries:
-                            del self._segments[si]
-                        return
-                    position += 1
-                break
-        raise KeyError(f"tuple {tid!r} not in the delta window state")
+        try:
+            self._index.remove(tid, score, prob, seq)
+        except KeyError:
+            raise KeyError(
+                f"tuple {tid!r} not in the delta window state"
+            ) from None
 
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
-    def _entry_at(self, index: int) -> _Entry:
-        """The entry at a global rank position (O(#segments))."""
-        for segment in self._segments:
-            if index < len(segment.entries):
-                return segment.entries[index]
-            index -= len(segment.entries)
-        raise IndexError(index)
-
     def _scan_depth(self, p_tau: float) -> int:
-        """Theorem-2 depth over the rank order.
+        """Theorem-2 depth over the rank order (mass-skipping)."""
+        return self._index.scan_depth(self._k, p_tau)
 
-        Replicates :func:`repro.core.scan_depth.scan_depth` for
-        singleton groups (``mu`` is the plain prefix mass), using the
-        per-segment mass sums to skip whole segments in O(1) while the
-        accumulated mass cannot yet reach the threshold.
-        """
-        if p_tau <= 0.0:
-            return self._count
-        threshold = scan_depth_threshold(self._k, p_tau)
-        mass = 0.0
-        position = 0
-        stop = None
-        for segment in self._segments:
-            if mass + segment.mass < threshold:
-                # No row inside can satisfy mu >= threshold yet.
-                mass += segment.mass
-                position += len(segment.entries)
-                continue
-            for entry in segment.entries:
-                if mass >= threshold and position >= self._k:
-                    stop = position
-                    break
-                mass += entry.prob
-                position += 1
-            if stop is not None:
-                break
-        if stop is None:
-            return self._count
-        # Extend to the stopping tuple's tie-group boundary.
-        stop_score = self._entry_at(stop).score
-        if self._entry_at(stop - 1).score != stop_score:
-            return stop
-        end = stop + 1
-        while end < self._count and self._entry_at(end).score == stop_score:
-            end += 1
-        return end
-
-    def _cache_worthwhile(self, segment: _Segment) -> bool:
+    def _cache_worthwhile(self, segment: _DPSegment) -> bool:
         """Whether the segment's cached states should serve the query.
 
         Folding a cached segment costs O(k^2) cell convolutions of up
@@ -375,13 +300,10 @@ class DeltaWindowState:
         the vectors are first read.
         """
         depth = self._scan_depth(p_tau)
-        rows: list[tuple[Any, float, float]] = []
-        for segment in self._segments:
-            for entry in segment.entries:
-                if len(rows) == depth:
-                    return rows
-                rows.append((entry.tid, entry.score, entry.prob))
-        return rows
+        return [
+            (entry.tid, entry.score, entry.prob)
+            for entry in self._index.rows(depth)
+        ]
 
     def query(self, p_tau: float) -> ScorePMF:
         """The window's top-k score distribution.

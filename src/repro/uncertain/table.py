@@ -45,6 +45,7 @@ class UncertainTable:
         *,
         name: str = "uncertain",
     ) -> None:
+        self._version: int = getattr(self, "_version", 0)
         self._tuples: list[UncertainTuple] = list(tuples)
         self._name = name
         self._by_tid: dict[Any, UncertainTuple] = {}
@@ -94,6 +95,18 @@ class UncertainTable:
     def name(self) -> str:
         """The table name (used by the query layer)."""
         return self._name
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version; 0 for immutable tables.
+
+        Mutable subclasses (:class:`repro.standing.changelog.
+        MutableUncertainTable`) bump it on every in-place mutation.
+        The :class:`~repro.api.session.Session` keys every cached
+        stage by ``(table, table.version, ...)``, so a bumped version
+        can never be served a stale prefix/PMF/answer entry.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._tuples)

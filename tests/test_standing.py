@@ -1,0 +1,423 @@
+"""Units for :mod:`repro.standing`: change log, mutable tables, the
+delta-applicability classifier, the prefix mirror, the registry —
+plus the Session's table-version cache keys the subsystem rides on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import QuerySpec
+from repro.core.scan_depth import scan_depth
+from repro.exceptions import DataModelError, MutualExclusionError
+from repro.standing import (
+    PATCH,
+    SKIP,
+    ChangeLog,
+    Delta,
+    MutableUncertainTable,
+    PrefixFingerprint,
+    PrefixMirror,
+    StandingRegistry,
+    classify_delta,
+)
+from repro.stream.segments import RankedSegments
+from repro.uncertain.scoring import ScoredTable, attribute_scorer
+from repro.uncertain.table import UncertainTable
+
+from tests.conftest import make_table
+
+
+def mutable(rows, rules=(), name="live") -> MutableUncertainTable:
+    return MutableUncertainTable.from_table(make_table(rows, rules, name))
+
+
+class TestChangeLog:
+    def test_versions_are_dense_and_monotone(self) -> None:
+        log = ChangeLog()
+        assert log.version == 0
+        log.append(Delta(version=1, op="insert", tid="a"))
+        log.append(Delta(version=2, op="expire", tid="a"))
+        assert log.version == 2
+        with pytest.raises(DataModelError):
+            log.append(Delta(version=4, op="insert", tid="b"))
+
+    def test_since_slices_by_version(self) -> None:
+        log = ChangeLog()
+        for v in range(1, 6):
+            log.append(Delta(version=v, op="insert", tid=f"t{v}"))
+        assert [d.version for d in log.since(3)] == [4, 5]
+        assert log.since(5) == ()
+        assert len(log.since(0)) == len(log) == 5
+
+
+class TestMutableTable:
+    def test_mutations_bump_version_and_log(self) -> None:
+        table = mutable([("a", 10, 0.5), ("b", 20, 0.4)])
+        assert table.version == 0
+        d1 = table.insert("c", {"score": 30}, 0.9)
+        d2 = table.update_probability("a", 0.7)
+        d3 = table.update_score("b", {"score": 25})
+        d4 = table.expire("c")
+        assert (d1.version, d2.version, d3.version, d4.version) == (
+            1, 2, 3, 4,
+        )
+        assert table.version == 4 == table.log.version
+        assert table["a"].probability == 0.7
+        assert table["b"]["score"] == 25
+        assert "c" not in table
+
+    def test_insert_preserves_arrival_order(self) -> None:
+        table = mutable([("a", 10, 0.5)])
+        table.insert("b", {"score": 30}, 0.4)
+        assert table.tids == ("a", "b")
+        table.expire("a")
+        table.insert("c", {"score": 5}, 0.2)
+        assert table.tids == ("b", "c")
+
+    def test_insert_group_with_builds_me_rule(self) -> None:
+        table = mutable([("a", 10, 0.5), ("b", 20, 0.4)])
+        delta = table.insert("c", {"score": 30}, 0.3, group_with="a")
+        assert set(delta.group) == {"a", "c"}
+        assert table.group_of("a") == table.group_of("c")
+        delta = table.insert("d", {"score": 1}, 0.1, group_with="c")
+        assert set(delta.group) == {"a", "c", "d"}
+
+    def test_rejected_mutation_leaves_state_untouched(self) -> None:
+        table = mutable([("a", 10, 0.4), ("b", 20, 0.5)], [("a", "b")])
+        with pytest.raises(MutualExclusionError):
+            # Would push the group's mass over 1.
+            table.update_probability("a", 0.6)
+        assert table.version == 0
+        assert len(table.log) == 0
+        assert table["a"].probability == 0.4
+        with pytest.raises(DataModelError):
+            table.insert("a", {"score": 1}, 0.1)
+        with pytest.raises(DataModelError):
+            table.expire("zz")
+        assert table.version == 0
+
+    def test_expire_reduces_me_rules(self) -> None:
+        table = mutable(
+            [("a", 10, 0.4), ("b", 20, 0.3), ("c", 5, 0.2)],
+            [("a", "b", "c")],
+        )
+        delta = table.expire("b")
+        assert set(delta.group) == {"a", "b", "c"}
+        assert table.group_of("a") == table.group_of("c")
+        table.expire("c")
+        assert table.explicit_rules == ()
+
+    def test_deltas_carry_old_and_new_payloads(self) -> None:
+        table = mutable([("a", 10, 0.5)])
+        d = table.update_score("a", {"score": 99})
+        assert d.old_attributes == {"score": 10}
+        assert d.attributes == {"score": 99}
+        d = table.expire("a")
+        assert d.old_probability == 0.5
+        assert d.old_attributes == {"score": 99}
+
+    def test_apply_payload_dispatch_and_validation(self) -> None:
+        table = mutable([("a", 10, 0.5)])
+        delta = table.apply_payload(
+            "insert", {"tid": "b", "attributes": {"score": 7}}
+        )
+        assert delta.probability == 1.0  # default
+        with pytest.raises(DataModelError):
+            table.apply_payload("insert", {})
+        with pytest.raises(DataModelError):
+            table.apply_payload("update_probability", {"tid": "a"})
+        with pytest.raises(DataModelError):
+            table.apply_payload("teleport", {"tid": "a"})
+
+
+class TestSegmentsScanDepth:
+    """The mirror's incremental Theorem-2 depth vs the core one."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_core_scan_depth_for_singletons(self, seed) -> None:
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 120))
+        scores = rng.integers(1, 25, size=n) * 10.0  # ties likely
+        probs = rng.uniform(0.05, 1.0, size=n)
+        table = make_table(
+            [(f"t{i}", scores[i], probs[i]) for i in range(n)]
+        )
+        scored = ScoredTable.from_table(table, attribute_scorer("score"))
+        index = RankedSegments(segment_size=4)
+        for seq, t in enumerate(table):
+            index.insert(t.tid, float(t["score"]), t.probability, seq)
+        for k in (1, 2, 5):
+            for p_tau in (0.3, 0.05, 0.001):
+                assert index.scan_depth(k, p_tau) == scan_depth(
+                    scored, k, p_tau
+                ), (seed, k, p_tau)
+
+
+class TestClassifyDelta:
+    def fingerprint(self, prefix_rows, table_rows) -> PrefixFingerprint:
+        prefix = ScoredTable.from_table(
+            make_table(prefix_rows), attribute_scorer("score")
+        )
+        return PrefixFingerprint.of(prefix, table_rows)
+
+    def test_untruncated_prefix_never_skips(self) -> None:
+        fp = self.fingerprint([("a", 30, 0.9), ("b", 20, 0.8)], 2)
+        assert not fp.truncated
+        delta = Delta(version=1, op="insert", tid="z", group=("z",))
+        assert classify_delta(fp, delta, new_score=1.0) == PATCH
+
+    def test_below_boundary_outside_prefix_skips(self) -> None:
+        fp = self.fingerprint([("a", 30, 0.9), ("b", 20, 0.8)], 10)
+        delta = Delta(version=1, op="insert", tid="z", group=("z",))
+        assert classify_delta(fp, delta, new_score=19.9) == SKIP
+        # At or above the boundary: could join / displace prefix rows.
+        assert classify_delta(fp, delta, new_score=20.0) == PATCH
+        assert classify_delta(fp, delta, new_score=25.0) == PATCH
+
+    def test_prefix_member_or_straddling_group_patches(self) -> None:
+        fp = self.fingerprint([("a", 30, 0.9), ("b", 20, 0.8)], 10)
+        inside = Delta(version=1, op="expire", tid="a", group=("a",))
+        assert classify_delta(fp, inside, old_score=30.0) == PATCH
+        straddle = Delta(
+            version=1, op="expire", tid="z", group=("z", "b")
+        )
+        assert classify_delta(fp, straddle, old_score=1.0) == PATCH
+
+    def test_update_needs_both_sides_below_boundary(self) -> None:
+        fp = self.fingerprint([("a", 30, 0.9), ("b", 20, 0.8)], 10)
+        delta = Delta(version=1, op="update_score", tid="z", group=("z",))
+        assert (
+            classify_delta(fp, delta, old_score=5.0, new_score=10.0)
+            == SKIP
+        )
+        assert (
+            classify_delta(fp, delta, old_score=5.0, new_score=50.0)
+            == PATCH
+        )
+        assert (
+            classify_delta(fp, delta, old_score=50.0, new_score=5.0)
+            == PATCH
+        )
+
+
+class TestPrefixMirror:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mirror_prefix_is_row_identical_to_cold(self, seed) -> None:
+        rng = np.random.default_rng(seed)
+        rows = [
+            (f"t{i}", float(rng.integers(1, 15)) * 10,
+             float(rng.uniform(0.05, 1.0)))
+            for i in range(40)
+        ]
+        table = mutable(rows)
+        scorer = attribute_scorer("score")
+        mirror = PrefixMirror(table, scorer)
+        spec = QuerySpec(table=table, scorer="score", k=3, p_tau=0.05)
+        nxt = 40
+        for _ in range(30):
+            op = rng.choice(
+                ["insert", "expire", "update_probability", "update_score"]
+            )
+            tids = table.tids
+            if op == "insert" or not tids:
+                delta = table.insert(
+                    f"t{nxt}",
+                    {"score": float(rng.integers(1, 15)) * 10},
+                    float(rng.uniform(0.05, 1.0)),
+                )
+                nxt += 1
+            elif op == "expire":
+                delta = table.expire(tids[rng.integers(len(tids))])
+            elif op == "update_probability":
+                delta = table.update_probability(
+                    tids[rng.integers(len(tids))],
+                    float(rng.uniform(0.05, 1.0)),
+                )
+            else:
+                delta = table.update_score(
+                    tids[rng.integers(len(tids))],
+                    {"score": float(rng.integers(1, 15)) * 10},
+                )
+            mirror.apply(delta, table)
+            cold = ScoredTable.from_table(table, scorer)
+            depth = scan_depth(cold, spec.k, spec.p_tau)
+            assert (
+                mirror.build_prefix(spec, table).items
+                == cold.prefix(depth).items
+            ), delta
+
+    def test_explicit_depth_prefix(self) -> None:
+        table = mutable([("a", 30, 0.9), ("b", 20, 0.8), ("c", 10, 0.7)])
+        mirror = PrefixMirror(table, attribute_scorer("score"))
+        spec = QuerySpec(table=table, scorer="score", k=2, depth=2)
+        assert [i.tid for i in mirror.build_prefix(spec, table)] == [
+            "a", "b",
+        ]
+        mirror.apply(table.insert("d", {"score": 25}, 0.5), table)
+        assert [i.tid for i in mirror.build_prefix(spec, table)] == [
+            "a", "d",
+        ]
+
+
+class TestStandingRegistry:
+    def setup_registry(self, rows, rules=()):
+        table = mutable(rows, rules)
+        session = Session({"live": table})
+        return table, StandingRegistry(session)
+
+    def test_subscribe_evaluates_cold(self) -> None:
+        table, reg = self.setup_registry(
+            [("a", 30, 0.9), ("b", 20, 0.8), ("c", 10, 0.7)]
+        )
+        sub = reg.subscribe(
+            QuerySpec(table="live", scorer="score", k=2, p_tau=0.0)
+        )
+        assert sub.version == 0
+        assert sub.answer is not None
+        assert sub.fingerprint is not None
+        assert not sub.fingerprint.truncated
+
+    def test_mutation_tiers_and_watch(self) -> None:
+        rows = [(f"t{i}", 100 - i, 0.95) for i in range(30)]
+        table, reg = self.setup_registry(rows)
+        sub = reg.subscribe(
+            QuerySpec(
+                table="live", scorer="score", k=2,
+                semantics="u_topk", p_tau=0.1,
+            )
+        )
+        assert sub.fingerprint.truncated
+        before = sub.answer
+        # Far below the boundary: provably invisible to the query.
+        reg.mutate("live", "insert", {
+            "tid": "low", "attributes": {"score": -1000},
+            "probability": 0.5,
+        })
+        assert sub.version == 1
+        assert sub.tiers[SKIP] == 1
+        assert sub.answer is before  # retained, not recomputed
+        # Above every score: lands in the prefix.
+        reg.mutate("live", "insert", {
+            "tid": "high", "attributes": {"score": 1000},
+            "probability": 0.9,
+        })
+        assert sub.version == 2
+        assert sub.tiers[PATCH] == 1
+        assert sub.answer is not before
+        snapshot = reg.wait(sub.sid, after_version=1, timeout=1.0)
+        assert snapshot is not None and snapshot["version"] == 2
+
+    def test_me_rules_fall_back_to_recompute(self) -> None:
+        rows = [(f"t{i}", 100 - i, 0.9) for i in range(25)]
+        rows[0] = ("t0", 100, 0.5)
+        rows[1] = ("t1", 99, 0.5)
+        table, reg = self.setup_registry(rows, [("t0", "t1")])
+        sub = reg.subscribe(
+            QuerySpec(table="live", scorer="score", k=2, p_tau=0.1)
+        )
+        reg.mutate("live", "insert", {
+            "tid": "high", "attributes": {"score": 1000},
+            "probability": 0.5,
+        })
+        assert sub.tiers["recompute"] == 1
+        assert sub.error is None
+
+    def test_maintenance_error_is_sticky_until_repaired(self) -> None:
+        table, reg = self.setup_registry(
+            [("a", 30, 0.9), ("b", 20, 0.8)]
+        )
+        sub = reg.subscribe(
+            QuerySpec(table="live", scorer="score", k=1, p_tau=0.0)
+        )
+        # A tuple the scorer rejects: maintenance must surface the
+        # error (and keep the version advancing for watchers).
+        reg.mutate("live", "insert", {"tid": "bad", "attributes": {}})
+        assert sub.error is not None
+        assert sub.version == 1
+        reg.mutate("live", "expire", {"tid": "bad"})
+        assert sub.error is None
+        assert sub.version == 2
+
+    def test_unsubscribe_stops_maintenance(self) -> None:
+        table, reg = self.setup_registry([("a", 30, 0.9)])
+        sub = reg.subscribe(
+            QuerySpec(table="live", scorer="score", k=1, p_tau=0.0)
+        )
+        assert reg.unsubscribe(sub.sid)
+        assert not reg.unsubscribe(sub.sid)
+        reg.mutate("live", "insert", {
+            "tid": "b", "attributes": {"score": 1}, "probability": 0.5,
+        })
+        assert sub.version == 0  # no longer maintained
+        assert reg.wait(sub.sid, after_version=0, timeout=0.05) is None
+
+
+class TestSessionVersionKeys:
+    """The satellite regression: mutate-then-requery must miss."""
+
+    def setup_session(self):
+        table = mutable(
+            [("a", 30, 0.9), ("b", 20, 0.8), ("c", 10, 0.7)]
+        )
+        return table, Session({"live": table})
+
+    def test_mutate_then_requery_misses_every_stage(self) -> None:
+        table, session = self.setup_session()
+        spec = QuerySpec(table="live", scorer="score", k=2, p_tau=0.0)
+        first = session.execute(spec)
+        assert session.execute(spec) is first  # warm: answer hit
+        info = session.cache_info()
+        assert info["answer"]["hits"] == 1
+        table.update_score("c", {"score": 1000})
+        second = session.execute(spec)
+        assert second is not first
+        info = session.cache_info()
+        assert info["answer"]["hits"] == 1  # no stale hit after mutate
+        # The new answer reflects the mutation.
+        assert session.scored_prefix(spec)[0].tid == "c"
+
+    def test_distribution_misses_after_mutation(self) -> None:
+        table, session = self.setup_session()
+        spec = QuerySpec(table="live", scorer="score", k=2, p_tau=0.0)
+        pmf = session.distribution(spec)
+        assert session.distribution(spec) is pmf
+        table.update_probability("a", 0.1)
+        assert session.distribution(spec) is not pmf
+
+    def test_seed_prefix_keeps_downstream_chain_warm(self) -> None:
+        table, session = self.setup_session()
+        spec = QuerySpec(table="live", scorer="score", k=2, p_tau=0.0)
+        answer = session.execute(spec)
+        prefix = session.scored_prefix(spec)
+        misses = session.cache_info()["pmf"]["misses"]
+        table.update_probability("a", table["a"].probability)  # bump
+        session.seed_prefix(spec, prefix)
+        assert session.execute(spec) is answer
+        # Same prefix object => the pmf/answer stages never re-ran.
+        assert session.cache_info()["pmf"]["misses"] == misses
+
+    def test_invalidate_table_chains_through_stages(self) -> None:
+        table, session = self.setup_session()
+        spec = QuerySpec(table="live", scorer="score", k=2, p_tau=0.0)
+        session.execute(spec)
+        session.execute_many([spec.with_(k=1)])  # seeds the scored stage
+        evicted = session.invalidate_table(table)
+        assert evicted >= 3  # prefix + pmf + answer at least
+        info = session.cache_info()
+        assert info["prefix"]["size"] == 0
+        assert info["pmf"]["size"] == 0
+        assert info["answer"]["size"] == 0
+        assert sum(
+            info[stage]["evictions"]
+            for stage in ("scored", "prefix", "pmf", "answer")
+        ) == evicted
+
+    def test_immutable_tables_report_version_zero(self) -> None:
+        table = make_table([("a", 10, 0.5)])
+        assert isinstance(table, UncertainTable)
+        assert table.version == 0
+        mut = MutableUncertainTable.from_table(table)
+        mut.insert("b", {"score": 1}, 0.5)
+        assert table.version == 0 and mut.version == 1

@@ -1,0 +1,197 @@
+"""Differential suite for the standing-query maintainer.
+
+Randomized mutation streams drive a :class:`StandingRegistry`; at
+every log version, every subscription's *maintained* answer must be
+byte-identical (as canonical JSON) to a cold recompute on a fresh
+immutable copy of the table — for all six registered semantics, under
+Theorem-2 truncation, explicit depths, and ME-rule tables (which
+exercise the recompute tier).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.registry import available_semantics
+from repro.api.session import Session
+from repro.api.spec import QuerySpec
+from repro.io.json_io import answer_to_jsonable
+from repro.standing import MutableUncertainTable, StandingRegistry
+from repro.uncertain.table import UncertainTable
+
+SEMANTICS = sorted(available_semantics())
+
+
+def canonical(answer) -> str:
+    """An answer's byte-identity fingerprint."""
+    return json.dumps(answer_to_jsonable(answer), sort_keys=True)
+
+
+def cold_answer(table: MutableUncertainTable, spec: QuerySpec):
+    """Recompute ``spec`` from scratch on a frozen copy of ``table``.
+
+    A fresh immutable table and a fresh session: no cached stage, no
+    mirror, no version key can leak in.
+    """
+    frozen = UncertainTable(
+        table.tuples, table.explicit_rules, name=table.name
+    )
+    session = Session({"live": frozen})
+    return session.execute(spec.with_(table="live"))
+
+
+def random_mutation(rng, table: MutableUncertainTable, counter):
+    """Apply one random mutation; returns the delta."""
+    ops = ["insert"]
+    if len(table) > 3:
+        ops += ["expire", "update_probability", "update_score"]
+    op = ops[rng.integers(len(ops))]
+    tids = table.tids
+    if op == "insert":
+        tid = f"m{next(counter)}"
+        group_with = None
+        if table.explicit_rules and rng.random() < 0.4:
+            rule = table.explicit_rules[
+                rng.integers(len(table.explicit_rules))
+            ]
+            group_with = rule[rng.integers(len(rule))]
+        probability = float(rng.uniform(0.05, 0.95))
+        if group_with is not None:
+            gid = table.group_of(group_with)
+            headroom = 1.0 - table.group_mass(gid)
+            if headroom <= 0.05:
+                group_with = None
+            else:
+                probability = float(
+                    rng.uniform(0.01, max(0.011, headroom * 0.9))
+                )
+        return table.insert(
+            tid,
+            {"score": float(rng.integers(1, 40)) * 5.0},
+            probability,
+            group_with=group_with,
+        )
+    victim = tids[rng.integers(len(tids))]
+    if op == "expire":
+        return table.expire(victim)
+    if op == "update_probability":
+        gid = table.group_of(victim)
+        others = table.group_mass(gid) - table[victim].probability
+        cap = max(0.02, (1.0 - others) * 0.95)
+        return table.update_probability(
+            victim, float(rng.uniform(0.01, cap))
+        )
+    return table.update_score(
+        victim, {"score": float(rng.integers(1, 40)) * 5.0}
+    )
+
+
+def run_stream(
+    seed: int,
+    *,
+    rules,
+    specs,
+    steps: int = 25,
+    rows: int = 50,
+) -> dict:
+    """Drive one mutation stream and check every version."""
+    import itertools
+
+    rng = np.random.default_rng(seed)
+    base = [
+        (f"t{i}", float(rng.integers(1, 40)) * 5.0,
+         float(rng.uniform(0.4, 0.95)))
+        for i in range(rows)
+    ]
+    for rule in rules:
+        # Keep each explicit group's mass safely below 1.
+        members = set(rule)
+        base = [
+            (tid, score, prob / (2 * len(members)) if tid in members
+             else prob)
+            for tid, score, prob in base
+        ]
+    from tests.conftest import make_table
+
+    table = MutableUncertainTable.from_table(
+        make_table(base, rules, name="live")
+    )
+    registry = StandingRegistry(Session({"live": table}))
+    subs = [registry.subscribe(spec.with_(table="live")) for spec in specs]
+    counter = itertools.count()
+    tiers = {"skip": 0, "patch": 0, "recompute": 0}
+    for _ in range(steps):
+        delta = random_mutation(rng, table, counter)
+        registry.on_delta(table, delta)
+        for sub in subs:
+            assert sub.version == delta.version, (seed, delta)
+            assert sub.error is None, (seed, delta, sub.error)
+            assert canonical(sub.answer) == canonical(
+                cold_answer(table, sub.spec)
+            ), (seed, delta, sub.spec.semantics)
+    for sub in subs:
+        for tier, count in sub.tiers.items():
+            tiers[tier] += count
+    return tiers
+
+
+def six_specs(**overrides) -> list[QuerySpec]:
+    return [
+        QuerySpec(
+            table="live", scorer="score", k=3, semantics=semantics,
+            **overrides,
+        )
+        for semantics in SEMANTICS
+    ]
+
+
+class TestMaintainedAnswersMatchCold:
+    def test_registry_covers_all_registered_semantics(self) -> None:
+        # The paper's six semantics must all be on the differential.
+        assert {
+            "typical", "u_topk", "pt_k", "u_kranks", "global_topk",
+            "expected_ranks",
+        } <= set(SEMANTICS)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_truncated_me_free_stream(self, seed) -> None:
+        tiers = run_stream(
+            seed, rules=(), specs=six_specs(p_tau=0.05)
+        )
+        # ME-free truncating subscriptions never need the fallback...
+        assert tiers["recompute"] == 0
+        # ...and the stream is mixed enough to exercise both fast tiers.
+        assert tiers["skip"] > 0 and tiers["patch"] > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_me_rule_stream_falls_back_soundly(self, seed) -> None:
+        rules = [("t0", "t1"), ("t2", "t3", "t4")]
+        tiers = run_stream(
+            100 + seed, rules=rules, specs=six_specs(p_tau=0.05)
+        )
+        # Truncating subscriptions over ME tables may skip (the delta
+        # provably misses the prefix) but must never patch through the
+        # singleton-only mirror depth.
+        assert tiers["patch"] == 0
+        assert tiers["recompute"] > 0
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_explicit_depth_stream(self, seed) -> None:
+        tiers = run_stream(
+            200 + seed,
+            rules=[("t0", "t1")],
+            specs=six_specs(depth=8),
+        )
+        # Explicit depths patch even over ME tables (rank order only).
+        assert tiers["recompute"] == 0
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_untruncated_stream(self, seed) -> None:
+        tiers = run_stream(
+            300 + seed, rules=(), specs=six_specs(p_tau=0.0), rows=15
+        )
+        # p_tau = 0 scans the whole table: nothing is ever skippable.
+        assert tiers["skip"] == 0

@@ -1,0 +1,287 @@
+"""Service integration for standing queries.
+
+Covers the mutation/subscription control plane of the
+:class:`~repro.service.server.QueryService` in process (``/v1/mutate``,
+``/v1/subscribe``, ``/v1/unsubscribe``, ``/v1/reload``), the standing
+section of ``/metrics``, mutate-then-requery cache correctness through
+the service, and the real-HTTP ``GET /v1/watch`` SSE stream.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import DatasetCatalog, QueryService, make_server
+
+#: An ME-free mutable table (skip/patch tiers apply) plus the paper toy.
+LIVE_SPEC = "synthetic:tuples=40,me=0.0,seed=7"
+
+
+@pytest.fixture
+def catalog() -> DatasetCatalog:
+    return DatasetCatalog([f"live={LIVE_SPEC}", "mini=soldier:"])
+
+
+@pytest.fixture
+def service(catalog):
+    service = QueryService(catalog, workers=2, request_timeout_s=5.0)
+    yield service
+    service.shutdown()
+
+
+def post(service, endpoint, payload):
+    reply = service.handle(endpoint, payload)
+    return reply.status, reply.document
+
+
+class TestMutateEndpoint:
+    def test_mutation_round_trip(self, service) -> None:
+        status, doc = post(service, "mutate", {
+            "table": "live", "op": "insert", "tid": "fresh",
+            "attributes": {"score": 123.0}, "probability": 0.5,
+        })
+        assert status == 200
+        assert doc["version"] == 1
+        assert doc["delta"]["op"] == "insert"
+        assert doc["delta"]["tid"] == "fresh"
+        status, doc = post(service, "mutate", {
+            "table": "live", "op": "expire", "tid": "fresh",
+        })
+        assert status == 200 and doc["version"] == 2
+        assert doc["delta"]["old_attributes"] == {"score": 123.0}
+
+    def test_validation_statuses(self, service) -> None:
+        assert post(service, "mutate", {"op": "insert"})[0] == 400
+        assert post(service, "mutate", {
+            "table": "nope", "op": "insert", "tid": "x",
+        })[0] == 404
+        assert post(service, "mutate", {
+            "table": "live", "op": "teleport", "tid": "x",
+        })[0] == 400
+        assert post(service, "mutate", {
+            "table": "live", "op": "insert",
+        })[0] == 400  # tid missing
+        # A rejected mutation must not bump the version.
+        status, doc = post(service, "mutate", {
+            "table": "live", "op": "expire", "tid": "definitely-absent",
+        })
+        assert status == 400
+        status, doc = post(service, "mutate", {
+            "table": "live", "op": "insert", "tid": "x",
+            "attributes": {"score": 1.0},
+        })
+        assert status == 200 and doc["version"] == 1
+
+    def test_immutable_catalog_refuses(self) -> None:
+        catalog = DatasetCatalog([f"live={LIVE_SPEC}"], mutable=False)
+        service = QueryService(catalog, workers=1)
+        try:
+            status, doc = post(service, "mutate", {
+                "table": "live", "op": "insert", "tid": "x",
+                "attributes": {"score": 1.0},
+            })
+            assert status == 400
+            assert "not mutable" in doc["error"]
+        finally:
+            service.shutdown()
+
+    def test_mutate_then_requery_reflects_change(self, service) -> None:
+        """The satellite regression, end to end through the service:
+        version-keyed caches make the re-query miss, not stale-hit."""
+        query = {"table": "live", "k": 2, "p_tau": 0.0}
+        status, before = post(service, "answer", query)
+        assert status == 200
+        post(service, "answer", query)  # warm: answer stage hit
+        hits = service.catalog.session.cache_info()["answer"]["hits"]
+        assert hits >= 1
+        status, doc = post(service, "mutate", {
+            "table": "live", "op": "insert", "tid": "giant",
+            "attributes": {"score": 10_000.0}, "probability": 1.0,
+        })
+        assert status == 200
+        status, after = post(service, "answer", query)
+        assert status == 200
+        assert after["answer"] != before["answer"]
+        info = service.catalog.session.cache_info()
+        assert info["answer"]["hits"] == hits  # no stale hit
+
+
+class TestSubscribeEndpoints:
+    def test_subscribe_watch_unsubscribe(self, service) -> None:
+        status, sub = post(service, "subscribe", {
+            "table": "live", "k": 2, "semantics": "u_topk", "p_tau": 0.1,
+        })
+        assert status == 200
+        sid = sub["sid"]
+        assert sub["version"] == 0 and sub["error"] is None
+        assert sub["answer"] is not None
+        post(service, "mutate", {
+            "table": "live", "op": "insert", "tid": "g",
+            "attributes": {"score": 10_000.0}, "probability": 0.9,
+        })
+        events = list(
+            service.watch_events(sid, after=0, count=1, timeout_s=2.0)
+        )
+        assert len(events) == 1
+        assert events[0]["version"] == 1
+        assert events[0]["tiers"]["patch"] + events[0]["tiers"][
+            "recompute"
+        ] >= 1
+        # The maintained answer matches a fresh recompute through the
+        # ordinary answer endpoint.
+        _, direct = post(service, "answer", {
+            "table": "live", "k": 2, "semantics": "u_topk", "p_tau": 0.1,
+        })
+        assert events[0]["answer"] == direct["answer"]
+        status, doc = post(service, "unsubscribe", {"sid": sid})
+        assert status == 200 and doc["removed"] is True
+        status, doc = post(service, "unsubscribe", {"sid": sid})
+        assert status == 200 and doc["removed"] is False
+
+    def test_subscribe_validation(self, service) -> None:
+        assert post(service, "subscribe", {"table": "nope", "k": 2})[0] \
+            == 404
+        assert post(service, "subscribe", {"table": "live"})[0] == 400
+        assert post(service, "subscribe", {
+            "table": "live", "k": 2, "bogus": 1,
+        })[0] == 400
+
+    def test_watch_unknown_sid_ends_immediately(self, service) -> None:
+        events = list(
+            service.watch_events("sub-99", after=-1, count=3, timeout_s=0.2)
+        )
+        assert events == []
+
+    def test_metrics_standing_section(self, service) -> None:
+        post(service, "subscribe", {"table": "live", "k": 2})
+        post(service, "mutate", {
+            "table": "live", "op": "insert", "tid": "m",
+            "attributes": {"score": 5.0}, "probability": 0.5,
+        })
+        document = service.metrics_document().document
+        standing = document["standing"]
+        assert standing["active"] == 1
+        assert standing["subscriptions"] == 1
+        assert standing["mutations"] == 1
+        assert (
+            standing["skip"] + standing["patch"] + standing["recompute"]
+            == 1
+        )
+        # The inline control-plane endpoints are metered too.
+        assert document["requests"]["mutate"]["count"] == 1
+        assert document["requests"]["subscribe"]["count"] == 1
+
+
+class TestReloadEndpoint:
+    def test_reload_discards_mutations_and_evicts(self, service) -> None:
+        _, before = post(service, "answer", {
+            "table": "live", "k": 2, "p_tau": 0.0,
+        })
+        post(service, "mutate", {
+            "table": "live", "op": "insert", "tid": "g",
+            "attributes": {"score": 10_000.0}, "probability": 1.0,
+        })
+        post(service, "answer", {"table": "live", "k": 2, "p_tau": 0.0})
+        status, doc = post(service, "reload", {"table": "live"})
+        assert status == 200
+        assert doc["tuples"] == 40  # the mutation is gone
+        assert doc["evicted"] >= 1
+        # Eviction counters surface per stage in /metrics.
+        cache = service.metrics_document().document["cache"]
+        assert sum(
+            cache[stage]["evictions"] for stage in cache
+        ) == doc["evicted"]
+        # The reloaded table answers like the pristine one.
+        _, after = post(service, "answer", {
+            "table": "live", "k": 2, "p_tau": 0.0,
+        })
+        assert after["answer"] == before["answer"]
+
+    def test_reload_validation(self, service) -> None:
+        assert post(service, "reload", {})[0] == 400
+        assert post(service, "reload", {"table": "nope"})[0] == 404
+
+
+class TestHTTPWatch:
+    @pytest.fixture
+    def server(self, catalog):
+        server = make_server(catalog, port=0, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        thread.join(5.0)
+
+    @staticmethod
+    def post_json(base: str, path: str, payload: dict) -> dict:
+        request = urllib.request.Request(
+            f"{base}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return json.loads(response.read())
+
+    @staticmethod
+    def read_sse(response, on_event=None) -> list[dict]:
+        """Decode ``event: update`` payloads until the ``end`` event."""
+        events = []
+        current = None
+        for raw in response:
+            line = raw.decode().rstrip("\r\n")
+            if line.startswith("event: "):
+                current = line.removeprefix("event: ")
+            elif line.startswith("data: ") and current == "update":
+                events.append(json.loads(line.removeprefix("data: ")))
+                if on_event is not None:
+                    on_event()
+            elif current == "end":
+                break
+        return events
+
+    def test_sse_stream_delivers_updates(self, server) -> None:
+        sub = self.post_json(server, "/v1/subscribe", {
+            "table": "live", "k": 2, "p_tau": 0.1,
+        })
+        sid = sub["sid"]
+        url = (
+            f"{server}/v1/watch?sid={sid}&after=-1&count=2&timeout_s=10"
+        )
+        collected: list[dict] = []
+        snapshot_seen = threading.Event()
+
+        def watch() -> None:
+            with urllib.request.urlopen(url, timeout=15.0) as response:
+                assert response.headers["Content-Type"] \
+                    == "text/event-stream"
+                collected.extend(
+                    self.read_sse(response, on_event=snapshot_seen.set)
+                )
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        # Event 1 is the current (version-0) snapshot; event 2 arrives
+        # only once the mutation below advances the subscription — so
+        # wait for the snapshot before mutating.
+        assert snapshot_seen.wait(10.0)
+        self.post_json(server, "/v1/mutate", {
+            "table": "live", "op": "update_score", "tid": "T1",
+            "attributes": {"score": 10_000.0},
+        })
+        watcher.join(15.0)
+        assert not watcher.is_alive()
+        assert [event["version"] for event in collected] == [0, 1]
+        assert collected[1]["error"] is None
+
+    def test_watch_unknown_sid_is_404(self, server) -> None:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{server}/v1/watch?sid=nope", timeout=5.0
+            )
+        assert excinfo.value.code == 404
