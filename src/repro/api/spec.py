@@ -171,6 +171,42 @@ class QuerySpec:
         """
         return dataclasses.replace(self, **changes)
 
+    def to_jsonable(self) -> dict:
+        """The spec as a JSON-ready field mapping (defaults omitted).
+
+        Only representable for *named* specs — a catalog-name table
+        and an attribute-name scorer — which is exactly what service
+        clients submit; the durable subscription manifest
+        round-trips these through :meth:`from_jsonable`.
+        """
+        if not isinstance(self.table, str):
+            raise AlgorithmError(
+                "only specs over a named catalog table are serializable"
+            )
+        if not isinstance(self.scorer, str):
+            raise AlgorithmError(
+                "only specs with an attribute-name scorer are serializable"
+            )
+        document = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if (
+                field.default is not dataclasses.MISSING
+                and value == field.default
+            ):
+                continue
+            document[field.name] = value
+        return document
+
+    @classmethod
+    def from_jsonable(cls, document: dict) -> "QuerySpec":
+        """Rebuild a spec serialized by :meth:`to_jsonable`."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise AlgorithmError(f"unknown spec fields: {unknown}")
+        return cls(**document)
+
     # ------------------------------------------------------------------
     # Stage parameter tuples (legacy accessors)
     # ------------------------------------------------------------------

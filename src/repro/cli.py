@@ -13,7 +13,9 @@ Usage (``python -m repro <command> ...``)::
     repro bench --json                  # writes BENCH_core.json
     repro bench --tiny --check BENCH_core.json   # CI perf smoke
     repro serve --table demo=synthetic:tuples=400,me=0.9 --port 8000
+    repro serve --table demo=... --data-dir state/   # durable + recoverable
     repro loadgen --url http://127.0.0.1:8000 --requests 200 --expect-ok
+    repro chaos --verbose              # crash-recovery differential check
 
 Every query command routes through a :class:`~repro.api.session.Session`
 and a :class:`~repro.api.spec.QuerySpec`, so one scored prefix (and one
@@ -378,10 +380,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: run the batching concurrent query service."""
     from repro.service import (
         DatasetCatalog,
+        DegradationPolicy,
+        FaultInjector,
         load_catalog_file,
         make_server,
         parse_binding,
     )
+    from repro.standing import DurableStore
 
     bindings: dict[str, str] = {}
     if args.catalog:
@@ -389,9 +394,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
     for binding in args.table:
         name, source = parse_binding(binding)
         bindings[name] = source
-    catalog = DatasetCatalog(bindings, cache_size=args.cache_size)
+    # Injected faults crash the *process* (like a power cut), so the
+    # chaos harness can assert real recovery — not a caught exception.
+    faults = FaultInjector.from_env(crash_mode="exit")
+    store = None
+    if args.data_dir is not None:
+        store = DurableStore(
+            args.data_dir,
+            snapshot_every=args.snapshot_every,
+            faults=faults,
+        )
+    catalog = DatasetCatalog(
+        bindings, cache_size=args.cache_size, store=store
+    )
     if args.warm is not None:
         catalog.warm(args.warm)
+    degradation = None
+    if not args.no_degrade:
+        degradation = DegradationPolicy(
+            deadline_s=args.degrade_deadline,
+            queue_depth=args.degrade_queue,
+        )
     server = make_server(
         catalog,
         host=args.host,
@@ -402,6 +425,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         batched=not args.unbatched,
         request_timeout_s=args.request_timeout,
+        degrade=not args.no_degrade,
+        degradation=degradation,
+        faults=faults,
     )
     host, port = server.server_address[:2]
     mode = "unbatched (naive per-request)" if args.unbatched else "batched"
@@ -411,6 +437,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"  table {name}: {info['tuples']} tuples "
             f"({info['me_rules']} ME rules) from {info['source']}"
         )
+    if store is not None:
+        for name, info in sorted(store.recovery_info.items()):
+            print(
+                f"  recovered {name}: version {info['version']} "
+                f"(snapshot {info['snapshot_version']} + "
+                f"{info['replayed']} WAL records, "
+                f"{info['truncated_bytes']} torn bytes truncated)"
+            )
+        service = server.service
+        for sid in service.restored_subscriptions:
+            print(f"  restored subscription {sid}")
+        for sid, reason in sorted(service.failed_subscriptions.items()):
+            print(f"  FAILED to restore subscription {sid}: {reason}",
+                  file=sys.stderr)
+    if faults:
+        print(f"  fault injection armed: {faults.describe()}")
     print("endpoints: POST /v1/answer /v1/distribution /v1/typical "
           "/v1/mutate /v1/subscribe /v1/unsubscribe /v1/reload; "
           "GET /v1/watch /healthz /metrics", flush=True)
@@ -490,7 +532,17 @@ def cmd_mutate(args: argparse.Namespace) -> int:
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
-    """``repro watch``: subscribe to a standing query and stream it."""
+    """``repro watch``: subscribe to a standing query and stream it.
+
+    The stream auto-reconnects: each SSE event carries an ``id:`` (the
+    change-log version), and on a dropped connection the client retries
+    with exponential backoff plus jitter, resuming via the
+    ``Last-Event-ID`` header — the server replays everything past that
+    version, so a server restart (or a flaky proxy) never silently ends
+    a watch or skips an update.
+    """
+    import random
+    import time
     import urllib.error
     import urllib.request
 
@@ -516,20 +568,105 @@ def cmd_watch(args: argparse.Namespace) -> int:
         return 1
     sid = subscription["sid"]
     print(json.dumps(subscription, indent=2), flush=True)
-    watch_url = (
-        f"{base}/v1/watch?sid={sid}&after={subscription['version']}"
-        f"&count={args.count}&timeout_s={args.timeout}"
-    )
+    last_id = int(subscription["version"])
+    received = 0
+    failures = 0
+    rng = random.Random()
+    deadline = time.monotonic() + args.timeout
     try:
-        with urllib.request.urlopen(
-            watch_url, timeout=args.timeout + 5
-        ) as stream:
-            for raw in stream:
-                line = raw.decode().rstrip("\n")
-                if line.startswith("data: "):
-                    print(line.removeprefix("data: "), flush=True)
+        while received < args.count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            poll_s = max(1.0, min(remaining, 30.0))
+            watch_url = (
+                f"{base}/v1/watch?sid={sid}&count={args.count - received}"
+                f"&timeout_s={poll_s:.1f}"
+            )
+            stream_request = urllib.request.Request(
+                watch_url, headers={"Last-Event-ID": str(last_id)}
+            )
+            try:
+                with urllib.request.urlopen(
+                    stream_request, timeout=poll_s + 5
+                ) as stream:
+                    failures = 0
+                    for raw in stream:
+                        line = raw.decode().rstrip("\n")
+                        if line.startswith("id: "):
+                            try:
+                                last_id = int(line.removeprefix("id: "))
+                            except ValueError:
+                                pass
+                        elif line.startswith("data: "):
+                            payload = line.removeprefix("data: ")
+                            if payload != "{}":  # skip the end marker
+                                print(payload, flush=True)
+                                received += 1
+                # A clean end-of-stream is just the long-poll expiring;
+                # loop around and reconnect immediately.
+            except urllib.error.HTTPError as exc:
+                # e.g. the subscription is gone for good (404): fatal.
+                print(exc.read().decode(), file=sys.stderr)
+                return 1
+            except (urllib.error.URLError, ConnectionError, TimeoutError,
+                    OSError) as exc:
+                failures += 1
+                if failures > args.max_retries:
+                    print(
+                        f"error: watch gave up after {args.max_retries} "
+                        "consecutive failed reconnects",
+                        file=sys.stderr,
+                    )
+                    return 1
+                delay = min(args.max_backoff,
+                            args.backoff * 2 ** (failures - 1))
+                delay *= 0.5 + rng.random()  # jitter: 0.5x .. 1.5x
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+                print(
+                    f"watch: connection lost ({exc}); reconnect "
+                    f"{failures}/{args.max_retries} in {delay:.2f}s "
+                    f"(resume after version {last_id})",
+                    file=sys.stderr,
+                )
+                time.sleep(delay)
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: crash-recovery differential check, end to end."""
+    import tempfile
+
+    from repro.service.chaos import run_chaos
+
+    if args.data_dir is not None:
+        report = run_chaos(
+            data_dir=args.data_dir,
+            tuples=args.tuples,
+            mutations=args.mutations,
+            seed=args.seed,
+            faults=args.faults,
+            snapshot_every=args.snapshot_every,
+            verbose=args.verbose,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            report = run_chaos(
+                data_dir=tmp,
+                tuples=args.tuples,
+                mutations=args.mutations,
+                seed=args.seed,
+                faults=args.faults,
+                snapshot_every=args.snapshot_every,
+                verbose=args.verbose,
+            )
+    print(json.dumps(report, indent=2))
+    print(
+        f"chaos ok: {report['crash']} after {report['mutations_acked']} "
+        f"acked mutations; recovered answers == cold recompute"
+    )
     return 0
 
 
@@ -706,6 +843,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--unbatched", action="store_true",
                    help="serve naively, one cold session per request "
                    "(the benchmark baseline)")
+    p.add_argument("--data-dir", default=None, metavar="DIR",
+                   help="durable state directory: per-table WAL + "
+                   "snapshots and the subscription manifest; on boot, "
+                   "tables and subscriptions recover to their exact "
+                   "pre-crash state")
+    p.add_argument("--snapshot-every", type=int, default=256,
+                   metavar="N",
+                   help="compact each table's WAL into a snapshot "
+                   "every N records (default 256)")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="disable graceful degradation: overloaded or "
+                   "breaker-tripped exact queries fail instead of "
+                   "falling back to Monte-Carlo answers")
+    p.add_argument("--degrade-deadline", type=float, default=0.5,
+                   metavar="S",
+                   help="degrade exact work when the remaining request "
+                   "budget drops to S seconds (default 0.5)")
+    p.add_argument("--degrade-queue", type=int, default=64,
+                   metavar="N",
+                   help="degrade new exact work once N requests are "
+                   "pending (default 64)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
     p.set_defaults(func=cmd_serve)
@@ -775,7 +933,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop after this many updates (default 10)")
     p.add_argument("--timeout", type=float, default=60.0,
                    help="stream lifetime in seconds (default 60)")
+    p.add_argument("--max-retries", type=int, default=5,
+                   help="consecutive failed reconnects before giving "
+                   "up (default 5)")
+    p.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                   help="initial reconnect backoff in seconds, doubled "
+                   "per consecutive failure with jitter (default 0.5)")
+    p.add_argument("--max-backoff", type=float, default=10.0,
+                   metavar="S",
+                   help="reconnect backoff ceiling (default 10)")
     p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "chaos",
+        help="crash a fault-injected server mid-burst and assert "
+        "byte-identical recovery",
+    )
+    p.add_argument("--data-dir", default=None, metavar="DIR",
+                   help="working directory for durable state and "
+                   "server logs (default: a fresh temp dir)")
+    p.add_argument("--tuples", type=int, default=60,
+                   help="synthetic base-table size (default 60)")
+    p.add_argument("--mutations", type=int, default=40,
+                   help="mutation-burst length (default 40)")
+    p.add_argument("--seed", type=int, default=11,
+                   help="burst + fault-injection seed (default 11)")
+    p.add_argument("--faults", default="wal_torn_write:0.08",
+                   metavar="SPEC",
+                   help="REPRO_FAULTS spec for the first server "
+                   "(default wal_torn_write:0.08)")
+    p.add_argument("--snapshot-every", type=int, default=16,
+                   metavar="N",
+                   help="WAL compaction interval, small on purpose so "
+                   "recovery crosses a snapshot (default 16)")
+    p.add_argument("--verbose", action="store_true",
+                   help="narrate each phase")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "bench", help="run the core perf baseline workloads"

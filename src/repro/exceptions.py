@@ -67,3 +67,22 @@ class BackpressureError(ServiceError):
 
 class RequestTimeoutError(ServiceError):
     """A queued service request was not answered within its deadline."""
+
+
+class DurabilityError(ReproError):
+    """The durable state layer (snapshots, WAL, manifest) failed."""
+
+
+class WALCorruptError(DurabilityError):
+    """A write-ahead log holds a corrupt (CRC-mismatching) record.
+
+    Raised during recovery when a fully framed record fails its
+    checksum — unlike a *torn tail* (an incomplete frame at the end of
+    the file, the signature of a crash mid-write), which is silently
+    truncated.  Corruption is never repaired automatically; the error
+    names the file and offset so an operator can decide.
+    """
+
+
+class FaultInjectedError(ServiceError):
+    """An error injected by the fault-injection harness (REPRO_FAULTS)."""

@@ -16,7 +16,14 @@ Layers:
   ``/v1/unsubscribe`` / ``/v1/reload``, the SSE stream
   ``GET /v1/watch``, plus ``GET /healthz``, ``/metrics``);
 * :mod:`repro.service.loadgen` — the closed-loop client behind
-  ``repro loadgen`` and ``benchmarks/bench_service.py``.
+  ``repro loadgen`` and ``benchmarks/bench_service.py``;
+* :mod:`repro.service.degrade` / :mod:`repro.service.breaker` —
+  graceful degradation of overloaded exact work onto bounded
+  Monte-Carlo (explicit confidence intervals) and the per
+  ``(table, semantics)`` circuit breaker feeding it;
+* :mod:`repro.service.faults` — deterministic fault injection
+  (``REPRO_FAULTS``) for WAL writes and executor stages, driven by
+  ``repro chaos``.
 """
 
 from repro.service.batching import (
@@ -26,11 +33,14 @@ from repro.service.batching import (
     BatchingExecutor,
     batch_key,
 )
+from repro.service.breaker import CircuitBreaker
 from repro.service.catalog import (
     DatasetCatalog,
     load_catalog_file,
     parse_binding,
 )
+from repro.service.degrade import DegradationPolicy, DegradedAnswer
+from repro.service.faults import FaultInjector
 from repro.service.loadgen import LoadgenResult, run_loadgen
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import (
@@ -60,4 +70,8 @@ __all__ = [
     "DEFAULT_MAX_BATCH",
     "DEFAULT_REQUEST_TIMEOUT_S",
     "MAX_WATCH_TIMEOUT_S",
+    "CircuitBreaker",
+    "DegradationPolicy",
+    "DegradedAnswer",
+    "FaultInjector",
 ]

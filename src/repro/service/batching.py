@@ -22,6 +22,21 @@ beyond the bound raises :class:`~repro.exceptions.BackpressureError`
 (surfaced by the HTTP layer as ``429 Retry-After``), so overload
 degrades into fast rejections instead of unbounded memory growth.
 
+Between acceptance and rejection sits **graceful degradation**
+(:mod:`repro.service.degrade`): when a policy is installed, exact
+``execute`` work whose deadline budget is too small (at submit or
+after queueing ate it), or that arrives into a deep queue, or whose
+``(table, semantics)`` circuit breaker (:mod:`repro.service.breaker`)
+is open, is re-planned through the Monte-Carlo operator with an
+epsilon chosen from the remaining budget and answered as a
+:class:`~repro.service.degrade.DegradedAnswer` — approximate, but
+carrying an explicit confidence interval.  Requests submitted with
+``allow_degraded=False`` keep the strict reject/timeout behavior.
+
+Fault points (:mod:`repro.service.faults`): ``exec_delay`` sleeps
+every batch before execution, ``exec_error`` fails a batch with
+:class:`~repro.exceptions.FaultInjectedError`.
+
 ``batched=False`` gives the naive baseline the service benchmark
 compares against: every request executes alone, through a fresh
 session with cold caches — exactly what each pre-service entry point
@@ -41,9 +56,17 @@ from repro.api.session import Session
 from repro.api.spec import QuerySpec
 from repro.exceptions import (
     BackpressureError,
+    FaultInjectedError,
     RequestTimeoutError,
     ServiceError,
 )
+from repro.service.breaker import CircuitBreaker
+from repro.service.degrade import (
+    DegradationPolicy,
+    DegradedAnswer,
+    confidence_interval,
+)
+from repro.service.faults import FaultInjector
 from repro.service.metrics import ServiceMetrics
 
 #: The pipeline operation a request runs.
@@ -68,11 +91,18 @@ class _Pending:
         Expired entries are purged from the queue instead of executed,
         so abandoned (504'd) requests neither occupy queue slots nor
         burn worker time.
+    :ivar allow_degraded: ``False`` pins the request to the exact
+        path (the client opted out of approximate answers).
+    :ivar degrade_reason: set (``deadline``/``queue``/``breaker``)
+        once the request was re-planned onto the degraded MC tier;
+        ``spec`` then already carries the replanned MC shape.
     """
 
     op: Op
     spec: QuerySpec
     deadline: float | None = None
+    allow_degraded: bool = True
+    degrade_reason: str | None = None
     future: "Future[Any]" = field(default_factory=Future)
 
     @property
@@ -107,6 +137,13 @@ class BatchingExecutor:
     :param batched: ``False`` runs the naive per-request baseline
         (fresh cold session per request, no grouping).
     :param metrics: optional :class:`ServiceMetrics` sink.
+    :param degradation: optional :class:`DegradationPolicy`; when set,
+        overloaded exact ``execute`` work degrades to bounded MC
+        instead of timing out (see the module docstring).
+    :param breaker: optional :class:`CircuitBreaker` keyed by
+        ``(table, semantics)``; requires ``degradation``.
+    :param faults: optional :class:`FaultInjector` for the
+        ``exec_delay`` / ``exec_error`` fault points.
     """
 
     def __init__(
@@ -118,6 +155,9 @@ class BatchingExecutor:
         max_batch: int = DEFAULT_MAX_BATCH,
         batched: bool = True,
         metrics: ServiceMetrics | None = None,
+        degradation: DegradationPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -125,11 +165,19 @@ class BatchingExecutor:
             raise ServiceError(f"max_queue must be >= 1, got {max_queue}")
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if breaker is not None and degradation is None:
+            raise ServiceError(
+                "a circuit breaker requires a degradation policy "
+                "(it sheds to the degraded tier)"
+            )
         self._session = session
         self._max_queue = max_queue
         self._max_batch = max_batch
         self.batched = batched
         self._metrics = metrics
+        self.degradation = degradation
+        self.breaker = breaker
+        self._faults = faults
         self._pending: list[_Pending] = []
         self._inflight: set[Hashable] = set()
         self._lock = threading.Lock()
@@ -150,7 +198,12 @@ class BatchingExecutor:
     # Submission
     # ------------------------------------------------------------------
     def submit(
-        self, op: Op, spec: QuerySpec, *, timeout_s: float | None = None
+        self,
+        op: Op,
+        spec: QuerySpec,
+        *,
+        timeout_s: float | None = None,
+        allow_degraded: bool = True,
     ) -> "Future[Any]":
         """Queue one request; returns its :class:`Future`.
 
@@ -158,13 +211,20 @@ class BatchingExecutor:
             answer; once elapsed, the entry no longer holds a queue
             slot and is failed with :class:`RequestTimeoutError`
             instead of executed.
+        :param allow_degraded: ``False`` pins the request to the
+            exact path regardless of load (strict clients).
         :raises BackpressureError: when the queue bound is reached
             (after purging expired entries).
         """
         deadline = (
             None if timeout_s is None else time.monotonic() + timeout_s
         )
-        request = _Pending(op=op, spec=spec, deadline=deadline)
+        request = _Pending(
+            op=op,
+            spec=spec,
+            deadline=deadline,
+            allow_degraded=allow_degraded,
+        )
         with self._wakeup:
             if self._stopping:
                 raise ServiceError("executor is shut down")
@@ -175,11 +235,47 @@ class BatchingExecutor:
                 raise BackpressureError(
                     f"queue full ({self._max_queue} pending); retry later"
                 )
+            self._maybe_degrade_at_submit(request, timeout_s)
             self._pending.append(request)
             if self._metrics is not None:
                 self._metrics.record_queue_depth(len(self._pending))
             self._wakeup.notify()
         return request.future
+
+    def _maybe_degrade_at_submit(
+        self, request: _Pending, timeout_s: float | None
+    ) -> None:
+        """Under the lock: re-plan the request onto the MC tier when an
+        admission-time trigger (breaker, deadline, queue depth) fires."""
+        policy = self.degradation
+        if (
+            policy is None
+            or request.op != "execute"
+            or not request.allow_degraded
+            or request.spec.algorithm == "mc"
+        ):
+            return
+        reason = None
+        if self.breaker is not None:
+            key = (request.spec.table, request.spec.semantics)
+            decision = self.breaker.decide(key)
+            if decision == "degrade":
+                reason = "breaker"
+            # "probe" (and "exact") runs the exact plan; its recorded
+            # outcome below closes or re-opens the breaker.
+        if reason is None and (
+            timeout_s is not None and timeout_s <= policy.deadline_s
+        ):
+            reason = "deadline"
+        if reason is None and len(self._pending) >= policy.queue_depth:
+            reason = "queue"
+        if reason is None:
+            return
+        budget = timeout_s if timeout_s is not None else policy.deadline_s
+        request.spec = policy.degraded_spec(request.spec, budget)
+        request.degrade_reason = reason
+        if self._metrics is not None:
+            self._metrics.record_degraded(reason)
 
     def _purge_expired(self) -> None:
         """Under the lock: fail and drop deadline-expired entries."""
@@ -189,6 +285,7 @@ class BatchingExecutor:
         live: list[_Pending] = []
         for request in self._pending:
             if request.expired(now):
+                self._record_timeout(request)
                 request.future.set_exception(
                     RequestTimeoutError(
                         "request expired in the queue before execution"
@@ -197,6 +294,17 @@ class BatchingExecutor:
             else:
                 live.append(request)
         self._pending = live
+
+    def _record_timeout(self, request: _Pending) -> None:
+        """Feed an exact-path timeout to the circuit breaker."""
+        if (
+            self.breaker is not None
+            and request.op == "execute"
+            and request.degrade_reason is None
+        ):
+            self.breaker.record_failure(
+                (request.spec.table, request.spec.semantics)
+            )
 
     def queue_depth(self) -> int:
         """Currently pending (not yet executing) requests."""
@@ -262,18 +370,29 @@ class BatchingExecutor:
             # Naive baseline: a cold session over the same catalog.
             else Session(self._session.catalog)
         )
+        now = time.monotonic()
         live: list[_Pending] = []
         for request in batch:
-            if request.expired(time.monotonic()):
+            if request.expired(now):
+                self._record_timeout(request)
                 request.future.set_exception(
                     RequestTimeoutError(
                         "request expired in the queue before execution"
                     )
                 )
             else:
+                self._maybe_degrade_at_execute(request, now)
                 live.append(request)
         if not live:
             return
+        if self._faults is not None:
+            self._faults.delay("exec_delay")
+            try:
+                self._faults.raise_if("exec_error")
+            except FaultInjectedError as exc:
+                for request in live:
+                    request.future.set_exception(exc)
+                return
         if self.batched:
             # One planner pass for the whole group: fusable exact DPs
             # merge into a single shared sweep, everything else runs
@@ -284,10 +403,7 @@ class BatchingExecutor:
                 return_exceptions=True,
             )
             for request, result in zip(live, results):
-                if isinstance(result, BaseException):
-                    request.future.set_exception(result)
-                else:
-                    request.future.set_result(result)
+                self._finish(session, request, result)
             return
         for request in live:
             try:
@@ -295,9 +411,67 @@ class BatchingExecutor:
                     result: Any = session.distribution(request.spec)
                 else:
                     result = session.execute(request.spec)
-                request.future.set_result(result)
             except BaseException as exc:  # propagate to the waiter
-                request.future.set_exception(exc)
+                self._finish(session, request, exc)
+            else:
+                self._finish(session, request, result)
+
+    def _maybe_degrade_at_execute(
+        self, request: _Pending, now: float
+    ) -> None:
+        """Degrade a still-exact request whose budget the queue ate."""
+        policy = self.degradation
+        if (
+            policy is None
+            or request.degrade_reason is not None
+            or request.op != "execute"
+            or not request.allow_degraded
+            or request.spec.algorithm == "mc"
+            or request.deadline is None
+        ):
+            return
+        remaining = request.deadline - now
+        if remaining > policy.deadline_s:
+            return
+        request.spec = policy.degraded_spec(
+            request.spec, max(remaining, 0.0)
+        )
+        request.degrade_reason = "deadline"
+        if self._metrics is not None:
+            self._metrics.record_degraded("deadline")
+
+    def _finish(
+        self, session: Session, request: _Pending, result: Any
+    ) -> None:
+        """Resolve one future: record the breaker outcome, wrap
+        degraded answers with their confidence interval."""
+        if isinstance(result, BaseException):
+            if isinstance(result, RequestTimeoutError):
+                self._record_timeout(request)
+            request.future.set_exception(result)
+            return
+        if (
+            self.breaker is not None
+            and request.op == "execute"
+            and request.degrade_reason is None
+        ):
+            self.breaker.record_success(
+                (request.spec.table, request.spec.semantics)
+            )
+        if request.degrade_reason is not None:
+            spec = request.spec
+            try:
+                interval = confidence_interval(session, spec)
+            except Exception:  # the answer stands even bound-less
+                interval = None
+            result = DegradedAnswer(
+                answer=result,
+                reason=request.degrade_reason,
+                epsilon=spec.epsilon or 0.0,
+                confidence=spec.confidence,
+                interval=interval,
+            )
+        request.future.set_result(result)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -1,0 +1,131 @@
+"""A per-``(table, semantics)`` circuit breaker for the executor.
+
+When exact evaluation of one query shape keeps timing out — a table
+grown past what its deadline affords, a pathological ME structure —
+re-trying the same exact plan for every arriving request just burns
+worker time that other shapes needed.  The breaker watches consecutive
+timeout failures per key and, once tripped, tells the executor to shed
+that shape straight to the degraded (bounded Monte-Carlo) tier without
+queueing the exact work at all.
+
+Classic three-state machine, decided at submit time:
+
+* **closed** — normal operation; exact work runs.  ``failures``
+  consecutive timeouts trip the breaker to *open*.
+* **open** — every decision is ``"degrade"`` until ``cooldown_s`` has
+  elapsed; the first decision after the cooldown transitions to
+  *half-open* and returns ``"probe"``.
+* **half-open** — one probe request runs the exact plan; its success
+  closes the breaker, its failure re-opens it (fresh cooldown).  While
+  the probe is in flight, other requests keep degrading.
+
+All timing flows through a caller-supplied clock so tests don't
+sleep.  Thread-safe; decisions and recordings take one small lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Hashable
+
+from repro.exceptions import ServiceError
+
+#: Consecutive timeout failures that trip a closed breaker.
+DEFAULT_FAILURES = 3
+
+#: Seconds an open breaker sheds before allowing a probe.
+DEFAULT_COOLDOWN_S = 5.0
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over an arbitrary key space.
+
+    :param failures: consecutive failures that trip a key.
+    :param cooldown_s: how long a tripped key sheds before probing.
+    :param clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        failures: int = DEFAULT_FAILURES,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failures < 1:
+            raise ServiceError(f"failures must be >= 1, got {failures}")
+        if cooldown_s <= 0:
+            raise ServiceError(
+                f"cooldown_s must be > 0, got {cooldown_s}"
+            )
+        self._failures = failures
+        self._cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> [state, consecutive_failures, opened_at]
+        self._keys: dict[Hashable, list] = {}
+        self.trips = 0
+
+    def decide(self, key: Hashable) -> str:
+        """``"exact"``, ``"degrade"`` or ``"probe"`` for one request.
+
+        ``"probe"`` is returned to exactly one caller per cooldown
+        expiry — that request runs the exact plan on behalf of the
+        key; everyone else keeps degrading until its outcome is
+        recorded.
+        """
+        with self._lock:
+            entry = self._keys.get(key)
+            if entry is None or entry[0] == _CLOSED:
+                return "exact"
+            if entry[0] == _HALF_OPEN:
+                return "degrade"  # a probe is already in flight
+            if self._clock() - entry[2] >= self._cooldown_s:
+                entry[0] = _HALF_OPEN
+                return "probe"
+            return "degrade"
+
+    def record_success(self, key: Hashable) -> None:
+        """An exact request for ``key`` completed in time."""
+        with self._lock:
+            self._keys.pop(key, None)
+
+    def record_failure(self, key: Hashable) -> None:
+        """An exact request for ``key`` timed out."""
+        with self._lock:
+            entry = self._keys.setdefault(key, [_CLOSED, 0, 0.0])
+            if entry[0] == _HALF_OPEN:
+                # The probe failed: re-open with a fresh cooldown.
+                entry[0] = _OPEN
+                entry[2] = self._clock()
+                self.trips += 1
+                return
+            entry[1] += 1
+            if entry[0] == _CLOSED and entry[1] >= self._failures:
+                entry[0] = _OPEN
+                entry[2] = self._clock()
+                self.trips += 1
+
+    def state(self, key: Hashable) -> str:
+        """The key's current state name (``closed`` when untracked)."""
+        with self._lock:
+            entry = self._keys.get(key)
+            return entry[0] if entry is not None else _CLOSED
+
+    def describe(self) -> dict[str, object]:
+        """Tripped/tracked keys + total trips (for ``/metrics``)."""
+        with self._lock:
+            return {
+                "trips": self.trips,
+                "open": sorted(
+                    str(key)
+                    for key, entry in self._keys.items()
+                    if entry[0] in (_OPEN, _HALF_OPEN)
+                ),
+                "tracked": len(self._keys),
+            }

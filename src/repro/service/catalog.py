@@ -23,6 +23,7 @@ or as a JSON catalog file ``{"tables": {"name": "source", ...}}``.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping
@@ -32,7 +33,8 @@ from repro.api.spec import QuerySpec
 from repro.datasets.specs import generate_from_spec, is_generator_spec
 from repro.exceptions import ServiceError
 from repro.io import load_table_file
-from repro.standing.changelog import MutableUncertainTable
+from repro.standing.changelog import Delta, MutableUncertainTable
+from repro.standing.wal import DurableStore
 from repro.uncertain.table import UncertainTable
 
 
@@ -87,6 +89,12 @@ class DatasetCatalog:
         :class:`~repro.standing.changelog.MutableUncertainTable`, so
         ``/v1/mutate`` (and the standing-query registry) can change it
         in place.  The default; pass ``False`` for a read-only catalog.
+    :param store: optional :class:`~repro.standing.wal.DurableStore`
+        (``repro serve --data-dir``).  Mutable tables then boot by
+        WAL-over-snapshot recovery — each at its exact pre-crash
+        version — and every accepted mutation is persisted before it
+        is acknowledged; a :meth:`reload` discards the table's durable
+        state (the source is the truth a reload returns to).
     """
 
     def __init__(
@@ -95,21 +103,38 @@ class DatasetCatalog:
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         mutable: bool = True,
+        store: DurableStore | None = None,
     ) -> None:
         if not isinstance(bindings, Mapping):
             bindings = dict(parse_binding(entry) for entry in bindings)
         if not bindings:
             raise ServiceError("the dataset catalog must name >= 1 table")
+        if store is not None and not mutable:
+            raise ServiceError(
+                "a durable store requires a mutable catalog"
+            )
         self._entries: dict[str, TableEntry] = {}
         self._mutable = mutable
+        self.store = store
+        # Serializes reload against mutate: a mutation admitted while
+        # a reload is swapping the table object must land on whichever
+        # object is current under the name, never on a stale reference
+        # captured before the swap.
+        self._reload_lock = threading.RLock()
         self.session = Session(cache_size=cache_size)
         for name, source in bindings.items():
             self._install(name, source)
 
     def _install(self, name: str, source: str) -> UncertainTable:
-        table = self._load(name, source)
-        if self._mutable:
-            table = MutableUncertainTable.from_table(table)
+        table: UncertainTable
+        if self._mutable and self.store is not None:
+            table = self.store.recover_or_load(
+                name, lambda: self._load(name, source)
+            )
+        else:
+            table = self._load(name, source)
+            if self._mutable:
+                table = MutableUncertainTable.from_table(table)
         self.session.register(name, table)
         self._entries[name] = TableEntry(
             name=name,
@@ -142,18 +167,56 @@ class DatasetCatalog:
         applied since the original load are discarded — the source is
         the truth a reload returns to.
         """
-        entry = self._entries.get(name)
-        if entry is None:
-            raise ServiceError(f"unknown catalog table {name!r}")
-        old = self.session.catalog.resolve(name)
-        table = self._install(name, entry.source)
-        evicted = self.session.invalidate_table(old)
-        return {
-            "table": name,
-            "source": entry.source,
-            "tuples": len(table),
-            "evicted": evicted,
-        }
+        with self._reload_lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise ServiceError(f"unknown catalog table {name!r}")
+            old = self.session.catalog.resolve(name)
+            if self.store is not None:
+                self.store.discard(name)
+            table = self._install(name, entry.source)
+            evicted = self.session.invalidate_table(old)
+            return {
+                "table": name,
+                "source": entry.source,
+                "tuples": len(table),
+                "evicted": evicted,
+            }
+
+    def mutate(
+        self,
+        name: str,
+        op: str,
+        payload: Mapping[str, Any],
+        *,
+        registry: Any = None,
+    ) -> Delta:
+        """Apply one mutation to the table *currently* under ``name``.
+
+        Resolves the table by name under the reload lock, so a
+        mutation racing a :meth:`reload` always lands on whichever
+        object holds the name when the mutation is admitted — never on
+        a stale reference captured before the swap (which would mutate
+        an unreachable table and silently drop the change).  When a
+        durable store is attached, the table's WAL observer fires
+        inside ``apply_payload``, so the record is on disk before this
+        returns.
+
+        :param registry: optional
+            :class:`~repro.standing.registry.StandingRegistry`; its
+            subscriptions on the table are maintained before returning.
+        """
+        with self._reload_lock:
+            table = self.session.catalog.resolve(name)
+            if not isinstance(table, MutableUncertainTable):
+                raise ServiceError(
+                    f"table {name!r} is not mutable; load the catalog "
+                    "with mutable tables to accept mutations"
+                )
+            delta = table.apply_payload(op, payload)
+            if registry is not None:
+                registry.on_delta(table, delta)
+            return delta
 
     def names(self) -> tuple[str, ...]:
         """Catalog table names, sorted."""
@@ -166,15 +229,22 @@ class DatasetCatalog:
         return len(self._entries)
 
     def describe(self) -> dict[str, dict[str, Any]]:
-        """Per-table metadata for ``/healthz`` and startup logging."""
-        return {
-            name: {
+        """Per-table metadata for ``/healthz`` and startup logging.
+
+        ``tuples`` and ``version`` report the table's *live* state
+        (mutations included), not the as-loaded shape — the chaos
+        harness reads the recovered version from here.
+        """
+        document = {}
+        for name, entry in sorted(self._entries.items()):
+            table = self.session.catalog.resolve(name)
+            document[name] = {
                 "source": entry.source,
-                "tuples": entry.tuples,
-                "me_rules": entry.me_rules,
+                "tuples": len(table),
+                "me_rules": len(table.explicit_rules),
+                "version": getattr(table, "version", 0),
             }
-            for name, entry in sorted(self._entries.items())
-        }
+        return document
 
     def warm(
         self, k: int, *, scorer: str = "score", p_tau: float = 0.0

@@ -1,0 +1,392 @@
+"""``repro chaos``: crash a fault-injected server, assert recovery.
+
+The one end-to-end argument that the durability layer works is a
+differential one, executed for real:
+
+1. boot ``repro serve --data-dir`` as a subprocess with
+   ``REPRO_FAULTS`` torn-write injection armed (crash mode: the
+   process dies mid-WAL-append, exactly like a power loss);
+2. register standing subscriptions, then drive a seeded mutation
+   burst through ``/v1/mutate``, recording every *acknowledged*
+   mutation in order — the WAL acks only after fsync, so the acked
+   prefix is exactly the durable prefix;
+3. crash mid-burst: either the injected torn write kills the server
+   first, or the harness SIGKILLs it at the half-way point (between
+   requests, so the acked prefix stays unambiguous);
+4. restart the server clean (no faults) on the same data dir and
+   assert: the table recovered at exactly ``len(acked)``'s version,
+   every subscription came back under its original sid, and both the
+   recovered standing answers and fresh ``/v1/answer`` responses are
+   byte-identical to an in-process cold recompute that replays the
+   same acked payloads into a fresh table.
+
+Any mismatch — a lost acked mutation, a resurrected unacked one, a
+subscription answering from stale state — fails the run.  Exit code 0
+means the recovery contract held under a real crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from random import Random
+from typing import Any
+
+import repro
+from repro.api.session import Session
+from repro.api.spec import QuerySpec
+from repro.datasets.specs import generate_from_spec
+from repro.exceptions import ServiceError
+from repro.io.json_io import answer_to_jsonable
+from repro.standing.changelog import MutableUncertainTable
+
+#: The standing queries the harness registers and checks.
+CHAOS_QUERIES: tuple[dict[str, Any], ...] = (
+    {"k": 3, "semantics": "u_topk", "p_tau": 1e-3},
+    {"k": 5, "semantics": "expected_ranks", "p_tau": 1e-3},
+)
+
+_BOOT_TIMEOUT_S = 30.0
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _post(base: str, path: str, body: dict, timeout: float = 30.0) -> dict:
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get(base: str, path: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as r:
+        return json.loads(r.read())
+
+
+def _canonical(document: Any) -> str:
+    return json.dumps(document, sort_keys=True, default=str)
+
+
+class _Server:
+    """One ``repro serve`` subprocess on a data dir."""
+
+    def __init__(
+        self,
+        *,
+        source: str,
+        data_dir: Path,
+        port: int,
+        faults: str | None,
+        seed: int,
+        snapshot_every: int,
+        log_path: Path,
+    ) -> None:
+        env = dict(os.environ)
+        # The subprocess must import this very repro tree, venv or not.
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parent.parent)
+        env.pop("REPRO_FAULTS", None)
+        env.pop("REPRO_FAULTS_SEED", None)
+        if faults:
+            env["REPRO_FAULTS"] = faults
+            env["REPRO_FAULTS_SEED"] = str(seed)
+        self.log = open(log_path, "ab")
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--table",
+                f"demo={source}",
+                "--port",
+                str(port),
+                "--workers",
+                "2",
+                "--data-dir",
+                str(data_dir),
+                "--snapshot-every",
+                str(snapshot_every),
+            ],
+            env=env,
+            stdout=self.log,
+            stderr=subprocess.STDOUT,
+        )
+        self.base = f"http://127.0.0.1:{port}"
+
+    def wait_healthy(self) -> dict:
+        deadline = time.monotonic() + _BOOT_TIMEOUT_S
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise ServiceError(
+                    "server exited during boot "
+                    f"(code {self.process.returncode})"
+                )
+            try:
+                return _get(self.base, "/healthz", timeout=2.0)
+            except (urllib.error.URLError, ConnectionError, OSError):
+                time.sleep(0.1)
+        raise ServiceError("server did not become healthy in time")
+
+    def sigkill(self) -> None:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=10)
+
+    def close(self) -> None:
+        self.sigkill()
+        self.log.close()
+
+
+def _mutation_stream(rng: Random, count: int):
+    """Yield ``(op, payload)`` mutations; mostly valid by construction
+    (a rejected one is simply not acked, on either side)."""
+    live = [f"c{i}" for i in range(0)]
+    serial = 0
+    for _ in range(count):
+        roll = rng.random()
+        if not live or roll < 0.45:
+            serial += 1
+            tid = f"chaos-{serial}"
+            yield "insert", {
+                "tid": tid,
+                "attributes": {"score": round(rng.uniform(0, 900), 3)},
+                "probability": round(rng.uniform(0.05, 0.95), 4),
+            }
+            live.append(tid)
+        elif roll < 0.65:
+            yield "update_probability", {
+                "tid": rng.choice(live),
+                "probability": round(rng.uniform(0.05, 0.95), 4),
+            }
+        elif roll < 0.85:
+            yield "update_score", {
+                "tid": rng.choice(live),
+                "attributes": {"score": round(rng.uniform(0, 900), 3)},
+            }
+        else:
+            tid = rng.choice(live)
+            live.remove(tid)
+            yield "expire", {"tid": tid}
+
+
+def _cold_recompute(
+    source: str, acked: list[tuple[str, dict]]
+) -> dict[str, str]:
+    """Canonical answers of a fresh table replaying the acked prefix."""
+    table = MutableUncertainTable.from_table(generate_from_spec(source))
+    for op, payload in acked:
+        table.apply_payload(op, payload)
+    session = Session()
+    session.register("demo", table)
+    answers = {}
+    for query in CHAOS_QUERIES:
+        spec = QuerySpec(table="demo", scorer="score", **query)
+        answers[_canonical(query)] = _canonical(
+            answer_to_jsonable(session.execute(spec))
+        )
+    return answers
+
+
+def run_chaos(
+    *,
+    data_dir: str | Path,
+    tuples: int = 60,
+    mutations: int = 40,
+    seed: int = 11,
+    faults: str = "wal_torn_write:0.08",
+    snapshot_every: int = 16,
+    verbose: bool = False,
+) -> dict[str, Any]:
+    """The full chaos scenario; returns the report, raises on violation.
+
+    :param data_dir: working directory for the durable state and the
+        server logs (created if missing; reused state is discarded).
+    :param snapshot_every: WAL compaction interval — deliberately
+        small so the run exercises snapshot+suffix recovery, not just
+        log replay.
+    """
+    data_dir = Path(data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+    for stale in (data_dir / "tables").glob("*"):
+        stale.unlink()
+    manifest = data_dir / "subscriptions.json"
+    if manifest.exists():
+        manifest.unlink()
+    source = f"synthetic:tuples={tuples},me=0.2,seed={seed}"
+    port = _free_port()
+    report: dict[str, Any] = {
+        "source": source,
+        "faults": faults,
+        "mutations_attempted": 0,
+        "mutations_acked": 0,
+    }
+
+    def note(message: str) -> None:
+        if verbose:
+            print(f"chaos: {message}", flush=True)
+
+    # Phase 1: fault-injected server, subscriptions, mutation burst.
+    server = _Server(
+        source=source,
+        data_dir=data_dir,
+        port=port,
+        faults=faults,
+        seed=seed,
+        snapshot_every=snapshot_every,
+        log_path=data_dir / "serve-faulted.log",
+    )
+    acked: list[tuple[str, dict]] = []
+    sids: list[str] = []
+    try:
+        server.wait_healthy()
+        for query in CHAOS_QUERIES:
+            document = _post(
+                server.base,
+                "/v1/subscribe",
+                {"table": "demo", "scorer": "score", **query},
+            )
+            if document.get("error"):
+                raise ServiceError(f"subscribe failed: {document}")
+            sids.append(document["sid"])
+        note(f"subscribed {sids}")
+        kill_at = max(1, mutations // 2)
+        crash = None
+        for index, (op, payload) in enumerate(
+            _mutation_stream(Random(seed), mutations)
+        ):
+            if index == kill_at:
+                note(f"SIGKILL after {len(acked)} acked mutations")
+                server.sigkill()
+                crash = "sigkill"
+                break
+            report["mutations_attempted"] += 1
+            try:
+                document = _post(
+                    server.base,
+                    "/v1/mutate",
+                    {"table": "demo", "op": op, **payload},
+                    timeout=15.0,
+                )
+            except (urllib.error.URLError, ConnectionError, OSError):
+                # The injected torn write killed the server mid-append:
+                # the mutation was never acked, so it must not survive.
+                crash = "torn_write_crash"
+                note(
+                    f"server crashed (injected fault) at mutation "
+                    f"{index}; {len(acked)} acked"
+                )
+                break
+            if "delta" in document:
+                acked.append((op, payload))
+            elif document.get("error") is None:
+                raise ServiceError(f"unexpected mutate reply: {document}")
+        else:
+            # Burst ran dry without a crash: kill between requests.
+            server.sigkill()
+            crash = "sigkill"
+        if crash == "sigkill":
+            server.sigkill()
+        report["crash"] = crash
+        report["mutations_acked"] = len(acked)
+    finally:
+        server.close()
+    if not acked:
+        raise ServiceError(
+            "no mutation was acked before the crash; rerun with a "
+            "lower fault probability"
+        )
+
+    # Phase 2: clean restart on the same data dir.
+    restarted = _Server(
+        source=source,
+        data_dir=data_dir,
+        port=port,
+        faults=None,
+        seed=seed,
+        snapshot_every=snapshot_every,
+        log_path=data_dir / "serve-recovered.log",
+    )
+    try:
+        health = restarted.wait_healthy()
+        recovered_version = health["tables"]["demo"]["version"]
+        report["recovered_version"] = recovered_version
+        report["recovery"] = health.get("durability", {}).get("recovery")
+        if recovered_version != len(acked):
+            raise ServiceError(
+                f"recovered version {recovered_version} != "
+                f"{len(acked)} acked mutations: the durable prefix "
+                "and the acked prefix disagree"
+            )
+        restored = set(
+            health.get("durability", {}).get("restored_subscriptions", ())
+        )
+        missing = [sid for sid in sids if sid not in restored]
+        if missing:
+            raise ServiceError(
+                f"subscriptions {missing} were not re-registered "
+                f"from the manifest (restored: {sorted(restored)})"
+            )
+        expected = _cold_recompute(source, acked)
+        for sid, query in zip(sids, CHAOS_QUERIES):
+            snapshot = _watch_one(restarted.base, sid)
+            if snapshot.get("error"):
+                raise ServiceError(
+                    f"recovered subscription {sid} is in error: "
+                    f"{snapshot['error']}"
+                )
+            if snapshot["version"] != recovered_version:
+                raise ServiceError(
+                    f"subscription {sid} recovered at version "
+                    f"{snapshot['version']}, table at {recovered_version}"
+                )
+            want = expected[_canonical(query)]
+            got_standing = _canonical(snapshot["answer"])
+            if got_standing != want:
+                raise ServiceError(
+                    f"recovered standing answer for {sid} differs "
+                    "from cold recompute"
+                )
+            fresh = _post(
+                restarted.base,
+                "/v1/answer",
+                {"table": "demo", "scorer": "score", **query},
+            )
+            if _canonical(fresh["answer"]) != want:
+                raise ServiceError(
+                    f"/v1/answer after recovery differs from cold "
+                    f"recompute for {query}"
+                )
+            note(f"{sid}: recovered answer == cold recompute")
+        report["subscriptions_checked"] = len(sids)
+        report["ok"] = True
+    finally:
+        restarted.close()
+    return report
+
+
+def _watch_one(base: str, sid: str) -> dict:
+    """The subscription's current snapshot via one SSE event."""
+    url = f"{base}/v1/watch?sid={sid}&after=-1&count=1&timeout_s=10"
+    with urllib.request.urlopen(url, timeout=15) as stream:
+        for raw in stream:
+            line = raw.decode().rstrip("\n")
+            if line.startswith("data: "):
+                document = json.loads(line.removeprefix("data: "))
+                if document:
+                    return document
+    raise ServiceError(f"watch stream for {sid} yielded no snapshot")

@@ -1,0 +1,175 @@
+"""Graceful degradation: exact work re-planned as bounded Monte-Carlo.
+
+Under overload the pre-fault-tolerance service had exactly two
+behaviors: reject (429) or time out (504).  The paper's own
+Monte-Carlo machinery (:mod:`repro.mc`) offers a third that is almost
+always preferable: a fast approximate answer with an *explicit* error
+bound.  This module holds the policy that decides when to take it and
+the wrapper that carries the bound back to the client.
+
+A request degrades when any of three triggers fires (see
+:class:`~repro.service.batching.BatchingExecutor`):
+
+* **deadline** — the request's remaining time budget is below
+  ``deadline_s`` (at submit, or later at execution after queueing ate
+  the budget);
+* **queue** — the pending queue is at least ``queue_depth`` deep at
+  submit, so exact work would likely expire anyway;
+* **breaker** — the :class:`~repro.service.breaker.CircuitBreaker`
+  for the request's ``(table, semantics)`` is open after repeated
+  exact-path timeouts.
+
+Degradation replans the spec through the existing MC operator —
+``spec.with_(algorithm="mc", epsilon=ε)`` with ε chosen from the
+remaining budget by inverting the Hoeffding sample bound
+``n(ε) = ln(2/(1-conf)) / (2ε²)`` against an assumed sampling
+throughput — so a smaller remaining budget buys a wider (but honest)
+interval.  The response contract:
+
+* ``degraded: true`` plus the trigger under ``degrade_reason``;
+* a ``confidence_interval`` document for the answer's head — the
+  estimated top-k hit probability of the rank-1 prefix tuple with its
+  ``[low, high]`` bound at the configured confidence (the MC engine's
+  estimates all carry the same half-width, so this one interval is
+  representative of the whole answer's error);
+* clients that must never receive an approximation opt out per
+  request with ``allow_degraded: false`` and get the old 504/429
+  behavior instead.
+
+Specs that already request ``algorithm="mc"`` are never rewritten or
+marked degraded — an approximation the client asked for is not a
+degradation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.session import Session
+from repro.api.spec import QuerySpec
+from repro.exceptions import ServiceError
+
+#: Remaining-budget threshold (seconds) below which exact work degrades.
+DEFAULT_DEADLINE_S = 0.5
+
+#: Queue depth at submit beyond which new exact work degrades.
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Epsilon clamp: never promise tighter (slower) than MIN or looser
+#: (useless) than MAX.
+MIN_EPSILON = 0.01
+MAX_EPSILON = 0.2
+
+#: Assumed MC sampling throughput (worlds/second) used to convert a
+#: time budget into a sample budget.  Deliberately conservative; the
+#: clamp above bounds the damage of a bad guess in either direction.
+SAMPLES_PER_SECOND = 50_000.0
+
+
+@dataclass(frozen=True)
+class DegradedAnswer:
+    """An approximate answer plus the bound that makes it honest.
+
+    The executor returns this wrapper instead of the bare answer for
+    degraded requests; the HTTP layer unwraps it into the response
+    fields described in the module docstring.
+
+    :ivar answer: the MC-evaluated answer, in the same shape the exact
+        path would have produced for the same semantics.
+    :ivar reason: which trigger degraded the request
+        (``deadline`` / ``queue`` / ``breaker``).
+    :ivar epsilon: the CI half-width the replanned spec targeted.
+    :ivar confidence: the CI confidence level.
+    :ivar interval: the representative confidence-interval document
+        (None only when the table's prefix is empty).
+    """
+
+    answer: Any
+    reason: str
+    epsilon: float
+    confidence: float
+    interval: dict[str, Any] | None
+
+
+class DegradationPolicy:
+    """When to degrade, and what epsilon the remaining budget buys."""
+
+    def __init__(
+        self,
+        *,
+        deadline_s: float = DEFAULT_DEADLINE_S,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        samples_per_second: float = SAMPLES_PER_SECOND,
+    ) -> None:
+        if deadline_s <= 0:
+            raise ServiceError(
+                f"deadline_s must be > 0, got {deadline_s}"
+            )
+        if queue_depth < 1:
+            raise ServiceError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if samples_per_second <= 0:
+            raise ServiceError(
+                "samples_per_second must be > 0, got "
+                f"{samples_per_second}"
+            )
+        self.deadline_s = deadline_s
+        self.queue_depth = queue_depth
+        self.samples_per_second = samples_per_second
+
+    def epsilon_for(
+        self, remaining_s: float, confidence: float
+    ) -> float:
+        """The tightest half-width the remaining budget affords.
+
+        Inverts Hoeffding — ``n(ε) = ln(2/(1-conf)) / (2ε²)`` — at the
+        assumed throughput, clamped to ``[MIN_EPSILON, MAX_EPSILON]``.
+        """
+        budget = max(1.0, remaining_s * self.samples_per_second)
+        epsilon = math.sqrt(
+            math.log(2.0 / (1.0 - confidence)) / (2.0 * budget)
+        )
+        return min(MAX_EPSILON, max(MIN_EPSILON, epsilon))
+
+    def degraded_spec(
+        self, spec: QuerySpec, remaining_s: float
+    ) -> QuerySpec:
+        """The spec, replanned through the MC operator for the budget."""
+        return spec.with_(
+            algorithm="mc",
+            epsilon=self.epsilon_for(remaining_s, spec.confidence),
+            samples=None,
+        )
+
+
+def confidence_interval(
+    session: Session, spec: QuerySpec
+) -> dict[str, Any] | None:
+    """The representative CI document for an executed MC spec.
+
+    Pulls the ran engine back out of the MC engine cache (keyed by the
+    session's scored prefix and the spec's MC knobs — both stages just
+    ran, so this costs two cache lookups, no recomputation) and
+    reports the rank-1 prefix tuple's estimated top-k hit probability
+    with its bound.  Returns None for an empty prefix.
+    """
+    from repro.mc.engine import engine_from_spec
+
+    prefix = session.scored_prefix(spec)
+    if len(prefix) == 0:
+        return None
+    engine = engine_from_spec(prefix, spec)
+    tid, estimate = engine.topk_probability_estimates()[0]
+    return {
+        "metric": "topk_hit_probability",
+        "tid": tid,
+        "estimate": estimate.value,
+        "low": estimate.low,
+        "high": estimate.high,
+        "half_width": estimate.half_width,
+        "confidence": estimate.confidence,
+        "samples": estimate.samples,
+    }

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the serving stack.
+
+Robustness claims are only as good as the failures they were tested
+against, so the service threads explicit *fault points* through its
+hot paths — WAL appends, executor stages — and this module decides,
+per point, whether a configured fault fires.  Faults are configured
+through one environment variable::
+
+    REPRO_FAULTS="wal_torn_write:0.05,exec_delay:200ms,exec_error:0.02"
+    REPRO_FAULTS_SEED=42          # optional: reproducible firing order
+
+The grammar is a comma-separated list of ``point:value`` clauses:
+
+* a bare float in ``[0, 1]`` is a **probability fault** — the point
+  fires with that probability per visit (``wal_torn_write``,
+  ``exec_error``);
+* a duration (``200ms``, ``1.5s``) is a **latency fault** — every
+  visit to the point sleeps that long (``exec_delay``).
+
+Known points (new operators should register theirs here — see
+CONTRIBUTING.md):
+
+========================  ==========  ====================================
+point                     kind        effect when it fires
+========================  ==========  ====================================
+``wal_torn_write``        probability a WAL append persists only a strict
+                                      prefix of its frame, then the
+                                      process crashes (exit code 70 in
+                                      serve mode) — the scenario crash
+                                      recovery must truncate
+``exec_delay``            duration    every executor batch sleeps before
+                                      running (drives deadline-based
+                                      degradation in the chaos harness)
+``exec_error``            probability an executor batch fails with
+                                      :class:`~repro.exceptions.
+                                      FaultInjectedError` (a retryable
+                                      service error)
+========================  ==========  ====================================
+
+Probability decisions come from one seeded :class:`random.Random`, so
+a chaos run with ``REPRO_FAULTS_SEED`` set is reproducible.  The
+injector is intentionally tiny and dependency-free: production code
+guards every use behind ``if faults is not None`` / a no-op default,
+so the disabled path costs one attribute check.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import threading
+import time
+from typing import Mapping
+
+from repro.exceptions import FaultInjectedError, ServiceError
+
+#: Environment variables the injector reads.
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+
+#: Exit code of a simulated crash (serve mode), chosen to be
+#: distinguishable from SIGKILL (-9) and clean shutdown (0) in the
+#: chaos harness.
+CRASH_EXIT_CODE = 70
+
+_DURATION = re.compile(r"^(?P<value>\d+(?:\.\d+)?)(?P<unit>ms|s)$")
+
+
+def _parse_clause(clause: str) -> tuple[str, float, bool]:
+    """``point:value`` -> (point, probability-or-seconds, is_duration)."""
+    point, sep, value = clause.partition(":")
+    point = point.strip()
+    value = value.strip()
+    if not sep or not point or not value:
+        raise ServiceError(
+            f"fault clause must be point:value, got {clause!r}"
+        )
+    match = _DURATION.match(value)
+    if match:
+        seconds = float(match.group("value"))
+        if match.group("unit") == "ms":
+            seconds /= 1000.0
+        return point, seconds, True
+    try:
+        probability = float(value)
+    except ValueError:
+        raise ServiceError(
+            f"fault value must be a probability or a duration "
+            f"(200ms, 1.5s), got {value!r} in {clause!r}"
+        ) from None
+    if not 0.0 <= probability <= 1.0:
+        raise ServiceError(
+            f"fault probability must be in [0, 1], got {probability} "
+            f"in {clause!r}"
+        )
+    return point, probability, False
+
+
+class FaultInjector:
+    """Per-point fault decisions for one process.
+
+    :param spec: the ``REPRO_FAULTS`` clause list (may be empty).
+    :param seed: RNG seed for probability faults (None = nondeterministic).
+    :param crash_mode: what :meth:`crash` does — ``"exit"`` terminates
+        the process with :data:`CRASH_EXIT_CODE` (serve mode: a torn
+        write *is* a crash), ``"raise"`` raises
+        :class:`FaultInjectedError` (in-process tests).
+    """
+
+    def __init__(
+        self,
+        spec: str = "",
+        *,
+        seed: int | None = None,
+        crash_mode: str = "raise",
+    ) -> None:
+        if crash_mode not in ("exit", "raise"):
+            raise ServiceError(
+                f"crash_mode must be 'exit' or 'raise', got {crash_mode!r}"
+            )
+        self.crash_mode = crash_mode
+        self._probabilities: dict[str, float] = {}
+        self._delays: dict[str, float] = {}
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.fired: dict[str, int] = {}
+        for clause in filter(None, (c.strip() for c in spec.split(","))):
+            point, value, is_duration = _parse_clause(clause)
+            if is_duration:
+                self._delays[point] = value
+            else:
+                self._probabilities[point] = value
+
+    @classmethod
+    def from_env(
+        cls,
+        environ: Mapping[str, str] | None = None,
+        *,
+        crash_mode: str = "raise",
+    ) -> "FaultInjector | None":
+        """An injector from ``REPRO_FAULTS`` (None when unset/empty)."""
+        environ = os.environ if environ is None else environ
+        spec = environ.get(FAULTS_ENV, "").strip()
+        if not spec:
+            return None
+        seed_raw = environ.get(FAULTS_SEED_ENV, "").strip()
+        seed = int(seed_raw) if seed_raw else None
+        return cls(spec, seed=seed, crash_mode=crash_mode)
+
+    def __bool__(self) -> bool:
+        return bool(self._probabilities or self._delays)
+
+    def describe(self) -> dict[str, object]:
+        """Configured faults + firing counts (for /healthz and logs)."""
+        return {
+            "probabilities": dict(self._probabilities),
+            "delays_s": dict(self._delays),
+            "fired": dict(self.fired),
+        }
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def should(self, point: str) -> bool:
+        """Does the probability fault at ``point`` fire this visit?"""
+        probability = self._probabilities.get(point)
+        if not probability:
+            return False
+        with self._lock:
+            fire = self._rng.random() < probability
+            if fire:
+                self.fired[point] = self.fired.get(point, 0) + 1
+        return fire
+
+    def fraction(self) -> float:
+        """A deterministic fraction in (0, 1) — e.g. where to cut a
+        torn frame."""
+        with self._lock:
+            return min(0.999, max(0.001, self._rng.random()))
+
+    def delay(self, point: str) -> float:
+        """Sleep the latency fault at ``point`` (0 when unconfigured);
+        returns the seconds slept."""
+        seconds = self._delays.get(point, 0.0)
+        if seconds > 0:
+            with self._lock:
+                self.fired[point] = self.fired.get(point, 0) + 1
+            time.sleep(seconds)
+        return seconds
+
+    def crash(self, point: str) -> None:
+        """Simulate the crash a fired fault accompanies.
+
+        Serve mode (``crash_mode="exit"``) terminates the process
+        immediately — no atexit hooks, no flushes — exactly like the
+        power loss a torn write implies.  Test mode raises instead so
+        in-process suites can assert on the failure.
+        """
+        if self.crash_mode == "exit":
+            os._exit(CRASH_EXIT_CODE)
+        raise FaultInjectedError(
+            f"injected crash at fault point {point!r}"
+        )
+
+    def raise_if(self, point: str) -> None:
+        """Raise :class:`FaultInjectedError` when the probability
+        fault at ``point`` fires (the executor's error fault)."""
+        if self.should(point):
+            raise FaultInjectedError(
+                f"injected error at fault point {point!r}"
+            )

@@ -53,6 +53,7 @@ class LoadgenResult:
     status_counts: dict[int, int] = field(default_factory=dict)
     retried_429: int = 0
     transport_errors: int = 0
+    degraded: int = 0
 
     def percentile_ms(self, q: float) -> float | None:
         if not self.latencies_ms:
@@ -79,6 +80,7 @@ class LoadgenResult:
             },
             "retried_429": self.retried_429,
             "transport_errors": self.transport_errors,
+            "degraded": self.degraded,
         }
 
 
@@ -197,6 +199,7 @@ def run_loadgen(
     status_counts: dict[int, int] = {}
     retried = 0
     transport_errors = 0
+    degraded = 0
 
     def next_index() -> int | None:
         nonlocal cursor
@@ -208,7 +211,7 @@ def run_loadgen(
             return index
 
     def client() -> None:
-        nonlocal retried, transport_errors
+        nonlocal retried, transport_errors, degraded
         while True:
             index = next_index()
             if index is None:
@@ -219,7 +222,7 @@ def run_loadgen(
             retries = 0
             while True:
                 try:
-                    status, _, retry_after = _http_json(
+                    status, body, retry_after = _http_json(
                         url, payload, timeout
                     )
                 except (OSError, urllib.error.URLError):
@@ -240,6 +243,8 @@ def run_loadgen(
                     latencies.append(elapsed_ms)
                     status_counts[status] = status_counts.get(status, 0) + 1
                     retried += retries
+                    if status == 200 and body.get("degraded"):
+                        degraded += 1
                 break
 
     threads = [
@@ -263,4 +268,5 @@ def run_loadgen(
         status_counts=status_counts,
         retried_429=retried,
         transport_errors=transport_errors,
+        degraded=degraded,
     )

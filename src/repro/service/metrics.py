@@ -11,6 +11,9 @@ Everything is rendered as one JSON document by
       "batches": {"count", "requests", "mean_size",
                   "sizes": {"1": n, "2": n, "4": n, ...}},
       "queue": {"depth", "max_depth", "rejected"},
+      "degraded": {"count", "reasons": {"deadline": n, "queue": n,
+                   "breaker": n}},
+      "breaker": <CircuitBreaker.describe(): trips, open, tracked>,
       "cache": <Session.cache_info() plus per-stage hit rates>,
       "fusion": <Session.fusion_info(): batches, groups, fused_specs,
                  sweeps_saved>
@@ -99,6 +102,7 @@ class ServiceMetrics:
         self._queue_depth = 0
         self._max_queue_depth = 0
         self._rejected = 0
+        self._degraded: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -138,6 +142,11 @@ class ServiceMetrics:
         with self._lock:
             self._rejected += 1
 
+    def record_degraded(self, reason: str) -> None:
+        """One request re-planned onto the degraded MC tier."""
+        with self._lock:
+            self._degraded[reason] = self._degraded.get(reason, 0) + 1
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
@@ -146,6 +155,7 @@ class ServiceMetrics:
         cache_info: dict[str, dict[str, int]] | None = None,
         fusion_info: dict[str, int] | None = None,
         standing_info: dict[str, int] | None = None,
+        breaker_info: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """The full metrics document (see the module docstring)."""
         with self._lock:
@@ -183,6 +193,10 @@ class ServiceMetrics:
                     "max_depth": self._max_queue_depth,
                     "rejected": self._rejected,
                 },
+                "degraded": {
+                    "count": sum(self._degraded.values()),
+                    "reasons": dict(sorted(self._degraded.items())),
+                },
             }
         if cache_info is not None:
             cache: dict[str, Any] = {}
@@ -199,4 +213,6 @@ class ServiceMetrics:
             document["fusion"] = dict(fusion_info)
         if standing_info is not None:
             document["standing"] = dict(standing_info)
+        if breaker_info is not None:
+            document["breaker"] = dict(breaker_info)
         return document

@@ -39,6 +39,15 @@ defaults::
 
     {"table": "demo", "k": 5, "semantics": "u_topk", "p_tau": 0.1}
 
+Query bodies additionally accept two transport-level controls:
+``timeout_s`` (the client's end-to-end deadline budget, capped at the
+server's request timeout) and ``allow_degraded`` (default ``true``;
+``false`` pins the request to the exact path).  When the request
+degrades (deadline, queue depth, or an open circuit breaker — see
+:mod:`repro.service.degrade`), the response carries ``degraded:
+true``, the trigger under ``degrade_reason``, and a
+``confidence_interval`` document bounding the approximate answer.
+
 Status codes: ``200`` success, ``400`` malformed request, ``404``
 unknown table or path, ``429`` queue full (with ``Retry-After``),
 ``504`` request timed out in the queue, ``500`` internal error.
@@ -78,7 +87,10 @@ from repro.service.batching import (
     BatchingExecutor,
     Op,
 )
+from repro.service.breaker import CircuitBreaker
 from repro.service.catalog import DatasetCatalog
+from repro.service.degrade import DegradationPolicy, DegradedAnswer
+from repro.service.faults import FaultInjector
 from repro.service.metrics import ServiceMetrics
 from repro.standing.registry import StandingRegistry
 
@@ -180,10 +192,20 @@ class QueryService:
         max_batch: int = DEFAULT_MAX_BATCH,
         batched: bool = True,
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        degrade: bool = True,
+        degradation: DegradationPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.catalog = catalog
         self.metrics = ServiceMetrics()
         self.request_timeout_s = request_timeout_s
+        if degrade:
+            degradation = degradation or DegradationPolicy()
+            breaker = breaker or CircuitBreaker()
+        else:
+            degradation = breaker = None
+        self.faults = faults
         self.executor = BatchingExecutor(
             catalog.session,
             workers=workers,
@@ -191,9 +213,57 @@ class QueryService:
             max_batch=max_batch,
             batched=batched,
             metrics=self.metrics,
+            degradation=degradation,
+            breaker=breaker,
+            faults=faults,
         )
         self.standing = StandingRegistry(catalog.session)
+        #: sids re-registered from the durable manifest at boot, plus
+        #: any that failed to restore (surfaced in /healthz).
+        self.restored_subscriptions: list[str] = []
+        self.failed_subscriptions: dict[str, str] = {}
+        self._restore_subscriptions()
         self._started = time.time()
+
+    def _restore_subscriptions(self) -> None:
+        """Re-register every manifest subscription under its old sid.
+
+        Runs at boot, after catalog recovery: each restored
+        subscription re-evaluates cold against the recovered table, so
+        its answer reflects the exact pre-crash version.  A spec that
+        no longer evaluates (its table gone from the catalog, say) is
+        skipped and reported rather than failing the boot.
+        """
+        store = self.catalog.store
+        if store is None:
+            return
+        for entry in store.read_manifest():
+            sid = entry.get("sid", "?")
+            try:
+                self.standing.subscribe(
+                    QuerySpec.from_jsonable(dict(entry["spec"])), sid=sid
+                )
+            except Exception as exc:
+                self.failed_subscriptions[str(sid)] = (
+                    f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                self.restored_subscriptions.append(sid)
+
+    def _persist_manifest(self) -> None:
+        """Mirror the active subscriptions into the durable manifest."""
+        store = self.catalog.store
+        if store is None:
+            return
+        entries = []
+        for sub in self.standing.subscriptions():
+            try:
+                entries.append(
+                    {"sid": sub.sid, "spec": sub.spec.to_jsonable()}
+                )
+            except ReproError:
+                continue  # in-memory spec: not representable, not durable
+        store.write_manifest(entries)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -278,7 +348,13 @@ class QueryService:
             if key not in ("table", "op")
         }
         try:
-            delta = self.standing.mutate(table, op, mutation)
+            # Through the catalog, by name, under its reload lock: a
+            # mutation racing /v1/reload lands on whichever table
+            # object currently holds the name (and its WAL), never on
+            # a stale pre-swap reference.
+            delta = self.catalog.mutate(
+                table, op, mutation, registry=self.standing
+            )
         except ServiceError as exc:
             return 400, {"error": str(exc)}
         except ReproError as exc:
@@ -309,6 +385,7 @@ class QueryService:
             return 400, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive
             return 500, {"error": f"internal error: {exc}"}
+        self._persist_manifest()
         snapshot = self.standing.snapshot(sub.sid)
         assert snapshot is not None
         return 200, snapshot
@@ -320,7 +397,10 @@ class QueryService:
         sid = payload.get("sid") if isinstance(payload, dict) else None
         if not isinstance(sid, str) or not sid:
             return 400, {"error": '"sid" is required'}
-        return 200, {"sid": sid, "removed": self.standing.unsubscribe(sid)}
+        removed = self.standing.unsubscribe(sid)
+        if removed:
+            self._persist_manifest()
+        return 200, {"sid": sid, "removed": removed}
 
     def _reload(
         self, payload: dict[str, Any]
@@ -377,10 +457,51 @@ class QueryService:
             sent += 1
             yield snapshot
 
+    @staticmethod
+    def _request_controls(
+        payload: dict[str, Any]
+    ) -> tuple[dict[str, Any], float | None, bool]:
+        """Strip the transport-level fields off a request body.
+
+        ``timeout_s`` (the client's deadline budget) and
+        ``allow_degraded`` (strict clients pass ``false``) control
+        *how* the request runs, not *what* it computes, so they are
+        peeled off before spec validation.
+        """
+        if not isinstance(payload, dict):
+            return payload, None, True
+        payload = dict(payload)
+        timeout_s = payload.pop("timeout_s", None)
+        if timeout_s is not None:
+            if (
+                not isinstance(timeout_s, (int, float))
+                or isinstance(timeout_s, bool)
+                or not timeout_s > 0
+            ):
+                raise BadRequestError(
+                    f'"timeout_s" must be a positive number, '
+                    f"got {timeout_s!r}"
+                )
+            timeout_s = float(timeout_s)
+        allow_degraded = payload.pop("allow_degraded", True)
+        if not isinstance(allow_degraded, bool):
+            raise BadRequestError(
+                '"allow_degraded" must be a boolean, got '
+                f"{allow_degraded!r}"
+            )
+        return payload, timeout_s, allow_degraded
+
     def _run(
         self, endpoint: str, op: Op, payload: dict[str, Any]
     ) -> tuple[int, dict[str, Any]]:
         try:
+            payload, timeout_s, allow_degraded = self._request_controls(
+                payload
+            )
+            if timeout_s is None:
+                timeout_s = self.request_timeout_s
+            else:
+                timeout_s = min(timeout_s, self.request_timeout_s)
             spec = build_spec(payload, endpoint)
             if spec.table not in self.catalog:
                 return 404, {
@@ -388,9 +509,12 @@ class QueryService:
                     "tables": list(self.catalog.names()),
                 }
             future = self.executor.submit(
-                op, spec, timeout_s=self.request_timeout_s
+                op,
+                spec,
+                timeout_s=timeout_s,
+                allow_degraded=allow_degraded,
             )
-            answer = future.result(self.request_timeout_s)
+            answer = future.result(timeout_s)
         except BadRequestError as exc:
             return 400, {"error": str(exc)}
         except BackpressureError as exc:
@@ -400,7 +524,7 @@ class QueryService:
         except (RequestTimeoutError, FutureTimeoutError) as exc:
             return 504, {
                 "error": str(exc)
-                or f"request timed out after {self.request_timeout_s}s"
+                or f"request timed out after {timeout_s}s"
             }
         except ServiceError as exc:
             return 500, {"error": str(exc)}
@@ -408,6 +532,10 @@ class QueryService:
             return 400, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive
             return 500, {"error": f"internal error: {exc}"}
+        degraded: DegradedAnswer | None = None
+        if isinstance(answer, DegradedAnswer):
+            degraded = answer
+            answer = degraded.answer
         document: dict[str, Any] = {
             "table": spec.table,
             "k": spec.k,
@@ -422,29 +550,46 @@ class QueryService:
             document["answer"] = answer_to_jsonable(answer)
             if isinstance(answer, ScorePMF):
                 document["answer_kind"] = "pmf"
+        if degraded is not None:
+            document["degraded"] = True
+            document["degrade_reason"] = degraded.reason
+            document["epsilon"] = degraded.epsilon
+            document["confidence_interval"] = degraded.interval
         return 200, document
 
     def healthz(self) -> _Reply:
-        """Liveness: catalog summary + uptime + executor mode."""
-        return _Reply(
-            200,
-            {
-                "status": "ok",
-                "uptime_s": round(time.time() - self._started, 3),
-                "batched": self.executor.batched,
-                "tables": self.catalog.describe(),
-            },
-        )
+        """Liveness: catalog summary + uptime + executor mode +
+        durability/degradation/fault status."""
+        document: dict[str, Any] = {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started, 3),
+            "batched": self.executor.batched,
+            "tables": self.catalog.describe(),
+            "degradation": self.executor.degradation is not None,
+        }
+        store = self.catalog.store
+        if store is not None:
+            document["durability"] = {
+                "data_dir": str(store.root),
+                "recovery": store.recovery_info,
+                "restored_subscriptions": self.restored_subscriptions,
+                "failed_subscriptions": self.failed_subscriptions,
+            }
+        if self.faults is not None and self.faults:
+            document["faults"] = self.faults.describe()
+        return _Reply(200, document)
 
     def metrics_document(self) -> _Reply:
         """The metrics JSON document (cache + fusion counters included)."""
         session = self.catalog.session
+        breaker = self.executor.breaker
         return _Reply(
             200,
             self.metrics.snapshot(
                 session.cache_info(),
                 session.fusion_info(),
                 self.standing.describe(),
+                breaker.describe() if breaker is not None else None,
             ),
         )
 
@@ -506,6 +651,17 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         after = _int_param("after", -1)
+        # SSE resume: a reconnecting client reports the last event id
+        # (the log version) it saw; the header supersedes ``after``,
+        # and the stream immediately replays everything past it — the
+        # registry's since-semantics (wait(after_version=...)) deliver
+        # the current snapshot the moment version > Last-Event-ID.
+        last_event_id = self.headers.get("Last-Event-ID")
+        if last_event_id is not None:
+            try:
+                after = int(last_event_id)
+            except ValueError:
+                pass
         count = max(1, _int_param("count", 1))
         try:
             timeout_s = float(params["timeout_s"][0])
@@ -521,7 +677,10 @@ class _Handler(BaseHTTPRequestHandler):
                 sid, after=after, count=count, timeout_s=timeout_s
             ):
                 payload = json.dumps(snapshot, default=str)
-                self._chunk(f"event: update\ndata: {payload}\n\n")
+                self._chunk(
+                    f"event: update\nid: {snapshot['version']}\n"
+                    f"data: {payload}\n\n"
+                )
             self._chunk("event: end\ndata: {}\n\n")
             self.wfile.write(b"0\r\n\r\n")
         except (BrokenPipeError, ConnectionResetError):

@@ -9,6 +9,10 @@ The subsystem has three layers:
   which keeps registered queries' materialized answers current per
   delta through the skip / patch / recompute tiers (see that module's
   docstring for the Theorem-2 applicability argument);
+* :mod:`repro.standing.wal` — durability: an fsync'd, CRC-framed
+  write-ahead log per mutable table plus periodic snapshot
+  compaction and the durable subscription manifest, so ``repro serve
+  --data-dir`` recovers every table at its exact pre-crash version;
 * the service endpoints (``/v1/mutate``, ``/v1/subscribe``,
   ``/v1/watch``) in :mod:`repro.service.server`, which expose both
   over HTTP with long-poll watching.
@@ -21,6 +25,7 @@ from repro.standing.changelog import (
     MutableUncertainTable,
 )
 from repro.standing.registry import (
+    MAX_STICKY_RETRIES,
     PATCH,
     RECOMPUTE,
     SKIP,
@@ -29,6 +34,15 @@ from repro.standing.registry import (
     StandingRegistry,
     Subscription,
     classify_delta,
+)
+from repro.standing.wal import (
+    DurableStore,
+    TableWAL,
+    delta_to_wire,
+    read_wal_records,
+    scan_wal,
+    snapshot_document,
+    table_from_snapshot,
 )
 
 __all__ = [
@@ -44,4 +58,12 @@ __all__ = [
     "StandingRegistry",
     "Subscription",
     "classify_delta",
+    "MAX_STICKY_RETRIES",
+    "DurableStore",
+    "TableWAL",
+    "delta_to_wire",
+    "read_wal_records",
+    "scan_wal",
+    "snapshot_document",
+    "table_from_snapshot",
 ]

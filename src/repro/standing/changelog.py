@@ -98,26 +98,34 @@ class Delta:
 class ChangeLog:
     """An append-only, thread-safe sequence of :class:`Delta` records.
 
-    Versions are dense and start at 1, so ``log.since(v)`` yields
-    exactly the mutations a consumer at version ``v`` has not seen.
+    Versions are dense and start at ``base + 1``, so ``log.since(v)``
+    yields exactly the mutations a consumer at version ``v`` has not
+    seen.  ``base`` is 0 for a fresh table and the snapshot version for
+    a table recovered from a WAL-over-snapshot boot
+    (:mod:`repro.standing.wal`) — versions keep counting from where the
+    pre-crash process left off.
     """
 
-    __slots__ = ("_deltas", "_lock")
+    __slots__ = ("_deltas", "_lock", "_base")
 
-    def __init__(self) -> None:
+    def __init__(self, base: int = 0) -> None:
         self._deltas: list[Delta] = []
         self._lock = threading.Lock()
+        self._base = base
 
     @property
     def version(self) -> int:
-        """The version of the latest recorded delta (0 when empty)."""
+        """The version of the latest recorded delta (``base`` when
+        empty)."""
         with self._lock:
-            return self._deltas[-1].version if self._deltas else 0
+            return self._deltas[-1].version if self._deltas else self._base
 
     def append(self, delta: Delta) -> None:
         """Record one mutation; versions must arrive dense and ordered."""
         with self._lock:
-            expected = (self._deltas[-1].version if self._deltas else 0) + 1
+            expected = (
+                self._deltas[-1].version if self._deltas else self._base
+            ) + 1
             if delta.version != expected:
                 raise DataModelError(
                     f"change log expected version {expected}, "
@@ -163,20 +171,46 @@ class MutableUncertainTable(UncertainTable):
         rules: Iterable[Sequence[Any]] = (),
         *,
         name: str = "uncertain",
+        start_version: int = 0,
     ) -> None:
         self._mutex = threading.RLock()
-        self._log = ChangeLog()
+        self._log = ChangeLog(base=start_version)
+        self._observer: Any = None
         super().__init__(tuples, rules, name=name)
+        self._version = start_version
 
     @classmethod
-    def from_table(cls, table: UncertainTable) -> "MutableUncertainTable":
-        """A mutable copy of an immutable table (fresh log, version 0)."""
-        return cls(table.tuples, table.explicit_rules, name=table.name)
+    def from_table(
+        cls, table: UncertainTable, *, start_version: int = 0
+    ) -> "MutableUncertainTable":
+        """A mutable copy of an immutable table (fresh log; versions
+        continue from ``start_version`` — 0 unless recovering)."""
+        return cls(
+            table.tuples,
+            table.explicit_rules,
+            name=table.name,
+            start_version=start_version,
+        )
 
     @property
     def log(self) -> ChangeLog:
         """This table's change log (one delta per version bump)."""
         return self._log
+
+    def attach_observer(self, observer: Any) -> None:
+        """Install a callable invoked with every applied :class:`Delta`.
+
+        The observer runs under the table's mutation mutex, *after* the
+        state swap and the change-log append but before the mutation
+        returns — so observer invocation order always matches version
+        order, which is what lets the write-ahead log
+        (:mod:`repro.standing.wal`) persist records densely.  An
+        observer exception propagates to the mutator (the mutation is
+        already applied in memory; durability hooks treat that as a
+        fatal fault — see the WAL module).  Pass ``None`` to detach.
+        """
+        with self._mutex:
+            self._observer = observer
 
     # ------------------------------------------------------------------
     # Mutations
@@ -202,6 +236,8 @@ class MutableUncertainTable(UncertainTable):
         )
         delta = make_delta(self._version)
         self._log.append(delta)
+        if self._observer is not None:
+            self._observer(delta)
         return delta
 
     def insert(

@@ -44,9 +44,9 @@ subscription's maintained version passes the watermark they have seen.
 
 from __future__ import annotations
 
-import itertools
 import math
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Hashable, Mapping
 
@@ -66,6 +66,14 @@ from repro.uncertain.table import UncertainTable
 
 #: The maintenance tiers, cheapest first.
 SKIP, PATCH, RECOMPUTE = "skip", "patch", "recompute"
+
+#: How many automatic re-evaluations a sticky maintenance error gets
+#: (per error episode) before waiting for the next successful delta.
+MAX_STICKY_RETRIES = 3
+
+#: Base backoff before the first sticky-error retry; doubles per
+#: failed attempt.
+STICKY_RETRY_BACKOFF_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -266,6 +274,9 @@ class Subscription:
         "fingerprint",
         "error",
         "tiers",
+        "errors",
+        "retry_attempts",
+        "retry_at",
     )
 
     def __init__(
@@ -279,9 +290,17 @@ class Subscription:
         self.version = 0
         self.fingerprint: PrefixFingerprint | None = None
         #: Sticky maintenance failure (e.g. the scorer rejects a new
-        #: tuple); surfaced to watchers, cleared by a successful tier.
+        #: tuple); surfaced to watchers, cleared by a successful tier
+        #: or by a bounded automatic retry on a later ``wait()`` tick.
         self.error: str | None = None
         self.tiers = {SKIP: 0, PATCH: 0, RECOMPUTE: 0}
+        #: Lifetime count of maintenance/retry failures (monotone;
+        #: surfaced per subscription in the /metrics standing section).
+        self.errors = 0
+        #: Retry attempts consumed for the *current* error episode.
+        self.retry_attempts = 0
+        #: Earliest ``time.monotonic()`` the next retry may run.
+        self.retry_at = 0.0
 
     def describe(self) -> dict[str, Any]:
         """JSON-ready status (no answer payload)."""
@@ -294,6 +313,7 @@ class Subscription:
             "k": self.spec.k,
             "version": self.version,
             "error": self.error,
+            "errors": self.errors,
             "tiers": dict(self.tiers),
         }
 
@@ -314,7 +334,7 @@ class StandingRegistry:
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
         self._subs: dict[str, Subscription] = {}
-        self._counter = itertools.count(1)
+        self._next_id = 1
         #: (table id, scorer key) -> mirror; populated lazily by the
         #: first patch and advanced per delta while any sub needs it.
         self._mirrors: dict[tuple[int, Hashable], PrefixMirror] = {}
@@ -325,6 +345,7 @@ class StandingRegistry:
             PATCH: 0,
             RECOMPUTE: 0,
             "errors": 0,
+            "retries": 0,
         }
 
     @property
@@ -335,19 +356,44 @@ class StandingRegistry:
     # ------------------------------------------------------------------
     # Subscription lifecycle
     # ------------------------------------------------------------------
-    def subscribe(self, spec: QuerySpec) -> Subscription:
-        """Register a standing query; evaluates it once, cold."""
-        logical = LogicalPlan.from_spec(spec)
-        sub = Subscription(f"sub-{next(self._counter)}", spec, logical)
-        # Held across the first evaluation: mutations funnel through
-        # the same lock (on_delta), so a subscription can never miss a
-        # delta between its cold evaluation and its registration.
+    def subscribe(
+        self, spec: QuerySpec, *, sid: str | None = None
+    ) -> Subscription:
+        """Register a standing query; evaluates it once, cold.
+
+        :param sid: re-register under a specific id (the durable
+            manifest's recovery path re-creates each pre-crash
+            subscription under its original sid, so watchers resume
+            against the ids they already hold).  Fresh ids never
+            collide with restored ones.
+        """
         with self._cond:
+            if sid is None:
+                sid = f"sub-{self._next_id}"
+                self._next_id += 1
+            else:
+                if sid in self._subs:
+                    raise ServiceError(
+                        f"subscription id {sid!r} already registered"
+                    )
+                _, _, suffix = sid.rpartition("-")
+                if suffix.isdigit():
+                    self._next_id = max(self._next_id, int(suffix) + 1)
+            sub = Subscription(sid, spec, LogicalPlan.from_spec(spec))
+            # Held across the first evaluation: mutations funnel
+            # through the same lock (on_delta), so a subscription can
+            # never miss a delta between its cold evaluation and its
+            # registration.
             table = self._session.resolve(spec)
             self._evaluate(sub, table, table.version)
             self._subs[sub.sid] = sub
             self._stats["subscriptions"] += 1
         return sub
+
+    def subscriptions(self) -> tuple[Subscription, ...]:
+        """The active subscriptions (manifest persistence reads this)."""
+        with self._lock:
+            return tuple(self._subs.values())
 
     def unsubscribe(self, sid: str) -> bool:
         """Drop a subscription; wakes its watchers (which then see it
@@ -367,6 +413,10 @@ class StandingRegistry:
             return {
                 "active": len(self._subs),
                 **{k: v for k, v in self._stats.items()},
+                "subscription_errors": {
+                    sid: sub.errors
+                    for sid, sub in sorted(self._subs.items())
+                },
             }
 
     # ------------------------------------------------------------------
@@ -523,7 +573,45 @@ class StandingRegistry:
             sub.error = f"{type(exc).__name__}: {exc}"
             sub.version = delta.version
             sub.fingerprint = None
+            sub.errors += 1
+            # A fresh error episode gets a fresh (bounded) retry
+            # budget, drained by later wait() ticks.
+            sub.retry_attempts = 0
+            sub.retry_at = time.monotonic() + STICKY_RETRY_BACKOFF_S
             self._stats["errors"] += 1
+
+    def _retry_sticky(self, sid: str) -> None:
+        """Under the lock: one bounded retry of a sticky error.
+
+        Invoked from ``wait()`` ticks — the moments a watcher is
+        actually looking — so a transient failure (a scorer racing a
+        schema fix, an injected fault) heals without waiting for the
+        next delta, while a persistent one stops burning recomputes
+        after :data:`MAX_STICKY_RETRIES` attempts with exponential
+        backoff.
+        """
+        sub = self._subs.get(sid)
+        if (
+            sub is None
+            or sub.error is None
+            or sub.retry_attempts >= MAX_STICKY_RETRIES
+            or time.monotonic() < sub.retry_at
+        ):
+            return
+        sub.retry_attempts += 1
+        self._stats["retries"] += 1
+        try:
+            table = self._session.resolve(sub.spec)
+            self._evaluate(sub, table, table.version)
+        except Exception as exc:
+            sub.error = f"{type(exc).__name__}: {exc}"
+            sub.errors += 1
+            sub.retry_at = time.monotonic() + (
+                STICKY_RETRY_BACKOFF_S * (2**sub.retry_attempts)
+            )
+        else:
+            sub.retry_attempts = 0
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # Watching
@@ -553,6 +641,7 @@ class StandingRegistry:
         longer) exist.
         """
         with self._cond:
+            self._retry_sticky(sid)
             self._cond.wait_for(
                 lambda: (
                     sid not in self._subs
@@ -560,4 +649,5 @@ class StandingRegistry:
                 ),
                 timeout=timeout,
             )
+            self._retry_sticky(sid)
         return self.snapshot(sid)

@@ -4,19 +4,23 @@ Covers the mutation/subscription control plane of the
 :class:`~repro.service.server.QueryService` in process (``/v1/mutate``,
 ``/v1/subscribe``, ``/v1/unsubscribe``, ``/v1/reload``), the standing
 section of ``/metrics``, mutate-then-requery cache correctness through
-the service, and the real-HTTP ``GET /v1/watch`` SSE stream.
+the service, the real-HTTP ``GET /v1/watch`` SSE stream (including
+``Last-Event-ID`` resume), the durable subscription manifest, the
+reload-vs-mutate race, and the bounded sticky-error retry.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
 from repro.service import DatasetCatalog, QueryService, make_server
+from repro.standing import MAX_STICKY_RETRIES, DurableStore
 
 #: An ME-free mutable table (skip/patch tiers apply) plus the paper toy.
 LIVE_SPEC = "synthetic:tuples=40,me=0.0,seed=7"
@@ -285,3 +289,232 @@ class TestHTTPWatch:
                 f"{server}/v1/watch?sid=nope", timeout=5.0
             )
         assert excinfo.value.code == 404
+
+    def test_last_event_id_resumes_and_supersedes_after(
+        self, server
+    ) -> None:
+        """A reconnecting client replays everything past its last seen
+        event id, even when the query string says otherwise."""
+        sub = self.post_json(server, "/v1/subscribe", {
+            "table": "live", "k": 2, "p_tau": 0.1,
+        })
+        sid = sub["sid"]
+        self.post_json(server, "/v1/mutate", {
+            "table": "live", "op": "update_score", "tid": "T1",
+            "attributes": {"score": 10_000.0},
+        })
+        # `after=5` alone would wait (and time out) for version 6; the
+        # Last-Event-ID header wins and replays version 1 immediately.
+        request = urllib.request.Request(
+            f"{server}/v1/watch?sid={sid}&after=5&count=1&timeout_s=5",
+            headers={"Last-Event-ID": "0"},
+        )
+        ids: list[int] = []
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            events = []
+            current = None
+            for raw in response:
+                line = raw.decode().rstrip("\r\n")
+                if line.startswith("event: "):
+                    current = line.removeprefix("event: ")
+                elif line.startswith("id: "):
+                    ids.append(int(line.removeprefix("id: ")))
+                elif line.startswith("data: ") and current == "update":
+                    events.append(
+                        json.loads(line.removeprefix("data: "))
+                    )
+                elif current == "end":
+                    break
+        assert [event["version"] for event in events] == [1]
+        assert ids == [1]  # the id: line a resuming client tracks
+
+
+class TestDurableService:
+    def spec_payload(self):
+        return {"table": "live", "k": 2, "semantics": "u_topk",
+                "p_tau": 0.1}
+
+    def boot(self, tmp_path):
+        store = DurableStore(tmp_path)
+        catalog = DatasetCatalog([f"live={LIVE_SPEC}"], store=store)
+        return QueryService(catalog, workers=1, request_timeout_s=5.0)
+
+    def shutdown(self, service) -> None:
+        service.shutdown()
+        service.catalog.store.close()
+
+    def test_manifest_restores_subscriptions_at_boot(
+        self, tmp_path
+    ) -> None:
+        first = self.boot(tmp_path)
+        try:
+            _, sub = post(first, "subscribe", self.spec_payload())
+            sid = sub["sid"]
+            post(first, "mutate", {
+                "table": "live", "op": "insert", "tid": "giant",
+                "attributes": {"score": 10_000.0}, "probability": 0.9,
+            })
+        finally:
+            self.shutdown(first)
+        second = self.boot(tmp_path)
+        try:
+            assert second.restored_subscriptions == [sid]
+            assert second.failed_subscriptions == {}
+            snapshot = second.standing.snapshot(sid)
+            # Recovered at the exact pre-crash version, answering
+            # identically to a cold recompute over the same state.
+            assert snapshot["version"] == 1
+            assert snapshot["error"] is None
+            _, direct = post(second, "answer", self.spec_payload())
+            assert snapshot["answer"] == direct["answer"]
+            # Fresh sids never collide with restored ones.
+            _, fresh = post(second, "subscribe", self.spec_payload())
+            assert fresh["sid"] != sid
+        finally:
+            self.shutdown(second)
+
+    def test_unsubscribe_updates_the_manifest(self, tmp_path) -> None:
+        service = self.boot(tmp_path)
+        try:
+            _, sub = post(service, "subscribe", self.spec_payload())
+            store = service.catalog.store
+            assert [e["sid"] for e in store.read_manifest()] == [
+                sub["sid"]
+            ]
+            post(service, "unsubscribe", {"sid": sub["sid"]})
+            assert store.read_manifest() == []
+        finally:
+            self.shutdown(service)
+
+    def test_unrestorable_manifest_entry_is_reported(
+        self, tmp_path
+    ) -> None:
+        store = DurableStore(tmp_path)
+        store.write_manifest([
+            {"sid": "sub-9",
+             "spec": {"table": "gone", "scorer": "score", "k": 2}},
+        ])
+        store.close()
+        service = self.boot(tmp_path)
+        try:
+            assert service.restored_subscriptions == []
+            assert "sub-9" in service.failed_subscriptions
+            # The boot survived; fresh sids start past the failed one.
+            _, sub = post(service, "subscribe", self.spec_payload())
+            assert sub["sid"] == "sub-10"
+        finally:
+            self.shutdown(service)
+
+
+class TestReloadMutateRace:
+    def test_mutate_during_reload_lands_on_current_table(
+        self, service, monkeypatch
+    ) -> None:
+        """The regression: a mutation admitted while a reload swaps the
+        table must land on the table *currently* under the name, never
+        on the replaced object (where it would silently vanish)."""
+        catalog = service.catalog
+        stale = catalog.session.catalog.resolve("live")
+        original = DatasetCatalog._load
+        in_reload = threading.Event()
+
+        def slow_load(name, source):
+            in_reload.set()
+            time.sleep(0.3)
+            return original(name, source)
+
+        monkeypatch.setattr(
+            DatasetCatalog, "_load", staticmethod(slow_load)
+        )
+        reloader = threading.Thread(
+            target=post, args=(service, "reload", {"table": "live"})
+        )
+        reloader.start()
+        assert in_reload.wait(5.0)
+        status, doc = post(service, "mutate", {
+            "table": "live", "op": "insert", "tid": "raced",
+            "attributes": {"score": 77.0}, "probability": 0.5,
+        })
+        reloader.join(5.0)
+        assert not reloader.is_alive()
+        assert status == 200 and doc["version"] == 1
+        current = catalog.session.catalog.resolve("live")
+        assert current is not stale
+        assert "raced" in current and current.version == 1
+        # The stale object never saw the mutation.
+        assert "raced" not in stale and stale.version == 0
+
+
+class TestStickyRetry:
+    def flaky_execute(self, service):
+        """Monkeypatch-able session.execute with an on/off failure."""
+        session = service.catalog.session
+        real = session.execute
+        state = {"fail": False}
+
+        def execute(spec):
+            if state["fail"]:
+                raise RuntimeError("transient scorer failure")
+            return real(spec)
+
+        return state, execute
+
+    def break_maintenance(self, service, monkeypatch):
+        _, sub = post(service, "subscribe", {
+            "table": "live", "k": 2, "semantics": "u_topk", "p_tau": 0.1,
+        })
+        state, execute = self.flaky_execute(service)
+        monkeypatch.setattr(
+            service.catalog.session, "execute", execute
+        )
+        state["fail"] = True
+        # A prefix-changing mutation forces re-evaluation, which fails.
+        post(service, "mutate", {
+            "table": "live", "op": "insert", "tid": "huge",
+            "attributes": {"score": 99_999.0}, "probability": 0.95,
+        })
+        snapshot = service.standing.snapshot(sub["sid"])
+        assert snapshot["error"] is not None
+        assert snapshot["errors"] == 1
+        return sub["sid"], state
+
+    def test_transient_error_heals_on_next_wait_tick(
+        self, service, monkeypatch
+    ) -> None:
+        sid, state = self.break_maintenance(service, monkeypatch)
+        state["fail"] = False  # the failure was transient
+        time.sleep(0.06)  # past the first retry backoff
+        snapshot = service.standing.wait(
+            sid, after_version=0, timeout=1.0
+        )
+        assert snapshot["error"] is None
+        assert snapshot["version"] == 1
+        assert snapshot["answer"] is not None
+        standing = service.metrics_document().document["standing"]
+        assert standing["retries"] == 1
+        assert standing["subscription_errors"] == {sid: 1}
+
+    def test_persistent_error_retries_are_bounded(
+        self, service, monkeypatch
+    ) -> None:
+        sid, _ = self.break_maintenance(service, monkeypatch)
+        # Drain far more wait ticks than the retry budget allows.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            service.standing.wait(sid, after_version=5, timeout=0.05)
+            standing = service.metrics_document().document["standing"]
+            if standing["retries"] >= MAX_STICKY_RETRIES:
+                break
+            time.sleep(0.1)
+        time.sleep(0.5)  # well past any remaining backoff window
+        service.standing.wait(sid, after_version=5, timeout=0.01)
+        service.standing.wait(sid, after_version=5, timeout=0.01)
+        standing = service.metrics_document().document["standing"]
+        assert standing["retries"] == MAX_STICKY_RETRIES
+        # 1 maintenance failure + one per consumed retry, then it stops
+        # burning recomputes.
+        assert standing["subscription_errors"] == {
+            sid: 1 + MAX_STICKY_RETRIES
+        }
+        snapshot = service.standing.snapshot(sid)
+        assert snapshot["error"] is not None
