@@ -376,14 +376,63 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return figures_main(args.names)
 
 
+def _serve_until_signalled(server: Any, drain_timeout: float) -> None:
+    """Run the accept loop until SIGTERM/SIGINT, then drain gracefully.
+
+    The handler only flips a flag (``Event.set`` from a signal handler
+    can deadlock against a main thread blocked in ``Event.wait``); the
+    main thread polls it in an interruptible sleep.  On signal: stop
+    accepting, finish every admitted request, flush and close the WALs
+    — the durable tail then holds exactly the acknowledged writes.
+    """
+    import signal
+    import threading
+    import time as time_module
+
+    stop_flags: list[int] = []
+
+    def _on_signal(signum: int, frame: Any) -> None:
+        stop_flags.append(signum)
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    accept_thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    accept_thread.start()
+    try:
+        while not stop_flags:
+            time_module.sleep(0.1)
+        name = signal.Signals(stop_flags[0]).name
+        print(
+            f"repro serve: {name} received, draining "
+            f"(timeout {drain_timeout:g}s)...",
+            flush=True,
+        )
+        server.graceful_shutdown(timeout=drain_timeout)
+        accept_thread.join(timeout=5.0)
+        print("repro serve: drained, WALs closed", flush=True)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: run the batching concurrent query service."""
+    """``repro serve``: run the batching concurrent query service.
+
+    ``--workers 1`` (the default) serves in process; ``--workers N``
+    forks N worker processes, each owning a consistent-hash shard of
+    the ``(table, p_tau)`` space (see :mod:`repro.service.router`).
+    """
     from repro.service import (
         DatasetCatalog,
         DegradationPolicy,
         FaultInjector,
         load_catalog_file,
         make_server,
+        make_sharded_server,
         parse_binding,
     )
     from repro.standing import DurableStore
@@ -394,6 +443,62 @@ def cmd_serve(args: argparse.Namespace) -> int:
     for binding in args.table:
         name, source = parse_binding(binding)
         bindings[name] = source
+    mode = "unbatched (naive per-request)" if args.unbatched else "batched"
+    if args.workers > 1:
+        server = make_sharded_server(
+            bindings,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            threads=args.threads,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            batched=not args.unbatched,
+            request_timeout_s=args.request_timeout,
+            degrade=not args.no_degrade,
+            degrade_deadline_s=args.degrade_deadline,
+            degrade_queue_depth=args.degrade_queue,
+            data_dir=args.data_dir,
+            snapshot_every=args.snapshot_every,
+            warm=args.warm,
+        )
+        host, port = server.server_address[:2]
+        print(
+            f"repro serve: listening on http://{host}:{port} "
+            f"({mode}, {args.workers} worker processes)"
+        )
+        sharded = server.service
+        for document in sharded.pool.boot_documents:
+            index = document["worker"]
+            print(
+                f"  worker w{index}: replicates "
+                f"{len(document['tables'])} tables, owns WAL for "
+                f"{document['wal_tables'] or 'none'}"
+            )
+            for name, info in sorted(
+                document.get("recovery", {}).items()
+            ):
+                print(
+                    f"    recovered {name}: version {info['version']} "
+                    f"(snapshot {info['snapshot_version']} + "
+                    f"{info['replayed']} WAL records)"
+                )
+            for sid in document["restored_subscriptions"]:
+                print(f"    restored subscription {sid}")
+            for sid, reason in sorted(
+                document["failed_subscriptions"].items()
+            ):
+                print(
+                    f"    FAILED to restore subscription {sid}: {reason}",
+                    file=sys.stderr,
+                )
+        print("endpoints: POST /v1/answer /v1/distribution /v1/typical "
+              "/v1/mutate /v1/subscribe /v1/unsubscribe /v1/reload; "
+              "GET /v1/watch /healthz /metrics", flush=True)
+        _serve_until_signalled(server, args.drain_timeout)
+        return 0
     # Injected faults crash the *process* (like a power cut), so the
     # chaos harness can assert real recovery — not a caught exception.
     faults = FaultInjector.from_env(crash_mode="exit")
@@ -420,7 +525,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         verbose=args.verbose,
-        workers=args.workers,
+        workers=args.threads,
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         batched=not args.unbatched,
@@ -430,7 +535,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
         faults=faults,
     )
     host, port = server.server_address[:2]
-    mode = "unbatched (naive per-request)" if args.unbatched else "batched"
     print(f"repro serve: listening on http://{host}:{port} ({mode})")
     for name, info in catalog.describe().items():
         print(
@@ -456,12 +560,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print("endpoints: POST /v1/answer /v1/distribution /v1/typical "
           "/v1/mutate /v1/subscribe /v1/unsubscribe /v1/reload; "
           "GET /v1/watch /healthz /metrics", flush=True)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.shutdown()
+    _serve_until_signalled(server, args.drain_timeout)
     return 0
 
 
@@ -477,6 +576,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         scorer=args.score,
         seed=args.seed,
         timeout=args.timeout,
+        processes=args.processes,
     )
     print(json.dumps(result.summary(), indent=2))
     if args.expect_ok and result.ok != result.requests:
@@ -827,8 +927,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8000,
                    help="listen port (0 picks a free port; default 8000)")
-    p.add_argument("--workers", type=int, default=2,
-                   help="executor worker threads (default 2)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes, each owning a consistent-"
+                   "hash shard of the (table, p_tau) space (default 1 "
+                   "= serve in process)")
+    p.add_argument("--threads", type=int, default=2,
+                   help="executor threads per worker (default 2)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="S",
+                   help="graceful-shutdown budget: how long SIGTERM/"
+                   "SIGINT waits for in-flight requests before a hard "
+                   "stop (default 10)")
     p.add_argument("--max-queue", type=int, default=128,
                    help="pending-request bound before 429 (default 128)")
     p.add_argument("--max-batch", type=int, default=32,
@@ -877,6 +986,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="total requests to issue (default 100)")
     p.add_argument("--concurrency", type=int, default=8,
                    help="closed-loop client threads (default 8)")
+    p.add_argument("--processes", type=int, default=1,
+                   help="client processes, each running --concurrency "
+                   "threads (default 1; use >1 against a multi-worker "
+                   "server so the generator's GIL is not the bottleneck)")
     p.add_argument("--table", action="append", default=[],
                    metavar="NAME",
                    help="restrict to these catalog tables "

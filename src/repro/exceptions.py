@@ -62,7 +62,14 @@ class BadRequestError(ServiceError):
 
 
 class BackpressureError(ServiceError):
-    """The service queue is full; the caller should retry later."""
+    """The service queue is full; the caller should retry later.
+
+    :ivar retry_after_s: optional hint (possibly fractional seconds)
+        derived from the live queue depth and recent drain rate; the
+        HTTP layer surfaces it as the ``Retry-After`` header.
+    """
+
+    retry_after_s: float | None = None
 
 
 class RequestTimeoutError(ServiceError):

@@ -23,7 +23,13 @@ Layers:
   ``(table, semantics)`` circuit breaker feeding it;
 * :mod:`repro.service.faults` — deterministic fault injection
   (``REPRO_FAULTS``) for WAL writes and executor stages, driven by
-  ``repro chaos``.
+  ``repro chaos``;
+* :mod:`repro.service.shard` / :mod:`repro.service.worker` /
+  :mod:`repro.service.router` — the multi-process scale-out tier
+  (``repro serve --workers N``): a consistent-hash ring over
+  ``(table, p_tau)`` shapes, worker processes each owning a shard of
+  the cache/WAL space, and the front router that preserves the
+  single-process semantics.
 """
 
 from repro.service.batching import (
@@ -43,6 +49,11 @@ from repro.service.degrade import DegradationPolicy, DegradedAnswer
 from repro.service.faults import FaultInjector
 from repro.service.loadgen import LoadgenResult, run_loadgen
 from repro.service.metrics import ServiceMetrics
+from repro.service.router import (
+    ShardedQueryService,
+    WorkerPool,
+    make_sharded_server,
+)
 from repro.service.server import (
     DEFAULT_REQUEST_TIMEOUT_S,
     MAX_WATCH_TIMEOUT_S,
@@ -51,6 +62,13 @@ from repro.service.server import (
     build_spec,
     make_server,
 )
+from repro.service.shard import (
+    ShardRing,
+    payload_query_key,
+    query_shard_key,
+    table_shard_key,
+)
+from repro.service.worker import WorkerConfig, dispatch_pool_size
 
 __all__ = [
     "BatchingExecutor",
@@ -74,4 +92,13 @@ __all__ = [
     "DegradationPolicy",
     "DegradedAnswer",
     "FaultInjector",
+    "ShardRing",
+    "ShardedQueryService",
+    "WorkerConfig",
+    "WorkerPool",
+    "dispatch_pool_size",
+    "make_sharded_server",
+    "payload_query_key",
+    "query_shard_key",
+    "table_shard_key",
 ]

@@ -81,6 +81,19 @@ DEFAULT_MAX_QUEUE = 128
 #: Default cap on how many grouped requests one batch may hold.
 DEFAULT_MAX_BATCH = 32
 
+#: Retry-After hint bounds (seconds).  The hint is derived from the
+#: live queue depth and the pool's recent drain rate; the bounds keep
+#: a cold or pathological estimate from telling clients to hammer the
+#: server (or to go away for minutes).
+MIN_RETRY_AFTER_S = 0.05
+MAX_RETRY_AFTER_S = 10.0
+
+#: The hint before any batch has executed (no drain-rate estimate yet).
+DEFAULT_RETRY_AFTER_S = 1.0
+
+#: EWMA smoothing factor for the per-batch latency/size estimates.
+_EWMA_ALPHA = 0.3
+
 
 @dataclass
 class _Pending:
@@ -183,6 +196,14 @@ class BatchingExecutor:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._stopping = False
+        self._draining = False
+        #: Batches currently executing (drain waits for zero).
+        self._active = 0
+        #: EWMA of per-batch execution seconds / batch size, feeding
+        #: the derived Retry-After hint.
+        self._batch_seconds_ewma: float | None = None
+        self._batch_size_ewma: float | None = None
+        self._worker_count = workers
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -226,15 +247,17 @@ class BatchingExecutor:
             allow_degraded=allow_degraded,
         )
         with self._wakeup:
-            if self._stopping:
+            if self._stopping or self._draining:
                 raise ServiceError("executor is shut down")
             self._purge_expired()
             if len(self._pending) >= self._max_queue:
                 if self._metrics is not None:
                     self._metrics.record_rejection()
-                raise BackpressureError(
+                error = BackpressureError(
                     f"queue full ({self._max_queue} pending); retry later"
                 )
+                error.retry_after_s = self._retry_after_locked()
+                raise error
             self._maybe_degrade_at_submit(request, timeout_s)
             self._pending.append(request)
             if self._metrics is not None:
@@ -311,6 +334,32 @@ class BatchingExecutor:
         with self._lock:
             return len(self._pending)
 
+    def _retry_after_locked(self) -> float:
+        """Under the lock: seconds until the current queue should have
+        drained, from the pool's recent per-batch latency and size.
+
+        ``depth / (workers * batch_size / batch_seconds)`` — i.e. the
+        queue depth divided by the measured drain rate in requests per
+        second — clamped to sane bounds.  Before the first batch
+        completes there is no rate estimate and the old fixed hint is
+        returned.
+        """
+        seconds = self._batch_seconds_ewma
+        size = self._batch_size_ewma
+        if seconds is None or size is None or seconds <= 0.0:
+            return DEFAULT_RETRY_AFTER_S
+        rate = self._worker_count * max(size, 1.0) / seconds
+        hint = (len(self._pending) + 1) / max(rate, 1e-9)
+        return round(
+            min(max(hint, MIN_RETRY_AFTER_S), MAX_RETRY_AFTER_S), 3
+        )
+
+    def retry_after_hint(self) -> float:
+        """The current Retry-After hint in (possibly fractional)
+        seconds; the HTTP layer sends it on every 429."""
+        with self._lock:
+            return self._retry_after_locked()
+
     # ------------------------------------------------------------------
     # Worker pool
     # ------------------------------------------------------------------
@@ -353,17 +402,45 @@ class BatchingExecutor:
                         return
                     self._wakeup.wait()
                     batch = self._take_batch()
+                self._active += 1
             try:
                 self._execute(batch)
             finally:
-                if self.batched:
-                    with self._wakeup:
+                with self._wakeup:
+                    self._active -= 1
+                    if self.batched:
                         self._inflight.discard(batch[0].key)
-                        self._wakeup.notify_all()
+                    # Wakes idle workers *and* a drain waiting for the
+                    # pool to go quiet.
+                    self._wakeup.notify_all()
+
+    def _observe_batch(self, size: int, seconds: float) -> None:
+        """Fold one executed batch into the drain-rate EWMAs."""
+        with self._lock:
+            if self._batch_seconds_ewma is None:
+                self._batch_seconds_ewma = seconds
+                self._batch_size_ewma = float(size)
+            else:
+                assert self._batch_size_ewma is not None
+                self._batch_seconds_ewma += _EWMA_ALPHA * (
+                    seconds - self._batch_seconds_ewma
+                )
+                self._batch_size_ewma += _EWMA_ALPHA * (
+                    size - self._batch_size_ewma
+                )
 
     def _execute(self, batch: list[_Pending]) -> None:
         if self._metrics is not None:
             self._metrics.record_batch(len(batch))
+        started = time.perf_counter()
+        try:
+            self._execute_inner(batch)
+        finally:
+            self._observe_batch(
+                len(batch), time.perf_counter() - started
+            )
+
+    def _execute_inner(self, batch: list[_Pending]) -> None:
         session = (
             self._session
             if self.batched
@@ -476,9 +553,27 @@ class BatchingExecutor:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def shutdown(self, *, timeout: float = 5.0) -> None:
-        """Stop the workers; pending requests fail with ServiceError."""
+    def shutdown(
+        self, *, timeout: float = 5.0, drain: bool = False
+    ) -> None:
+        """Stop the workers.
+
+        ``drain=False`` (the hard path): pending requests fail with
+        :class:`ServiceError` immediately.  ``drain=True`` (graceful
+        shutdown): new submissions are refused, but everything already
+        admitted executes to completion — the pool stops only once the
+        queue is empty and no batch is in flight (bounded by
+        ``timeout``; whatever is still pending after it fails as in
+        the hard path).
+        """
         with self._wakeup:
+            if drain:
+                self._draining = True
+                self._wakeup.notify_all()
+                self._wakeup.wait_for(
+                    lambda: not self._pending and self._active == 0,
+                    timeout=timeout,
+                )
             self._stopping = True
             drained = self._pending
             self._pending = []

@@ -95,6 +95,14 @@ class DatasetCatalog:
         version — and every accepted mutation is persisted before it
         is acknowledged; a :meth:`reload` discards the table's durable
         state (the source is the truth a reload returns to).
+    :param wal_tables: the tables this process *owns* durably (the
+        sharded-serving tier's per-worker WAL ownership).  ``None`` —
+        the default, and the whole story for single-process serving —
+        owns everything.  Non-owned tables still recover from the
+        store (read-only: identical state, no writes) so every worker
+        replica boots at the same version; only the owner appends WAL
+        records, writes snapshots, or discards durable state on
+        reload.
     """
 
     def __init__(
@@ -104,6 +112,7 @@ class DatasetCatalog:
         cache_size: int = DEFAULT_CACHE_SIZE,
         mutable: bool = True,
         store: DurableStore | None = None,
+        wal_tables: set[str] | frozenset[str] | None = None,
     ) -> None:
         if not isinstance(bindings, Mapping):
             bindings = dict(parse_binding(entry) for entry in bindings)
@@ -116,6 +125,9 @@ class DatasetCatalog:
         self._entries: dict[str, TableEntry] = {}
         self._mutable = mutable
         self.store = store
+        self._wal_tables = (
+            None if wal_tables is None else frozenset(wal_tables)
+        )
         # Serializes reload against mutate: a mutation admitted while
         # a reload is swapping the table object must land on whichever
         # object is current under the name, never on a stale reference
@@ -125,11 +137,17 @@ class DatasetCatalog:
         for name, source in bindings.items():
             self._install(name, source)
 
+    def owns_wal(self, name: str) -> bool:
+        """Whether this process persists ``name``'s WAL/snapshots."""
+        return self._wal_tables is None or name in self._wal_tables
+
     def _install(self, name: str, source: str) -> UncertainTable:
         table: UncertainTable
         if self._mutable and self.store is not None:
             table = self.store.recover_or_load(
-                name, lambda: self._load(name, source)
+                name,
+                lambda: self._load(name, source),
+                read_only=not self.owns_wal(name),
             )
         else:
             table = self._load(name, source)
@@ -172,7 +190,7 @@ class DatasetCatalog:
             if entry is None:
                 raise ServiceError(f"unknown catalog table {name!r}")
             old = self.session.catalog.resolve(name)
-            if self.store is not None:
+            if self.store is not None and self.owns_wal(name):
                 self.store.discard(name)
             table = self._install(name, entry.source)
             evicted = self.session.invalidate_table(old)

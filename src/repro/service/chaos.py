@@ -115,7 +115,7 @@ class _Server:
                 f"demo={source}",
                 "--port",
                 str(port),
-                "--workers",
+                "--threads",
                 "2",
                 "--data-dir",
                 str(data_dir),

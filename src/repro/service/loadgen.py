@@ -16,12 +16,13 @@ The same machinery runs in-process in ``benchmarks/bench_service.py``
 from __future__ import annotations
 
 import json
+import multiprocessing
 import random
 import threading
 import time
 import urllib.error
 import urllib.request
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.exceptions import ServiceError
@@ -172,6 +173,11 @@ def build_workload(
     return workload
 
 
+def _run_loadgen_child(kwargs: dict[str, Any]) -> dict[str, Any]:
+    """One child process's share of the run (top level: picklable)."""
+    return asdict(run_loadgen(**kwargs))
+
+
 def run_loadgen(
     base_url: str,
     *,
@@ -182,15 +188,36 @@ def run_loadgen(
     seed: int = 0,
     timeout: float = 60.0,
     max_429_retries: int = 50,
+    processes: int = 1,
 ) -> LoadgenResult:
-    """Drive ``requests`` total requests with a closed-loop thread pool."""
+    """Drive ``requests`` total requests with a closed-loop thread pool.
+
+    ``processes > 1`` splits the workload over that many *client
+    processes* (each still running ``concurrency`` closed-loop
+    threads), sidestepping the generator's own GIL when benchmarking a
+    multi-worker server; results merge into one summary.
+    """
     if requests < 1:
         raise ServiceError(f"requests must be >= 1, got {requests}")
     if concurrency < 1:
         raise ServiceError(f"concurrency must be >= 1, got {concurrency}")
+    if processes < 1:
+        raise ServiceError(f"processes must be >= 1, got {processes}")
     base_url = base_url.rstrip("/")
     if tables is None:
         tables = discover_tables(base_url, timeout=timeout)
+    if processes > 1:
+        return _run_multiprocess(
+            base_url,
+            requests=requests,
+            concurrency=concurrency,
+            tables=tables,
+            scorer=scorer,
+            seed=seed,
+            timeout=timeout,
+            max_429_retries=max_429_retries,
+            processes=processes,
+        )
     workload = build_workload(tables, requests, scorer=scorer, seed=seed)
 
     lock = threading.Lock()
@@ -259,6 +286,79 @@ def run_loadgen(
     elapsed = time.perf_counter() - started
 
     ok = status_counts.get(200, 0)
+    return LoadgenResult(
+        requests=requests,
+        ok=ok,
+        elapsed_s=elapsed,
+        throughput_rps=requests / elapsed if elapsed > 0 else 0.0,
+        latencies_ms=latencies,
+        status_counts=status_counts,
+        retried_429=retried,
+        transport_errors=transport_errors,
+        degraded=degraded,
+    )
+
+
+def _run_multiprocess(
+    base_url: str,
+    *,
+    requests: int,
+    concurrency: int,
+    tables: list[str],
+    scorer: str,
+    seed: int,
+    timeout: float,
+    max_429_retries: int,
+    processes: int,
+) -> LoadgenResult:
+    """Fan the workload over client processes and merge the results.
+
+    Each child draws a disjoint slice of the request budget with its
+    own seed offset (so the interleaving differs per child but the
+    whole run stays reproducible) and reports its counters back through
+    a ``multiprocessing`` pool.
+    """
+    processes = min(processes, requests)
+    base, remainder = divmod(requests, processes)
+    shares = [
+        base + (1 if index < remainder else 0)
+        for index in range(processes)
+    ]
+    jobs = [
+        {
+            "base_url": base_url,
+            "requests": share,
+            "concurrency": concurrency,
+            "tables": tables,
+            "scorer": scorer,
+            "seed": seed + 1000 * index,
+            "timeout": timeout,
+            "max_429_retries": max_429_retries,
+        }
+        for index, share in enumerate(shares)
+        if share > 0
+    ]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    started = time.perf_counter()
+    with ctx.Pool(len(jobs)) as pool:
+        child_results = pool.map(_run_loadgen_child, jobs)
+    elapsed = time.perf_counter() - started
+
+    latencies: list[float] = []
+    status_counts: dict[int, int] = {}
+    ok = retried = transport_errors = degraded = 0
+    for child in child_results:
+        ok += child["ok"]
+        retried += child["retried_429"]
+        transport_errors += child["transport_errors"]
+        degraded += child["degraded"]
+        latencies.extend(child["latencies_ms"])
+        for code, count in child["status_counts"].items():
+            code = int(code)
+            status_counts[code] = status_counts.get(code, 0) + count
     return LoadgenResult(
         requests=requests,
         ok=ok,

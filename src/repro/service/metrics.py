@@ -13,6 +13,7 @@ Everything is rendered as one JSON document by
       "queue": {"depth", "max_depth", "rejected"},
       "degraded": {"count", "reasons": {"deadline": n, "queue": n,
                    "breaker": n}},
+      "watch": {"streams", "disconnects"},
       "breaker": <CircuitBreaker.describe(): trips, open, tracked>,
       "cache": <Session.cache_info() plus per-stage hit rates>,
       "fusion": <Session.fusion_info(): batches, groups, fused_specs,
@@ -103,6 +104,8 @@ class ServiceMetrics:
         self._max_queue_depth = 0
         self._rejected = 0
         self._degraded: dict[str, int] = {}
+        self._watch_streams = 0
+        self._watch_disconnects = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -146,6 +149,16 @@ class ServiceMetrics:
         """One request re-planned onto the degraded MC tier."""
         with self._lock:
             self._degraded[reason] = self._degraded.get(reason, 0) + 1
+
+    def record_watch_stream(self) -> None:
+        """One /v1/watch SSE stream opened."""
+        with self._lock:
+            self._watch_streams += 1
+
+    def record_watch_disconnect(self) -> None:
+        """One watch stream torn down because the client went away."""
+        with self._lock:
+            self._watch_disconnects += 1
 
     # ------------------------------------------------------------------
     # Rendering
@@ -196,6 +209,10 @@ class ServiceMetrics:
                 "degraded": {
                     "count": sum(self._degraded.values()),
                     "reasons": dict(sorted(self._degraded.items())),
+                },
+                "watch": {
+                    "streams": self._watch_streams,
+                    "disconnects": self._watch_disconnects,
                 },
             }
         if cache_info is not None:

@@ -62,11 +62,14 @@ admission control and micro-batching happen.
 from __future__ import annotations
 
 import json
+import select
+import socket
 import time
+from collections.abc import Callable
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, cast
+from typing import Any, Iterator, Protocol, cast
 from urllib.parse import parse_qs
 
 from repro.api.spec import QuerySpec
@@ -100,6 +103,10 @@ DEFAULT_REQUEST_TIMEOUT_S = 30.0
 #: Hard ceiling on one ``/v1/watch`` stream's lifetime.
 MAX_WATCH_TIMEOUT_S = 120.0
 
+#: Longest a watch stream blocks in the registry between disconnect
+#: probes; bounds how long a dead client can hold a waiter registered.
+WATCH_WAIT_SLICE_S = 1.0
+
 #: Spec fields a request body may set (beyond the required ones).
 _OPTIONAL_FIELDS = (
     "scorer",
@@ -119,10 +126,16 @@ _OPTIONAL_FIELDS = (
 
 @dataclass
 class _Reply:
-    """One endpoint result: HTTP status plus the JSON document."""
+    """One endpoint result: HTTP status plus the JSON document.
+
+    ``retry_after`` is set on 429 replies: the (possibly fractional)
+    seconds hint derived from the live queue depth and the recent
+    batch drain rate, emitted as the ``Retry-After`` header.
+    """
 
     status: int
     document: dict[str, Any]
+    retry_after: float | None = None
 
 
 def build_spec(payload: dict[str, Any], endpoint: str) -> QuerySpec:
@@ -168,6 +181,41 @@ def build_spec(payload: dict[str, Any], endpoint: str) -> QuerySpec:
         raise BadRequestError(f"bad request field: {exc}") from exc
 
 
+class ServiceProtocol(Protocol):
+    """What the HTTP layer needs from a service implementation.
+
+    Satisfied by :class:`QueryService` (single process) and
+    :class:`~repro.service.router.ShardedQueryService` (the front of a
+    worker pool); the handler is transport only and never looks past
+    this surface.
+    """
+
+    metrics: ServiceMetrics
+    request_timeout_s: float
+
+    def handle(self, endpoint: str, payload: dict[str, Any]) -> _Reply: ...
+
+    def healthz(self) -> _Reply: ...
+
+    def metrics_document(self) -> _Reply: ...
+
+    def has_subscription(self, sid: str) -> bool: ...
+
+    def watch_events(
+        self,
+        sid: str,
+        *,
+        after: int,
+        count: int,
+        timeout_s: float,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> Iterator[dict[str, Any]]: ...
+
+    def shutdown(
+        self, *, drain: bool = False, timeout: float = 10.0
+    ) -> None: ...
+
+
 class QueryService:
     """Catalog + shared session + executor + metrics, as one object.
 
@@ -196,6 +244,7 @@ class QueryService:
         degradation: DegradationPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         faults: FaultInjector | None = None,
+        sid_prefix: str = "sub-",
     ) -> None:
         self.catalog = catalog
         self.metrics = ServiceMetrics()
@@ -217,7 +266,7 @@ class QueryService:
             breaker=breaker,
             faults=faults,
         )
-        self.standing = StandingRegistry(catalog.session)
+        self.standing = StandingRegistry(catalog.session, sid_prefix=sid_prefix)
         #: sids re-registered from the durable manifest at boot, plus
         #: any that failed to restore (surfaced in /healthz).
         self.restored_subscriptions: list[str] = []
@@ -299,7 +348,10 @@ class QueryService:
         elapsed = time.perf_counter() - start
         self.metrics.record_request(endpoint, elapsed, error=status != 200)
         document.setdefault("elapsed_ms", round(elapsed * 1e3, 3))
-        return _Reply(status, document)
+        retry_after = None
+        if status == 429:
+            retry_after = document.get("retry_after_s")
+        return _Reply(status, document, retry_after=retry_after)
 
     def _explain(
         self, payload: dict[str, Any]
@@ -429,6 +481,7 @@ class QueryService:
         after: int,
         count: int,
         timeout_s: float,
+        should_stop: Callable[[], bool] | None = None,
     ):
         """``/v1/watch``: yield subscription snapshots as SSE events.
 
@@ -436,6 +489,12 @@ class QueryService:
         immediately when its version already exceeds ``after``, then
         one per maintained advance, until the deadline.  Terminates
         (StopIteration) on timeout or when the subscription vanishes.
+
+        ``should_stop`` is the transport's disconnect probe: when it
+        returns true the generator ends immediately instead of holding
+        a registry waiter for the rest of the deadline.  Waits are
+        sliced to at most :data:`WATCH_WAIT_SLICE_S` so the probe runs
+        even while the subscription is idle.
         """
         deadline = time.monotonic() + min(
             max(timeout_s, 0.0), MAX_WATCH_TIMEOUT_S
@@ -443,19 +502,27 @@ class QueryService:
         watermark = after
         sent = 0
         while sent < count:
+            if should_stop is not None and should_stop():
+                return
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 return
             snapshot = self.standing.wait(
-                sid, after_version=watermark, timeout=remaining
+                sid,
+                after_version=watermark,
+                timeout=min(remaining, WATCH_WAIT_SLICE_S),
             )
             if snapshot is None:
                 return
             if snapshot["version"] <= watermark:
-                continue  # timed out inside wait; loop re-checks clock
+                continue  # wait slice elapsed; loop re-probes and re-checks
             watermark = snapshot["version"]
             sent += 1
             yield snapshot
+
+    def has_subscription(self, sid: str) -> bool:
+        """Whether ``sid`` names a live subscription (transport probe)."""
+        return self.standing.get(sid) is not None
 
     @staticmethod
     def _request_controls(
@@ -518,7 +585,10 @@ class QueryService:
         except BadRequestError as exc:
             return 400, {"error": str(exc)}
         except BackpressureError as exc:
-            return 429, {"error": str(exc)}
+            hint = exc.retry_after_s
+            if hint is None:
+                hint = self.executor.retry_after_hint()
+            return 429, {"error": str(exc), "retry_after_s": hint}
         except QueryPlanError as exc:
             return 404, {"error": str(exc)}
         except (RequestTimeoutError, FutureTimeoutError) as exc:
@@ -593,8 +663,15 @@ class QueryService:
             ),
         )
 
-    def shutdown(self) -> None:
-        self.executor.shutdown()
+    def shutdown(
+        self, *, drain: bool = False, timeout: float = 10.0
+    ) -> None:
+        """Stop the executor; ``drain=True`` is the graceful path:
+        finish every admitted request, then flush and close the WALs
+        so the durable tail holds exactly the acknowledged writes."""
+        self.executor.shutdown(drain=drain, timeout=timeout)
+        if drain and self.catalog.store is not None:
+            self.catalog.store.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -618,7 +695,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if reply.status == 429:
-            self.send_header("Retry-After", "1")
+            # Derived from queue depth / drain rate (fractional
+            # seconds); RFC 7231 only allows integers, but every
+            # shipped client parses floats, and our loadgen does too.
+            hint = reply.retry_after
+            if hint is None:
+                hint = reply.document.get("retry_after_s")
+            if not isinstance(hint, (int, float)) or hint <= 0:
+                hint = 1.0
+            self.send_header("Retry-After", f"{float(hint):.3f}")
         self.end_headers()
         self.wfile.write(body)
 
@@ -634,7 +719,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send(_Reply(404, {"error": f"unknown path {self.path}"}))
 
-    def _watch(self, service: QueryService, query: str) -> None:
+    def _watch(self, service: ServiceProtocol, query: str) -> None:
         """Stream a subscription as chunked ``text/event-stream``."""
         params = parse_qs(query)
 
@@ -645,7 +730,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return default
 
         sid = params.get("sid", [""])[0]
-        if not sid or service.standing.get(sid) is None:
+        if not sid or not service.has_subscription(sid):
             self._send(
                 _Reply(404, {"error": f"unknown subscription {sid!r}"})
             )
@@ -672,19 +757,61 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Cache-Control", "no-cache")
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
+        service.metrics.record_watch_stream()
+        disconnected = False
+
+        def _client_gone() -> bool:
+            nonlocal disconnected
+            if not disconnected and self._peer_closed():
+                disconnected = True
+            return disconnected
+
+        events = service.watch_events(
+            sid,
+            after=after,
+            count=count,
+            timeout_s=timeout_s,
+            should_stop=_client_gone,
+        )
         try:
-            for snapshot in service.watch_events(
-                sid, after=after, count=count, timeout_s=timeout_s
-            ):
+            for snapshot in events:
                 payload = json.dumps(snapshot, default=str)
                 self._chunk(
                     f"event: update\nid: {snapshot['version']}\n"
                     f"data: {payload}\n\n"
                 )
-            self._chunk("event: end\ndata: {}\n\n")
-            self.wfile.write(b"0\r\n\r\n")
+            if not disconnected:
+                self._chunk("event: end\ndata: {}\n\n")
+                self.wfile.write(b"0\r\n\r\n")
         except (BrokenPipeError, ConnectionResetError):
-            pass  # the watcher went away; nothing to clean up
+            disconnected = True
+        finally:
+            # Close the generator *now*: its registry waiter must not
+            # outlive the stream (a GC'd generator would release it
+            # eventually, but "eventually" is a leak under churn).
+            events.close()
+            if disconnected:
+                service.metrics.record_watch_disconnect()
+                self.close_connection = True
+
+    def _peer_closed(self) -> bool:
+        """Whether the client hung up (EOF or error on the socket).
+
+        A half-closed SSE client is readable with an empty peek; a
+        client that merely pipelined more bytes is readable with data
+        and is left alone.
+        """
+        try:
+            readable, _, errored = select.select(
+                [self.connection], [], [self.connection], 0
+            )
+            if errored:
+                return True
+            if not readable:
+                return False
+            return self.connection.recv(1, socket.MSG_PEEK) == b""
+        except (OSError, ValueError):
+            return True
 
     def _chunk(self, text: str) -> None:
         """One HTTP/1.1 chunked-transfer chunk, flushed immediately."""
@@ -714,14 +841,15 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server owning one :class:`QueryService`."""
+    """A threading HTTP server owning one service (see
+    :class:`ServiceProtocol`)."""
 
     daemon_threads = True
 
     def __init__(
         self,
         address: tuple[str, int],
-        service: QueryService,
+        service: ServiceProtocol,
         *,
         verbose: bool = False,
     ) -> None:
@@ -732,6 +860,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     def shutdown(self) -> None:
         super().shutdown()
         self.service.shutdown()
+
+    def graceful_shutdown(self, *, timeout: float = 10.0) -> None:
+        """Drain, then stop: close the accept loop, let every admitted
+        request finish, flush and close the WALs.  The durable tail
+        after this returns holds exactly the acknowledged writes —
+        this is what SIGTERM/SIGINT run (see ``repro serve``)."""
+        super().shutdown()
+        self.service.shutdown(drain=True, timeout=timeout)
 
 
 def make_server(

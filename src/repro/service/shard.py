@@ -1,0 +1,136 @@
+"""Consistent-hash shard routing for the multi-process serving tier.
+
+``repro serve --workers N`` runs N worker processes, each holding a
+full replica of the catalog but *owning* a consistent-hash shard of
+the request space.  Two key families route through one ring:
+
+* **query keys** ``("q", table, p_tau)`` — every query endpoint
+  (answer / distribution / typical / explain / subscribe).  A given
+  distribution shape — the ``(table, p_tau)`` pair the Session's
+  staged LRU caches and the batching executor's
+  :meth:`~repro.api.logical.LogicalPlan.batch_key` both key on —
+  therefore lands on exactly one worker: its scored prefix, DP
+  distribution and answer caches live there and nowhere else, and the
+  executor's single-flight property keeps holding across processes.
+* **table keys** ``("t", table)`` — table-level ownership: the worker
+  that writes the table's WAL/snapshots and answers authoritatively
+  for ``/v1/mutate`` and ``/v1/reload``.  Mutations are *applied* on
+  every worker (replicas must stay identical for query routing to be
+  sound) but only the owner persists them, so the fsync-before-ack
+  ordering of :mod:`repro.standing.wal` is unchanged.
+
+The ring hashes with BLAKE2b over a canonical key rendering — never
+with :func:`hash`, which is salted per process and would route the
+same key differently in the front and the workers.  Virtual nodes
+smooth the key distribution; the mapping depends only on the worker
+count, so catalog reloads (and server restarts with the same
+``--workers``) never move a key between workers.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from hashlib import blake2b
+from typing import Hashable
+
+from repro.core.distribution import DEFAULT_P_TAU
+from repro.exceptions import ServiceError
+
+#: Virtual nodes per worker on the ring.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(key: Hashable) -> int:
+    """A process-stable 64-bit hash of a routing key.
+
+    Keys are rendered through ``repr`` (tuples of strings and floats
+    here, so the rendering is canonical) and digested with BLAKE2b;
+    Python's builtin ``hash`` is per-process salted and must never
+    decide cross-process placement.
+    """
+    digest = blake2b(repr(key).encode(), digest_size=8).digest()
+    return struct.unpack(">Q", digest)[0]
+
+
+def query_shard_key(table: str, p_tau: float) -> tuple:
+    """The routing key of a query-shaped request.
+
+    Matches the leading components of the executor's batch key, so
+    requests that would micro-batch together always share a worker.
+    """
+    return ("q", table, repr(float(p_tau)))
+
+
+def table_shard_key(table: str) -> tuple:
+    """The table-ownership key (WAL writes, mutate/reload authority)."""
+    return ("t", table)
+
+
+def payload_query_key(payload: object) -> tuple:
+    """Best-effort query routing key from a raw request body.
+
+    Routing happens *before* validation (the owning worker produces
+    the authoritative 400/404), so malformed fields fall back to
+    defaults instead of failing here; the only requirement is that the
+    front and every retry of the same body route identically.
+    """
+    table = ""
+    p_tau = DEFAULT_P_TAU
+    if isinstance(payload, dict):
+        raw_table = payload.get("table")
+        if isinstance(raw_table, str):
+            table = raw_table
+        raw_p_tau = payload.get("p_tau", DEFAULT_P_TAU)
+        if isinstance(raw_p_tau, (int, float)) and not isinstance(
+            raw_p_tau, bool
+        ):
+            p_tau = float(raw_p_tau)
+    return query_shard_key(table, p_tau)
+
+
+class ShardRing:
+    """A consistent-hash ring over ``workers`` worker indices.
+
+    :param workers: worker count (>= 1).
+    :param vnodes: virtual nodes per worker; more vnodes smooth the
+        key distribution at a small lookup-table cost.
+    """
+
+    def __init__(
+        self, workers: int, *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if vnodes < 1:
+            raise ServiceError(f"vnodes must be >= 1, got {vnodes}")
+        self.workers = workers
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for worker in range(workers):
+            for vnode in range(vnodes):
+                points.append(
+                    (stable_hash(("vnode", worker, vnode)), worker)
+                )
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def owner(self, key: Hashable) -> int:
+        """The worker index owning ``key`` (stable across processes)."""
+        if self.workers == 1:
+            return 0
+        index = bisect_right(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def table_owner(self, table: str) -> int:
+        return self.owner(table_shard_key(table))
+
+    def query_owner(self, table: str, p_tau: float) -> int:
+        return self.owner(query_shard_key(table, p_tau))
+
+    def describe(self) -> dict:
+        """JSON-ready summary (surfaced by the sharded /healthz)."""
+        return {"workers": self.workers, "vnodes": self.vnodes}

@@ -327,10 +327,17 @@ class StandingRegistry:
 
     :param session: the (shared, version-keyed) session queries run
         through.
+    :param sid_prefix: prefix of generated subscription ids.  The
+        sharded serving tier gives each worker process a distinct
+        prefix (``w0-sub-`` ...) so sids stay unique service-wide and
+        the front router can map a sid back to its worker.
     """
 
-    def __init__(self, session: Session) -> None:
+    def __init__(
+        self, session: Session, *, sid_prefix: str = "sub-"
+    ) -> None:
         self._session = session
+        self._sid_prefix = sid_prefix
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
         self._subs: dict[str, Subscription] = {}
@@ -369,7 +376,7 @@ class StandingRegistry:
         """
         with self._cond:
             if sid is None:
-                sid = f"sub-{self._next_id}"
+                sid = f"{self._sid_prefix}{self._next_id}"
                 self._next_id += 1
             else:
                 if sid in self._subs:

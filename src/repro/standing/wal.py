@@ -323,12 +323,14 @@ class DurableStore:
         *,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         faults: Any = None,
+        manifest_name: str = "subscriptions.json",
     ) -> None:
         if snapshot_every < 1:
             raise DurabilityError(
                 f"snapshot_every must be >= 1, got {snapshot_every}"
             )
         self.root = Path(root)
+        self._manifest_name = manifest_name
         self.snapshot_every = snapshot_every
         self._faults = faults
         self._wals: dict[str, TableWAL] = {}
@@ -345,7 +347,7 @@ class DurableStore:
 
     @property
     def manifest_path(self) -> Path:
-        return self.root / "subscriptions.json"
+        return self.root / self._manifest_name
 
     def wal_path(self, name: str) -> Path:
         return self.tables_dir / f"{name}.wal"
@@ -357,7 +359,11 @@ class DurableStore:
     # Boot: recovery
     # ------------------------------------------------------------------
     def recover_or_load(
-        self, name: str, loader: Callable[[], UncertainTable]
+        self,
+        name: str,
+        loader: Callable[[], UncertainTable],
+        *,
+        read_only: bool = False,
     ) -> MutableUncertainTable:
         """The table under ``name``, recovered or cold-loaded.
 
@@ -366,6 +372,13 @@ class DurableStore:
         the recovered table (contents *and* version) is byte-identical
         to what a cold process that applied the same mutation prefix
         would hold.
+
+        ``read_only=True`` is the sharded-serving replica path: the
+        table recovers to the identical state but this process writes
+        *nothing* — no base snapshot on a cold load, no torn-tail
+        truncation, and no WAL observer.  Only the shard owner of a
+        table persists; replicas stay current via the router's
+        mutation fan-out instead.
         """
         snapshot_path = self.snapshot_path(name)
         info: dict[str, Any] = {
@@ -384,19 +397,25 @@ class DurableStore:
             info["snapshot_version"] = table.version
         else:
             table = MutableUncertainTable.from_table(loader())
-            # Persist the base image immediately: a crash before the
-            # first compaction must still find a replay base.
-            self._write_snapshot(name, table)
+            if not read_only:
+                # Persist the base image immediately: a crash before
+                # the first compaction must still find a replay base.
+                self._write_snapshot(name, table)
         info["replayed"], info["truncated_bytes"] = self._replay(
-            name, table
+            name, table, truncate_torn=not read_only
         )
         info["version"] = table.version
         self.recovery_info[name] = info
-        self.attach(name, table)
+        if not read_only:
+            self.attach(name, table)
         return table
 
     def _replay(
-        self, name: str, table: MutableUncertainTable
+        self,
+        name: str,
+        table: MutableUncertainTable,
+        *,
+        truncate_torn: bool = True,
     ) -> tuple[int, int]:
         """Apply the WAL suffix to ``table``; returns (replayed,
         torn bytes truncated)."""
@@ -436,10 +455,11 @@ class DurableStore:
             size = 0
         if size > end:
             torn = size - end
-            with open(wal_path, "ab") as handle:
-                handle.truncate(end)
-                handle.flush()
-                os.fsync(handle.fileno())
+            if truncate_torn:
+                with open(wal_path, "ab") as handle:
+                    handle.truncate(end)
+                    handle.flush()
+                    os.fsync(handle.fileno())
         return replayed, torn
 
     # ------------------------------------------------------------------

@@ -1,0 +1,372 @@
+"""Graceful shutdown, derived Retry-After, and watch-disconnect hygiene.
+
+The service-layer bugfix sweep of the scale-out PR:
+
+* executor drain: everything admitted completes, nothing new enters;
+* ``repro serve`` under SIGTERM drains and closes the WALs, so the
+  durable tail holds exactly the acknowledged mutations (compared
+  against a SIGKILL crash, which recovers the same acked prefix);
+* 429 responses carry a ``Retry-After`` derived from queue depth and
+  the measured drain rate (fractional; the loadgen honors it);
+* an SSE watcher that disconnects is detected between wait slices,
+  its registry waiter is released, and ``/metrics`` counts it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.exceptions import BackpressureError
+from repro.service import DatasetCatalog, QueryService, make_server
+from repro.service.batching import (
+    DEFAULT_RETRY_AFTER_S,
+    MAX_RETRY_AFTER_S,
+    MIN_RETRY_AFTER_S,
+    BatchingExecutor,
+)
+from repro.service.loadgen import _retry_after_seconds
+from repro.api.spec import QuerySpec
+
+LIVE_SPEC = "synthetic:tuples=40,me=0.0,seed=7"
+
+
+@pytest.fixture
+def catalog() -> DatasetCatalog:
+    return DatasetCatalog([f"live={LIVE_SPEC}"])
+
+
+class TestExecutorDrain:
+    def test_drain_completes_everything_admitted(self, catalog) -> None:
+        executor = BatchingExecutor(
+            catalog.session, workers=2, max_queue=32
+        )
+        futures = [
+            executor.submit(
+                "execute",
+                QuerySpec(table="live", scorer="score", k=3, semantics="u_topk",
+                          p_tau=0.01 * i),
+            )
+            for i in range(8)
+        ]
+        executor.shutdown(drain=True, timeout=30.0)
+        for future in futures:
+            assert future.done()
+            assert future.exception() is None  # completed, not failed
+
+    def test_draining_executor_refuses_new_work(self, catalog) -> None:
+        from repro.exceptions import ServiceError
+
+        executor = BatchingExecutor(catalog.session, workers=1)
+        executor.shutdown(drain=True, timeout=5.0)
+        with pytest.raises(ServiceError):
+            executor.submit(
+                "execute", QuerySpec(table="live", scorer="score", k=3)
+            )
+
+    def test_hard_shutdown_fails_pending(self, catalog) -> None:
+        # The pre-existing contract: drain=False stays abrupt.
+        executor = BatchingExecutor(
+            catalog.session, workers=1, max_queue=64, max_batch=1
+        )
+        futures = [
+            executor.submit(
+                "execute",
+                QuerySpec(table="live", scorer="score", k=5, semantics="u_topk",
+                          p_tau=0.001 * i),
+            )
+            for i in range(30)
+        ]
+        executor.shutdown(timeout=5.0)
+        outcomes = {
+            "failed" if f.exception() is not None else "done"
+            for f in futures
+        }
+        assert "failed" in outcomes  # tail was abandoned, not drained
+
+
+class TestDerivedRetryAfter:
+    def test_hint_defaults_before_first_batch(self, catalog) -> None:
+        executor = BatchingExecutor(catalog.session, workers=2)
+        try:
+            assert executor.retry_after_hint() == DEFAULT_RETRY_AFTER_S
+        finally:
+            executor.shutdown()
+
+    def test_hint_tracks_drain_rate_and_depth(self, catalog) -> None:
+        executor = BatchingExecutor(catalog.session, workers=2)
+        try:
+            # 2 workers x (4 requests / 0.2 s) = 40 req/s drain rate;
+            # an empty queue's 1/40 s estimate clamps up to the floor.
+            executor._observe_batch(4, 0.2)
+            assert executor.retry_after_hint() == MIN_RETRY_AFTER_S
+            # EWMA folds in a slower batch: the hint grows.
+            slow = executor.retry_after_hint()
+            executor._observe_batch(1, 2.0)
+            assert executor.retry_after_hint() > slow
+            # Clamped to sane bounds however wild the estimate.
+            executor._observe_batch(1, 10_000.0)
+            assert executor.retry_after_hint() <= MAX_RETRY_AFTER_S
+            executor._batch_seconds_ewma = 1e-9
+            executor._batch_size_ewma = 64.0
+            assert executor.retry_after_hint() >= MIN_RETRY_AFTER_S
+        finally:
+            executor.shutdown()
+
+    def test_backpressure_error_carries_hint(self, catalog) -> None:
+        gate = threading.Event()
+        executor = BatchingExecutor(
+            catalog.session, workers=1, max_queue=1, max_batch=1
+        )
+        # Wedge the (only) worker so the queue deterministically fills.
+        executor._execute = lambda batch: gate.wait(30.0)
+        try:
+            executor._observe_batch(2, 0.5)
+            with pytest.raises(BackpressureError) as info:
+                for index in range(4):
+                    executor.submit(
+                        "execute",
+                        QuerySpec(table="live", scorer="score", k=3,
+                                  p_tau=0.01 * index),
+                    )
+                    time.sleep(0.05)
+            # Submit refuses at depth == max_queue == 1, and the EWMA
+            # says 1 worker drains 2 requests per 0.5s = 4 req/s, so
+            # the hint is (1 + 1) / 4 = half a second.
+            assert info.value.retry_after_s == pytest.approx(0.5)
+        finally:
+            gate.set()
+            executor.shutdown()
+
+    def test_http_429_has_fractional_retry_after(self, catalog) -> None:
+        server = make_server(
+            catalog, port=0, workers=1, request_timeout_s=5.0
+        )
+        try:
+            host, port = server.server_address[:2]
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+
+            def rejecting_submit(*args, **kwargs):
+                error = BackpressureError("queue full (synthetic)")
+                error.retry_after_s = 0.375
+                raise error
+
+            server.service.executor.submit = rejecting_submit
+            request = urllib.request.Request(
+                f"http://{host}:{port}/v1/answer",
+                data=json.dumps({"table": "live", "k": 3}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert info.value.code == 429
+            header = info.value.headers.get("Retry-After")
+            assert header == "0.375"
+            # ... and the loadgen client parses the fraction.
+            assert _retry_after_seconds(info.value.headers) == 0.375
+            body = json.loads(info.value.read())
+            assert body["retry_after_s"] == 0.375
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_loadgen_parses_fractional_and_garbage(self) -> None:
+        assert _retry_after_seconds({"Retry-After": "0.05"}) == 0.05
+        assert _retry_after_seconds({"Retry-After": "2"}) == 2.0
+        assert _retry_after_seconds({"Retry-After": "soon"}) is None
+        assert _retry_after_seconds({}) is None
+        assert _retry_after_seconds(None) is None
+
+
+class TestWatchDisconnect:
+    def test_disconnect_is_detected_and_counted(self, catalog) -> None:
+        server = make_server(
+            catalog, port=0, workers=1, request_timeout_s=30.0
+        )
+        try:
+            host, port = server.server_address[:2]
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            service = server.service
+            reply = service.handle(
+                "subscribe",
+                {"table": "live", "k": 3, "semantics": "u_topk"},
+            )
+            assert reply.status == 200
+            sid = reply.document["sid"]
+            # A raw socket client: read the headers, then hang up
+            # mid-stream while the server is idle in a wait slice.
+            client = socket.create_connection((host, port), timeout=10)
+            client.sendall(
+                f"GET /v1/watch?sid={sid}&count=5&timeout_s=25 "
+                f"HTTP/1.1\r\nHost: {host}\r\n\r\n".encode()
+            )
+            headers = client.recv(4096)
+            assert b"200" in headers.splitlines()[0]
+            client.close()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                watch = service.metrics.snapshot()["watch"]
+                if watch["disconnects"] == 1:
+                    break
+                time.sleep(0.1)
+            assert watch["streams"] == 1
+            assert watch["disconnects"] == 1
+            # The subscription survives; only the stream is gone.
+            assert service.has_subscription(sid)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_clean_stream_is_not_a_disconnect(self, catalog) -> None:
+        service = QueryService(catalog, workers=1)
+        server = None
+        try:
+            reply = service.handle(
+                "subscribe",
+                {"table": "live", "k": 3, "semantics": "u_topk"},
+            )
+            sid = reply.document["sid"]
+            events = list(
+                service.watch_events(
+                    sid, after=-1, count=1, timeout_s=5.0
+                )
+            )
+            assert len(events) == 1
+            assert service.metrics.snapshot()["watch"]["disconnects"] == 0
+        finally:
+            service.shutdown()
+            assert server is None
+
+
+# ----------------------------------------------------------------------
+# Crash vs. drain: the WAL tail through a real server process
+# ----------------------------------------------------------------------
+def _start_serve(tmp_path, *extra_args):
+    """Launch ``repro serve`` on a free port; returns (proc, url, lines)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")])
+    )
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--table", f"live={LIVE_SPEC}", "--port", "0",
+         "--data-dir", str(tmp_path / "state"), *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    lines: list[str] = []
+    url: list[str] = []
+    ready = threading.Event()
+
+    def read() -> None:
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            lines.append(line)
+            if "listening on" in line:
+                url.append(line.split("listening on ")[1].split()[0])
+            if line.startswith("endpoints:"):
+                ready.set()
+        ready.set()
+
+    threading.Thread(target=read, daemon=True).start()
+    assert ready.wait(timeout=60.0), "server did not boot"
+    assert url, "".join(lines)
+    return proc, url[0], lines
+
+
+def _mutate(url: str, tid: str) -> int:
+    request = urllib.request.Request(
+        f"{url}/v1/mutate",
+        data=json.dumps({
+            "table": "live", "op": "insert", "tid": tid,
+            "probability": 0.5, "attributes": {"score": 1.0},
+        }).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return json.loads(response.read())["version"]
+
+
+def _recovered_version(tmp_path) -> tuple[int, int]:
+    """(version, torn bytes) of the offline-recovered table."""
+    from repro.standing import DurableStore
+
+    store = DurableStore(tmp_path / "state")
+    catalog = DatasetCatalog(
+        {"live": LIVE_SPEC}, store=store, wal_tables=frozenset()
+    )
+    info = store.recovery_info["live"]
+    version = catalog.describe()["live"]["version"]
+    return version, info["truncated_bytes"]
+
+
+class TestCrashVersusDrain:
+    def test_sigterm_drains_and_closes_wals(self, tmp_path) -> None:
+        proc, url, lines = _start_serve(tmp_path, "--drain-timeout", "15")
+        try:
+            for index in range(3):
+                assert _mutate(url, f"d{index}") == index + 1
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        output = "".join(lines)
+        assert "SIGTERM received, draining" in output
+        assert "drained, WALs closed" in output
+        version, torn = _recovered_version(tmp_path)
+        assert version == 3  # exactly the acked mutations
+        assert torn == 0  # a drained WAL has no torn tail
+
+    def test_sigkill_recovers_the_acked_prefix(self, tmp_path) -> None:
+        proc, url, _ = _start_serve(tmp_path)
+        try:
+            for index in range(3):
+                assert _mutate(url, f"k{index}") == index + 1
+            proc.kill()  # no drain, no flush — a power cut
+            proc.wait(timeout=30.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        version, _ = _recovered_version(tmp_path)
+        # fsync-before-ack: every acknowledged mutation survives the
+        # crash; the tail difference vs. drain is at most torn (never
+        # acked) bytes, which recovery truncates.
+        assert version == 3
+
+    def test_sharded_sigterm_drains_worker_wals(self, tmp_path) -> None:
+        proc, url, lines = _start_serve(
+            tmp_path, "--workers", "2", "--threads", "1",
+            "--drain-timeout", "15",
+        )
+        try:
+            assert _mutate(url, "s0") == 1
+            with urllib.request.urlopen(
+                f"{url}/healthz", timeout=30.0
+            ) as response:
+                health = json.loads(response.read())
+            assert health["sharding"]["alive"] == 2
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=45.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert "drained, WALs closed" in "".join(lines)
+        version, torn = _recovered_version(tmp_path)
+        assert version == 1 and torn == 0
