@@ -13,7 +13,9 @@ per-machine unit costs, which is what ``repro calibrate`` measures:
   (``n · 2^n`` units for a depth-``n`` prefix);
 * ``mc_world_row_ns`` — one sampled world-row of the Monte-Carlo
   engine (``worlds · n`` units);
-* ``prefix_row_ns`` — scoring/sorting one table row (stage 1).
+* ``prefix_row_ns`` — scoring/sorting one table row (stage 1);
+* ``storage_row_ns`` — materializing one prefix row from a packed
+  on-disk table (stage 1 under scan-depth pushdown).
 
 From those, the ``auto`` thresholds are derived instead of frozen:
 
@@ -60,6 +62,7 @@ DEFAULT_K_COMBO_UNIT_NS = 2_000.0
 DEFAULT_STATE_UNIT_NS = 400.0
 DEFAULT_MC_WORLD_ROW_NS = 30.0
 DEFAULT_PREFIX_ROW_NS = 1_500.0
+DEFAULT_STORAGE_ROW_NS = 2_500.0
 
 #: Calibration knob defaults (milliseconds).
 DEFAULT_TARGET_MS = 1_000.0
@@ -85,6 +88,7 @@ class CostModel:
     state_unit_ns: float = DEFAULT_STATE_UNIT_NS
     mc_world_row_ns: float = DEFAULT_MC_WORLD_ROW_NS
     prefix_row_ns: float = DEFAULT_PREFIX_ROW_NS
+    storage_row_ns: float = DEFAULT_STORAGE_ROW_NS
     source: str = "builtin"
 
     def est_ms(self, units: float, unit_ns: float) -> float:
@@ -142,6 +146,11 @@ def load_cost_model(path: str | Path | None = None) -> CostModel:
             state_unit_ns=float(constants["state_unit_ns"]),
             mc_world_row_ns=float(constants["mc_world_row_ns"]),
             prefix_row_ns=float(constants["prefix_row_ns"]),
+            # Added after schema 1 shipped: older calibration files
+            # simply keep the builtin storage rate.
+            storage_row_ns=float(
+                constants.get("storage_row_ns", DEFAULT_STORAGE_ROW_NS)
+            ),
             source=str(target),
         )
     except (OSError, ValueError, KeyError, TypeError):
@@ -223,11 +232,34 @@ def run_calibration(
 
     mc_s = _best_of(mc_case, repeats)
 
+    # Packed-storage prefix materialization, per prefix row: pack a
+    # small table to a scratch directory and time cold-cache prefix
+    # reads through the page decoder.
+    import shutil
+    import tempfile
+
+    from repro.storage import open_store, pack_table
+
+    storage_dir = tempfile.mkdtemp(prefix="repro-calibrate-")
+    try:
+        pack_table(table, storage_dir, scorer="score", page_size=64)
+        store = open_store(storage_dir)
+        storage_rows = len(store)
+
+        def storage_case() -> object:
+            store.clear_page_cache()
+            return store.prefix(storage_rows)
+
+        storage_s = _best_of(storage_case, repeats)
+    finally:
+        shutil.rmtree(storage_dir, ignore_errors=True)
+
     dp_unit_ns = dp_s * 1e9 / dp_units
     k_combo_unit_ns = combo_s * 1e9 / combo_units
     state_unit_ns = state_s * 1e9 / state_units
     mc_world_row_ns = mc_s * 1e9 / mc_units
     prefix_row_ns = prefix_s * 1e9 / prefix_rows
+    storage_row_ns = storage_s * 1e9 / storage_rows
 
     small_case_ns = small_case_ms * 1e6
     state_depth = 1
@@ -249,6 +281,7 @@ def run_calibration(
         "state_unit_ns": round(state_unit_ns, 3),
         "mc_world_row_ns": round(mc_world_row_ns, 3),
         "prefix_row_ns": round(prefix_row_ns, 3),
+        "storage_row_ns": round(storage_row_ns, 3),
     }
     return {
         "schema": SCHEMA,
@@ -265,6 +298,7 @@ def run_calibration(
             "k_combo_s": combo_s,
             "state_expansion_s": state_s,
             "mc_s": mc_s,
+            "storage_s": storage_s,
         },
         "constants": constants,
     }

@@ -211,7 +211,10 @@ class LogicalPlan:
             "table": (
                 spec.table
                 if isinstance(spec.table, str)
-                else f"<in-memory table {getattr(spec.table, 'name', '')!r}>"
+                else (
+                    f"<{getattr(spec.table, 'storage_kind', 'in-memory')}"
+                    f" table {getattr(spec.table, 'name', '')!r}>"
+                )
             ),
             "scorer": (
                 spec.scorer

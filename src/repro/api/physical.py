@@ -80,7 +80,13 @@ class PhysicalOp:
 
 @dataclass(frozen=True)
 class ScorePrefixOp(PhysicalOp):
-    """Stage 1: score, rank-order and Theorem-2-truncate the table."""
+    """Stage 1: score, rank-order and Theorem-2-truncate the table.
+
+    ``storage`` records where the rows come from: ``"ram"`` scores and
+    sorts the resident relation (cost tracks ``rows_in``), ``"disk"``
+    streams the pre-ranked prefix pages of a packed table (cost tracks
+    ``rows_out`` — the scan-depth pushdown's whole point).
+    """
 
     name = "ScorePrefixOp"
     k: int = 0
@@ -88,6 +94,7 @@ class ScorePrefixOp(PhysicalOp):
     depth: int | None = None
     rows_in: int = 0
     rows_out: int = 0
+    storage: str = "ram"
 
     def run(self, table: UncertainTable, spec) -> ScoredTable:
         from repro.api import plan as stages
@@ -97,9 +104,13 @@ class ScorePrefixOp(PhysicalOp):
         )
 
     def cost_units(self) -> float:
+        if self.storage == "disk":
+            return float(self.rows_out)
         return float(self.rows_in)
 
     def unit_ns(self, model) -> float:
+        if self.storage == "disk":
+            return model.storage_row_ns
         return model.prefix_row_ns
 
     def describe(self) -> dict[str, Any]:
@@ -111,6 +122,8 @@ class ScorePrefixOp(PhysicalOp):
         }
         if self.depth is not None:
             document["depth"] = self.depth
+        if self.storage != "ram":
+            document["storage"] = self.storage
         return document
 
 

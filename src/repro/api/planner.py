@@ -153,6 +153,7 @@ class Planner:
         table_rows: int,
         include_semantics: bool = True,
         algorithm: str | None = None,
+        storage: str = "ram",
     ) -> PhysicalPlan:
         """Lower a logical plan over a resolved stage-1 prefix.
 
@@ -162,6 +163,10 @@ class Planner:
             runs, which stop after stage 2.
         :param algorithm: concrete-algorithm override; ``None``
             resolves from the spec (including ``"auto"``).
+        :param storage: where stage 1 reads from — ``"ram"`` (score
+            and sort the resident relation) or ``"disk"`` (stream the
+            pre-ranked prefix of a packed table); prices the prefix
+            operator accordingly.
         """
         spec = logical.spec
         n = len(prefix)
@@ -176,6 +181,7 @@ class Planner:
             depth=spec.depth,
             rows_in=table_rows,
             rows_out=n,
+            storage=storage,
         )
         requires = logical.requires
         if include_semantics:

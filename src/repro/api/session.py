@@ -258,6 +258,16 @@ class Session:
         # prefix object's identity and miss transitively.
         return (table, table.version) + logical.prefix_params()
 
+    @staticmethod
+    def _storage_kind(table: UncertainTable, logical: LogicalPlan) -> str:
+        """``"disk"`` when the request is served by scan-depth pushdown
+        (the table is packed on the request's scorer), else ``"ram"``
+        — the planner's stage-1 pricing input."""
+        from repro.core.distribution import storage_pushdown_view
+
+        view = storage_pushdown_view(table, logical.spec.scorer)
+        return "ram" if view is None else "disk"
+
     def _prefix_for(
         self, table: UncertainTable, logical: LogicalPlan
     ) -> ScoredTable:
@@ -330,7 +340,11 @@ class Session:
         table = self.resolve(spec)
         prefix = self._prefix_for(table, logical)
         physical = self._planner.lower(
-            logical, prefix, table_rows=len(table), include_semantics=False
+            logical,
+            prefix,
+            table_rows=len(table),
+            include_semantics=False,
+            storage=self._storage_kind(table, logical),
         )
         # The sampling knobs only shape MC estimates; exact-algorithm
         # entries stay shared across specs differing in a knob only.
@@ -356,7 +370,10 @@ class Session:
         table = self.resolve(spec)
         prefix = self._prefix_for(table, logical)
         physical = self._planner.lower(
-            logical, prefix, table_rows=len(table)
+            logical,
+            prefix,
+            table_rows=len(table),
+            storage=self._storage_kind(table, logical),
         )
         semantics_op = physical.semantics_op
         assert semantics_op is not None
@@ -397,15 +414,26 @@ class Session:
     def _scored_table(
         self, table: UncertainTable, logical: LogicalPlan
     ) -> ScoredTable:
-        """The fully scored, rank-ordered table (cached; fusion only)."""
-        from repro.core.distribution import resolve_scorer
+        """The fully scored, rank-ordered table (cached; fusion only).
+
+        Disk-backed tables packed on the request's scorer return the
+        lazy rank-ordered view instead: the batch path's scan-depth
+        and prefix slicing consume the same surface, so pushdown
+        I/O stays bounded by the deepest prefix in the batch.
+        """
+        from repro.core.distribution import (
+            resolve_scorer,
+            storage_pushdown_view,
+        )
 
         key = (table, table.version, logical.scorer_key)
         scored = self._scored.get(key)
         if scored is None:
-            scored = ScoredTable.from_table(
-                table, resolve_scorer(logical.spec.scorer)
-            )
+            scored = storage_pushdown_view(table, logical.spec.scorer)
+            if scored is None:
+                scored = ScoredTable.from_table(
+                    table, resolve_scorer(logical.spec.scorer)
+                )
             self._scored.put(key, scored)
         return scored
 
@@ -578,7 +606,10 @@ class Session:
         prefix_hit = self._prefixes.contains(prefix_key)
         prefix = self.scored_prefix(spec)
         physical = self._planner.lower(
-            logical, prefix, table_rows=len(table)
+            logical,
+            prefix,
+            table_rows=len(table),
+            storage=self._storage_kind(table, logical),
         )
         algorithm = physical.algorithm
         pmf_key = (prefix,) + logical.pmf_params(algorithm)

@@ -9,6 +9,8 @@ Usage (``python -m repro <command> ...``)::
         --algorithm mc --epsilon 0.005 --confidence 0.99
     repro query "SELECT * FROM t ORDER BY score DESC LIMIT 3" --table t=table.csv
     repro generate cartel --out area.csv --seed 11 --segments 100
+    repro pack table.csv --out packed/       # out-of-core scored table
+    repro answer packed/ --score score -k 5  # served by prefix pushdown
     repro figures fig03 fig09
     repro bench --json                  # writes BENCH_core.json
     repro bench --tiny --check BENCH_core.json   # CI perf smoke
@@ -51,7 +53,7 @@ from repro.io.csv_io import write_table_csv
 from repro.io.json_io import answer_to_jsonable, pmf_to_json, write_table_json
 from repro.query.engine import execute_query
 from repro.stats.histogram import render_pmf
-from repro.uncertain.scoring import attribute_scorer, expression_scorer
+from repro.uncertain.scoring import expression_scorer
 from repro.uncertain.table import UncertainTable
 
 
@@ -70,9 +72,15 @@ def save_table(table: UncertainTable, path: str | Path) -> None:
 
 
 def resolve_cli_scorer(text: str):
-    """An attribute scorer for bare identifiers, else an expression."""
+    """The scorer spec of ``--score``: attribute name or expression.
+
+    Bare identifiers stay *strings* (the engine resolves them to
+    attribute scorers): string equality against the packing scorer is
+    what lets a packed table serve the query lazily, so wrapping the
+    name in a callable here would defeat the storage pushdown.
+    """
     if text.replace("_", "a").isalnum() and not text[0].isdigit():
-        return attribute_scorer(text)
+        return text
     return expression_scorer(text)
 
 
@@ -366,6 +374,35 @@ def cmd_generate(args: argparse.Namespace) -> int:
         f"wrote {len(table)} tuples "
         f"({len(table.explicit_rules)} ME rules) to {args.out}"
     )
+    return 0
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    """``repro pack``: convert a table source to the on-disk format."""
+    from repro.datasets.specs import generate_from_spec, is_generator_spec
+    from repro.storage import pack_table
+
+    if is_generator_spec(args.source):
+        table = generate_from_spec(args.source)
+    else:
+        table = load_table(args.source)
+    summary = pack_table(
+        table, args.out, scorer=args.scorer, page_size=args.page_size
+    )
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"packed {summary['tuples']} tuples "
+            f"({summary['explicit_rules']} ME rules, "
+            f"{summary['pages']} pages of {summary['page_size']}, "
+            f"{summary['bytes']} bytes) into {summary['path']}"
+        )
+        print(
+            f"serve it with --table name=disk:{summary['path']} or "
+            f"query it directly: repro answer {summary['path']} "
+            f"--score {summary['scorer']} -k 5"
+        )
     return 0
 
 
@@ -909,6 +946,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="soldiers / segments / tuples (dataset-specific)")
     p.add_argument("--seed", type=int, default=0, help="RNG seed")
     p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser(
+        "pack",
+        help="pack a table into the out-of-core scored format",
+    )
+    p.add_argument("source",
+                   help="table file (.csv/.json) or generator spec "
+                   "(synthetic:tuples=1000000,me=0.5,...)")
+    p.add_argument("--out", required=True, metavar="DIR",
+                   help="output directory (becomes the packed table)")
+    p.add_argument("--scorer", default="score", metavar="ATTR",
+                   help="numeric attribute the rank order is built on; "
+                   "queries scoring by it are served by scan-depth "
+                   "pushdown (default score)")
+    p.add_argument("--page-size", type=int, default=4096, metavar="N",
+                   help="rows per page — the decode/caching unit "
+                   "(default 4096)")
+    p.add_argument("--json", action="store_true",
+                   help="print the pack summary as JSON")
+    p.set_defaults(func=cmd_pack)
 
     p = sub.add_parser("figures", help="run the paper-figure experiments")
     p.add_argument("names", nargs="*",

@@ -49,6 +49,20 @@ def resolve_scorer(scorer: ScorerLike) -> Scorer:
     )
 
 
+def storage_pushdown_view(table: UncertainTable, scorer: ScorerLike):
+    """The table's lazy rank-ordered view, when pushdown is sound.
+
+    Disk-backed tables (:class:`repro.storage.table.DiskBackedTable`)
+    expose a ``lazy_scored(scorer)`` hook returning a view that serves
+    rank-ordered prefixes without materializing the relation — but
+    only when the query ranks by the attribute the table was packed
+    on.  Ordinary tables (no hook) and mismatched scorers return
+    ``None``: the caller scores and sorts residently.
+    """
+    hook = getattr(table, "lazy_scored", None)
+    return hook(scorer) if hook is not None else None
+
+
 def prepare_scored_prefix(
     table: UncertainTable,
     scorer: ScorerLike,
@@ -59,6 +73,11 @@ def prepare_scored_prefix(
 ) -> ScoredTable:
     """Score, rank-order and truncate a table for the algorithms.
 
+    Disk-backed tables packed on ``scorer`` are served by pushdown:
+    the Theorem-2 scan walks the stored rank order page by page and
+    only the resulting prefix is materialized — I/O is O(depth), not
+    O(table).  The returned prefix is byte-identical either way.
+
     :param depth: explicit scan depth override; when ``None`` the
         Theorem-2 depth for ``(k, p_tau)`` is used.
     """
@@ -66,7 +85,12 @@ def prepare_scored_prefix(
         raise InvalidProbabilityError(
             f"p_tau must be in [0, 1), got {p_tau!r}"
         )
-    scored = ScoredTable.from_table(table, resolve_scorer(scorer))
+    lazy = storage_pushdown_view(table, scorer)
+    scored = (
+        lazy
+        if lazy is not None
+        else ScoredTable.from_table(table, resolve_scorer(scorer))
+    )
     if depth is None:
         depth = scan_depth(scored, k, p_tau) if p_tau > 0.0 else len(scored)
     if depth < 0:

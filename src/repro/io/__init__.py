@@ -30,12 +30,25 @@ __all__ = [
 
 
 def load_table_file(path):
-    """Load an uncertain table from a ``.csv`` or ``.json`` file.
+    """Load an uncertain table from a file or packed directory.
 
-    The format is chosen by suffix; CSV tables take the file stem as
-    their name.  Shared by the CLI and the service dataset catalog.
+    ``.csv`` / ``.json`` files load residently (the format is chosen
+    by suffix; CSV tables take the file stem as their name).  A
+    directory produced by ``repro pack`` opens as a *lazy*
+    :class:`~repro.storage.table.DiskBackedTable` — queries on the
+    packing scorer stream prefix pages instead of loading the table.
+    Shared by the CLI and the service dataset catalog.
     """
     path = Path(path)
+    if path.is_dir():
+        from repro.storage import is_packed_dir, open_table
+
+        if is_packed_dir(path):
+            return open_table(path)
+        raise FileNotFoundError(
+            f"{path} is a directory but not a packed table "
+            f"(no meta.json); run `repro pack` to create one"
+        )
     if path.suffix.lower() == ".json":
         return read_table_json(path)
     return read_table_csv(path, name=path.stem)

@@ -16,8 +16,18 @@ Catalog entries are declared as ``name=source`` strings::
     readings=path/to/readings.csv
     demo=synthetic:tuples=400,me=0.9,seed=5
     soldiers=soldier:
+    events=disk:path/to/packed_dir
 
 or as a JSON catalog file ``{"tables": {"name": "source", ...}}``.
+
+``disk:`` sources open a directory produced by ``repro pack`` as a
+lazy, read-only :class:`~repro.storage.table.DiskBackedTable`: queries
+on the packing scorer stream prefix pages straight off disk, and —
+because the columns are memory-mapped — N sharded workers serving the
+same spec share **one** on-disk copy through the OS page cache instead
+of holding N in-RAM replicas.  Disk tables are never wrapped mutable
+and never WAL-recovered; ``/v1/mutate`` on one fails with the ordinary
+not-mutable error.
 """
 
 from __future__ import annotations
@@ -46,6 +56,23 @@ class TableEntry:
     source: str
     tuples: int
     me_rules: int
+
+
+#: Source prefix naming a packed on-disk table (``repro pack`` output).
+DISK_SOURCE_PREFIX = "disk:"
+
+
+def is_disk_source(source: str) -> bool:
+    """Whether a catalog source names a packed on-disk table."""
+    return source.startswith(DISK_SOURCE_PREFIX)
+
+
+def me_rule_count(table: UncertainTable) -> int:
+    """Explicit ME-rule count without forcing a lazy table resident."""
+    fast = getattr(table, "me_rule_count", None)
+    if fast is not None:
+        return int(fast())
+    return len(table.explicit_rules)
 
 
 def parse_binding(binding: str) -> tuple[str, str]:
@@ -143,7 +170,13 @@ class DatasetCatalog:
 
     def _install(self, name: str, source: str) -> UncertainTable:
         table: UncertainTable
-        if self._mutable and self.store is not None:
+        if is_disk_source(source):
+            # Packed tables stay on disk, shared and read-only: no
+            # mutable wrapping (which would materialize a full
+            # resident copy) and no WAL recovery (there is nothing to
+            # replay onto an immutable table).
+            table = self._load(name, source)
+        elif self._mutable and self.store is not None:
             table = self.store.recover_or_load(
                 name,
                 lambda: self._load(name, source),
@@ -158,13 +191,17 @@ class DatasetCatalog:
             name=name,
             source=source,
             tuples=len(table),
-            me_rules=len(table.explicit_rules),
+            me_rules=me_rule_count(table),
         )
         return table
 
     @staticmethod
     def _load(name: str, source: str) -> UncertainTable:
         try:
+            if is_disk_source(source):
+                from repro.storage import open_table
+
+                return open_table(source[len(DISK_SOURCE_PREFIX) :])
             if is_generator_spec(source):
                 return generate_from_spec(source)
             return load_table_file(source)
@@ -259,7 +296,7 @@ class DatasetCatalog:
             document[name] = {
                 "source": entry.source,
                 "tuples": len(table),
-                "me_rules": len(table.explicit_rules),
+                "me_rules": me_rule_count(table),
                 "version": getattr(table, "version", 0),
             }
         return document

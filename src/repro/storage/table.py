@@ -1,0 +1,294 @@
+"""Lazy table views over a packed :class:`~repro.storage.format.TableStore`.
+
+Two wrappers bridge the on-disk format into the existing engine:
+
+* :class:`LazyScoredTable` — the rank-ordered *scored* view.  It
+  satisfies the :class:`~repro.uncertain.scoring.ScoredTable` surface
+  the Theorem-2 scan-depth logic consumes (`__len__`, lazy
+  ``__iter__``, ``__getitem__``, ``tie_range_end``), so
+  :func:`repro.core.scan_depth.scan_depth` runs unchanged against it —
+  and, because that loop stops after O(depth) items, it performs
+  O(depth) I/O.  ``prefix(d)`` then materializes a *real*
+  :class:`ScoredTable` over exactly the prefix items, byte-identical
+  to the resident path's ``ScoredTable.from_table(...).prefix(d)``.
+
+* :class:`DiskBackedTable` — an :class:`~repro.uncertain.table.
+  UncertainTable` subclass whose tuples/rules stay on disk until a
+  non-pushdown access forces them.  Pushdown-eligible queries (the
+  spec's scorer string equals the packing scorer) get the lazy scored
+  view via :meth:`lazy_scored`; everything else transparently falls
+  back to full reconstruction, with identical dense group ids and
+  therefore identical answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.storage.format import TableStore
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.scoring import ScoredItem, ScoredTable
+from repro.uncertain.table import UncertainTable
+
+
+class LazyScoredTable:
+    """A read-through scored view of a packed table.
+
+    Duck-types the slice of the :class:`ScoredTable` interface the
+    scan-depth computation and the planner consume, without holding
+    items in memory: positional access decodes through the store's
+    page LRU, and the numeric columns are the store's memory-maps.
+    """
+
+    def __init__(self, store: TableStore) -> None:
+        self._store = store
+
+    @property
+    def store(self) -> TableStore:
+        """The backing packed-table store."""
+        return self._store
+
+    def __len__(self) -> int:
+        return self._store.count
+
+    def __iter__(self) -> Iterator[ScoredItem]:
+        """Items in rank order, fetched page by page.
+
+        A consumer that stops early (the Theorem-2 scan) only ever
+        touches the pages it iterated over.
+        """
+        store = self._store
+        pages = -(-store.count // store.page_size) if store.count else 0
+        for page in range(pages):
+            yield from store.page_items(page)
+
+    def __getitem__(self, pos: int) -> ScoredItem:
+        if pos < 0:
+            pos += self._store.count
+        if not 0 <= pos < self._store.count:
+            raise IndexError(pos)
+        page, offset = divmod(pos, self._store.page_size)
+        return self._store.page_items(page)[offset]
+
+    def prefix(self, n: int) -> ScoredTable:
+        """Materialize the ordered prefix — the pushdown product.
+
+        The returned object is an ordinary :class:`ScoredTable`, so
+        every downstream stage (DP, semantics, caching) is oblivious
+        to where the items came from.
+        """
+        return self._store.prefix(n)
+
+    def group_safe_depth(self, depth: int) -> int:
+        """Round ``depth`` up so no ME group is split (sidecar scan)."""
+        return self._store.group_safe_depth(depth)
+
+    @property
+    def score_column(self) -> np.ndarray:
+        """Scores in rank order (memory-mapped, read-only)."""
+        return self._store.scores
+
+    @property
+    def prob_column(self) -> np.ndarray:
+        """Probabilities in rank order (memory-mapped, read-only)."""
+        return self._store.probs
+
+    def me_member_count(self) -> int:
+        """Tuples sharing an ME group with another tuple (from meta)."""
+        return int(self._store.meta["me_members"])
+
+    def has_ties(self) -> bool:
+        """Whether the packed rank order contains equal scores."""
+        return bool(self._store.meta["has_ties"])
+
+    def tie_range_end(self, pos: int) -> int:
+        """End (exclusive) of the tie group containing ``pos``.
+
+        A bounded forward scan over the memory-mapped score column —
+        the scan-depth logic calls this once, at the stopping
+        position, so the touched range is one tie group.
+        """
+        scores = self._store.scores
+        n = self._store.count
+        end = pos + 1
+        while end < n and scores[end] == scores[pos]:
+            end += 1
+        return end
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyScoredTable(store={str(self._store.path)!r}, "
+            f"items={self._store.count})"
+        )
+
+
+class DiskBackedTable(UncertainTable):
+    """An uncertain table whose data lives in a packed directory.
+
+    Construction opens only ``meta.json`` and the memory-maps — no
+    tuple is decoded.  The pushdown path never materializes anything
+    beyond the query's prefix pages; any access that genuinely needs
+    the relation (iteration, ``group_of``, a different scorer, WAL
+    wrapping) triggers a one-time full reconstruction that yields
+    *exactly* the packed table — same insertion order, same dense
+    group ids — so both paths answer queries byte-identically.
+
+    Several workers opening the same directory share the physical
+    pages through the OS page cache: the catalog's ``disk:`` specs
+    replace N in-RAM replicas with one on-disk copy.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._store = TableStore(path)
+        self._resident = False
+        self._resident_lock = threading.Lock()
+        # The base-class state is installed on first materialization;
+        # until then every inherited accessor is overridden below.
+        # UncertainTable.__init__ preserves a pre-set _version, so the
+        # deferred call cannot reset cache-key versioning.
+        self._version = 0
+        self._name = self._store.name
+        self._lazy = LazyScoredTable(self._store)
+
+    # ------------------------------------------------------------------
+    # Pushdown surface
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> TableStore:
+        """The backing packed-table store."""
+        return self._store
+
+    @property
+    def storage_kind(self) -> str:
+        """``"disk"`` — the planner's storage-aware cost hook."""
+        return "disk"
+
+    def lazy_scored(self, scorer: Any) -> LazyScoredTable | None:
+        """The lazy scored view, iff ``scorer`` matches the pack order.
+
+        Pushdown is only sound when the query ranks by the attribute
+        the table was packed on; any other scorer returns ``None`` and
+        the caller falls back to the resident path.
+        """
+        if isinstance(scorer, str) and scorer == self._store.scorer:
+            return self._lazy
+        return None
+
+    def me_rule_count(self) -> int:
+        """Number of explicit ME rules, without materializing."""
+        return int(self._store.meta["explicit_rules"])
+
+    @property
+    def is_resident(self) -> bool:
+        """Whether the fallback reconstruction has run."""
+        return self._resident
+
+    # ------------------------------------------------------------------
+    # Fallback materialization
+    # ------------------------------------------------------------------
+    def _ensure_resident(self) -> None:
+        if self._resident:
+            return
+        with self._resident_lock:
+            if self._resident:
+                return
+            rebuilt = self._store.reconstruct()
+            super().__init__(
+                rebuilt.tuples,
+                rebuilt.explicit_rules,
+                name=self._store.name,
+            )
+            self._resident = True
+
+    # Every inherited accessor that touches the relation routes
+    # through the one-time reconstruction.
+    def __len__(self) -> int:
+        return self._store.count
+
+    def __iter__(self) -> Iterator[UncertainTuple]:
+        self._ensure_resident()
+        return super().__iter__()
+
+    def __getitem__(self, tid: Any) -> UncertainTuple:
+        self._ensure_resident()
+        return super().__getitem__(tid)
+
+    def __contains__(self, tid: Any) -> bool:
+        self._ensure_resident()
+        return super().__contains__(tid)
+
+    @property
+    def tuples(self) -> Sequence[UncertainTuple]:
+        self._ensure_resident()
+        return UncertainTable.tuples.fget(self)  # type: ignore[attr-defined]
+
+    @property
+    def tids(self) -> Sequence[Any]:
+        self._ensure_resident()
+        return UncertainTable.tids.fget(self)  # type: ignore[attr-defined]
+
+    @property
+    def groups(self) -> Sequence[tuple[Any, ...]]:
+        self._ensure_resident()
+        return UncertainTable.groups.fget(self)  # type: ignore[attr-defined]
+
+    @property
+    def explicit_rules(self) -> Sequence[tuple[Any, ...]]:
+        self._ensure_resident()
+        return UncertainTable.explicit_rules.fget(self)  # type: ignore[attr-defined]
+
+    def group_of(self, tid: Any) -> int:
+        self._ensure_resident()
+        return super().group_of(tid)
+
+    def group_members(self, gid: int) -> tuple[Any, ...]:
+        self._ensure_resident()
+        return super().group_members(gid)
+
+    def group_mass(self, gid: int) -> float:
+        self._ensure_resident()
+        return super().group_mass(gid)
+
+    def me_tuple_fraction(self) -> float:
+        self._ensure_resident()
+        return super().me_tuple_fraction()
+
+    def subset(
+        self, tids: Iterable[Any], *, name: str | None = None
+    ) -> UncertainTable:
+        self._ensure_resident()
+        return super().subset(tids, name=name)
+
+    def map_attributes(
+        self, fn: Any, *, name: str | None = None
+    ) -> UncertainTable:
+        self._ensure_resident()
+        return super().map_attributes(fn, name=name)
+
+    def attribute_names(self) -> tuple[str, ...]:
+        # Recorded at pack time; no materialization needed.
+        return tuple(self._store.meta["attributes"])
+
+    def total_expected_tuples(self) -> float:
+        # The probability column is already on disk.
+        return float(self._store.probs.sum())
+
+    def validate(self) -> None:
+        self._ensure_resident()
+        super().validate()
+
+    def __repr__(self) -> str:
+        state = "resident" if self._resident else "lazy"
+        return (
+            f"DiskBackedTable(path={str(self._store.path)!r}, "
+            f"tuples={self._store.count}, {state})"
+        )
+
+
+def open_table(path: str | Path) -> DiskBackedTable:
+    """Open a packed directory as a (lazy) :class:`DiskBackedTable`."""
+    return DiskBackedTable(path)

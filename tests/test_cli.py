@@ -39,8 +39,11 @@ class TestHelpers:
         assert len(load_table(out)) == 7
 
     def test_scorer_bare_attribute(self):
-        scorer = resolve_cli_scorer("score")
-        assert scorer(UncertainTuple("t", {"score": 5}, 0.5)) == 5.0
+        # Bare identifiers stay strings: the engine resolves them, and
+        # string equality against a packed table's scorer is what lets
+        # the storage layer serve the query lazily.
+        assert resolve_cli_scorer("score") == "score"
+        assert resolve_cli_scorer("final_score") == "final_score"
 
     def test_scorer_expression(self):
         scorer = resolve_cli_scorer("score * 2")

@@ -1,0 +1,227 @@
+"""Differential suite: packed disk tables vs the resident path.
+
+Every answer computed over a ``DiskBackedTable`` — served by the
+scan-depth pushdown — must be **byte-identical** to the same query on
+the in-RAM table it was packed from.  The sweep covers mutual-
+exclusion density, score ties, the Theorem-2 threshold (including the
+full-scan ``p_tau=0`` fallback), explicit ``depth`` truncation that
+slices ME groups apart, every registered answer semantics, the raw
+distribution, the fused batch path, and the resident fallback for
+scorers the table was not packed on.
+
+Identity is asserted on ``repr`` — any drift in scores, vectors,
+probabilities or their order fails, not just numeric closeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import QuerySpec
+from repro.storage import open_table, pack_table
+from repro.uncertain.model import UncertainTuple
+from repro.uncertain.table import UncertainTable
+
+#: Every registered answer semantics.
+SEMANTICS = (
+    "typical",
+    "u_topk",
+    "u_kranks",
+    "pt_k",
+    "expected_ranks",
+    "global_topk",
+)
+
+#: ME density x ties grid (the Figure-11 axis plus non-injectivity).
+SHAPES = [
+    pytest.param(0.0, False, id="independent"),
+    pytest.param(0.5, False, id="me50"),
+    pytest.param(0.9, False, id="me90"),
+    pytest.param(0.5, True, id="me50-ties"),
+    pytest.param(0.9, True, id="me90-ties"),
+]
+
+#: Theorem-2 thresholds: full scan, the paper default, aggressive.
+P_TAUS = (0.0, 1e-3, 0.05)
+
+
+def build_table(
+    *, n: int = 160, me: float = 0.5, ties: bool = False, seed: int = 11
+) -> UncertainTable:
+    """A random table with controllable ME density and tie structure.
+
+    Two numeric attributes: ``score`` (the packing order) and
+    ``weight`` (a scorer the pack does *not* serve, exercising the
+    resident fallback).  Ties come from an integer score grid.
+    """
+    rng = np.random.default_rng(seed)
+    if ties:
+        scores = rng.integers(1, max(2, n // 4), size=n) * 10.0
+    else:
+        scores = rng.uniform(0.0, 1000.0, size=n)
+    probs = rng.uniform(0.05, 1.0, size=n)
+    rules = []
+    if me > 0.0:
+        indices = list(rng.permutation(n))
+        target = int(me * n)
+        grouped = 0
+        while grouped < target and len(indices) >= 2:
+            size = int(rng.integers(2, min(5, len(indices)) + 1))
+            members = [indices.pop() for _ in range(size)]
+            mass = probs[members].sum()
+            if mass >= 1.0:
+                probs[members] *= rng.uniform(0.5, 0.99) / mass
+            rules.append(tuple(f"t{i}" for i in members))
+            grouped += size
+    tuples = [
+        UncertainTuple(
+            f"t{i}",
+            {"score": float(scores[i]), "weight": float(rng.uniform(0, 9))},
+            float(probs[i]),
+        )
+        for i in range(n)
+    ]
+    return UncertainTable(tuples, rules, name="diff")
+
+
+def paired_sessions(tmp_path, **kwargs):
+    table = build_table(**kwargs)
+    pack_table(table, tmp_path / "packed", page_size=32)
+    disk = open_table(tmp_path / "packed")
+    return table, disk, Session({"t": table}), Session({"t": disk})
+
+
+@pytest.mark.parametrize("me,ties", SHAPES)
+@pytest.mark.parametrize("p_tau", P_TAUS)
+def test_all_semantics_byte_identical(tmp_path, me, ties, p_tau):
+    _, disk, ram, lazy = paired_sessions(tmp_path, me=me, ties=ties)
+    for semantics in SEMANTICS:
+        spec = QuerySpec(
+            table="t",
+            scorer="score",
+            k=4,
+            semantics=semantics,
+            p_tau=p_tau,
+        )
+        assert repr(lazy.execute(spec)) == repr(ram.execute(spec)), (
+            semantics,
+            p_tau,
+        )
+    spec = QuerySpec(table="t", scorer="score", k=4, p_tau=p_tau)
+    assert repr(lazy.distribution(spec)) == repr(ram.distribution(spec))
+    if p_tau > 0.0:
+        # Pushdown truncation means the table never went resident.
+        assert not disk.is_resident
+
+
+@pytest.mark.parametrize("depth", (1, 3, 17, 63, 10_000))
+def test_explicit_depth_truncation_identical(tmp_path, depth):
+    """Depth overrides — including cuts that slice ME groups apart
+    (Section 3.3.2 reduced-group semantics) — match the resident path."""
+    _, _, ram, lazy = paired_sessions(tmp_path, me=0.7, ties=True)
+    for semantics in ("typical", "u_topk", "expected_ranks"):
+        spec = QuerySpec(
+            table="t",
+            scorer="score",
+            k=3,
+            semantics=semantics,
+            p_tau=1e-3,
+            depth=depth,
+        )
+        assert repr(lazy.execute(spec)) == repr(ram.execute(spec))
+
+
+@pytest.mark.parametrize("k", (1, 4, 13))
+def test_k_sweep_identical(tmp_path, k):
+    _, _, ram, lazy = paired_sessions(tmp_path, me=0.5, seed=29)
+    for p_tau in P_TAUS:
+        spec = QuerySpec(
+            table="t", scorer="score", k=k, semantics="typical", p_tau=p_tau
+        )
+        assert repr(lazy.execute(spec)) == repr(ram.execute(spec))
+
+
+def test_batch_execute_many_identical(tmp_path):
+    """The fused batch path consumes the lazy view and stays
+    byte-identical, including mixed-k fusion groups."""
+    disk_table, disk, ram, lazy = paired_sessions(tmp_path, me=0.4)
+    specs = [
+        QuerySpec(table="t", scorer="score", k=k, p_tau=1e-3)
+        for k in (2, 3, 5, 8)
+    ] + [
+        QuerySpec(
+            table="t", scorer="score", k=4, semantics="u_topk", p_tau=1e-3
+        )
+    ]
+    expected = ram.execute_many(specs)
+    actual = lazy.execute_many(specs)
+    assert [repr(a) for a in actual] == [repr(e) for e in expected]
+    assert not disk.is_resident
+    assert lazy.fusion_info()["groups"] >= 1
+
+
+def test_fallback_scorer_identical(tmp_path):
+    """Scoring by an attribute the table was not packed on falls back
+    to full reconstruction — identical answers, resident table."""
+    _, disk, ram, lazy = paired_sessions(tmp_path, me=0.5)
+    spec = QuerySpec(
+        table="t", scorer="weight", k=4, semantics="typical", p_tau=1e-3
+    )
+    assert repr(lazy.execute(spec)) == repr(ram.execute(spec))
+    assert disk.is_resident
+    # The packed scorer still answers identically after residency.
+    spec = QuerySpec(
+        table="t", scorer="score", k=4, semantics="typical", p_tau=1e-3
+    )
+    assert repr(lazy.execute(spec)) == repr(ram.execute(spec))
+
+
+def test_short_table_below_k_identical(tmp_path):
+    table = build_table(n=3, me=0.5, seed=5)
+    pack_table(table, tmp_path / "tiny", page_size=2)
+    ram = Session({"t": table})
+    lazy = Session({"t": open_table(tmp_path / "tiny")})
+    for semantics in SEMANTICS:
+        spec = QuerySpec(
+            table="t", scorer="score", k=5, semantics=semantics, p_tau=1e-3
+        )
+        assert repr(lazy.execute(spec)) == repr(ram.execute(spec))
+
+
+def test_mc_estimates_identical(tmp_path):
+    """The sampled path is seed-deterministic, so it must also match
+    exactly: both sessions draw the same worlds from the same prefix."""
+    _, _, ram, lazy = paired_sessions(tmp_path, me=0.5)
+    spec = QuerySpec(
+        table="t",
+        scorer="score",
+        k=4,
+        semantics="typical",
+        p_tau=1e-3,
+        algorithm="mc",
+        samples=2000,
+        seed=17,
+    )
+    assert repr(lazy.execute(spec)) == repr(ram.execute(spec))
+
+
+def test_auto_algorithm_choice_identical(tmp_path):
+    """``algorithm="auto"`` sees the same prefix shape on both paths
+    and must resolve — and answer — identically."""
+    _, _, ram, lazy = paired_sessions(tmp_path, me=0.9, ties=True)
+    for k in (1, 4):
+        spec = QuerySpec(
+            table="t",
+            scorer="score",
+            k=k,
+            semantics="typical",
+            p_tau=0.05,
+            algorithm="auto",
+        )
+        assert (
+            ram.explain(spec)["physical"]["algorithm"]
+            == lazy.explain(spec)["physical"]["algorithm"]
+        )
+        assert repr(lazy.execute(spec)) == repr(ram.execute(spec))
