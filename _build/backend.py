@@ -120,8 +120,47 @@ def get_requires_for_build_wheel(config_settings=None):
     return []
 
 
+def _native_kernel_payload() -> dict[str, bytes]:
+    """The compiled DP kernel, when this machine can build it.
+
+    Best effort only: wheels stay pure-python installable, and a build
+    machine without a C compiler simply ships no prebuilt kernel (the
+    runtime falls back to compiling into its user cache, or to the
+    numpy backend).  The library lands next to the package's kernel
+    sources under the name ``build.py`` probes first.
+    """
+    import subprocess
+    import tempfile
+
+    source = os.path.join(
+        _SRC, "repro", "core", "kernels", "_kernel.c"
+    )
+    if not os.path.exists(source):
+        return {}
+    from shutil import which
+
+    cc = os.environ.get("CC") or next(
+        (name for name in ("cc", "gcc", "clang") if which(name)), None
+    )
+    if cc is None:
+        return {}
+    with tempfile.TemporaryDirectory() as scratch:
+        target = os.path.join(scratch, "_repro_kernel.so")
+        proc = subprocess.run(
+            [cc, "-O3", "-fPIC", "-shared", "-o", target, source],
+            capture_output=True,
+            timeout=120,
+        )
+        if proc.returncode != 0 or not os.path.exists(target):
+            return {}
+        with open(target, "rb") as handle:
+            return {"repro/core/kernels/_repro_kernel.so": handle.read()}
+
+
 def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
-    return _write_wheel(wheel_directory, _version(), _package_payload())
+    payload = _package_payload()
+    payload.update(_native_kernel_payload())
+    return _write_wheel(wheel_directory, _version(), payload)
 
 
 def build_sdist(sdist_directory, config_settings=None):

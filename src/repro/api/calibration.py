@@ -58,18 +58,24 @@ DEFAULT_MC_COST_BUDGET = 5_000_000
 #: until a machine is calibrated; ballpark figures for a mid-range
 #: x86 core.
 DEFAULT_DP_UNIT_NS = 200.0
+DEFAULT_DP_NATIVE_UNIT_NS = 60.0
 DEFAULT_K_COMBO_UNIT_NS = 2_000.0
 DEFAULT_STATE_UNIT_NS = 400.0
 DEFAULT_MC_WORLD_ROW_NS = 30.0
 DEFAULT_PREFIX_ROW_NS = 1_500.0
 DEFAULT_STORAGE_ROW_NS = 2_500.0
+DEFAULT_PARALLEL_SPAWN_MS = 150.0
 
 #: Calibration knob defaults (milliseconds).
 DEFAULT_TARGET_MS = 1_000.0
 DEFAULT_SMALL_CASE_MS = 0.5
 
-#: Persisted-file schema version.
-SCHEMA = 1
+#: Persisted-file schema version.  Schema 2 added the kernel-backend
+#: rates (``dp_native_unit_ns``, ``parallel_spawn_ms``) and the
+#: ``backends`` report section; schema-1 files still load, with the
+#: builtin defaults filling the new fields.
+SCHEMA = 2
+_ACCEPTED_SCHEMAS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -84,11 +90,13 @@ class CostModel:
     state_expansion_max_depth: int = DEFAULT_STATE_EXPANSION_MAX_DEPTH
     mc_cost_budget: int = DEFAULT_MC_COST_BUDGET
     dp_unit_ns: float = DEFAULT_DP_UNIT_NS
+    dp_native_unit_ns: float = DEFAULT_DP_NATIVE_UNIT_NS
     k_combo_unit_ns: float = DEFAULT_K_COMBO_UNIT_NS
     state_unit_ns: float = DEFAULT_STATE_UNIT_NS
     mc_world_row_ns: float = DEFAULT_MC_WORLD_ROW_NS
     prefix_row_ns: float = DEFAULT_PREFIX_ROW_NS
     storage_row_ns: float = DEFAULT_STORAGE_ROW_NS
+    parallel_spawn_ms: float = DEFAULT_PARALLEL_SPAWN_MS
     source: str = "builtin"
 
     def est_ms(self, units: float, unit_ns: float) -> float:
@@ -129,7 +137,7 @@ def load_cost_model(path: str | Path | None = None) -> CostModel:
         return DEFAULT_COST_MODEL
     try:
         document = json.loads(target.read_text())
-        if document.get("schema") != SCHEMA:
+        if document.get("schema") not in _ACCEPTED_SCHEMAS:
             return DEFAULT_COST_MODEL
         constants = document["constants"]
         return replace(
@@ -147,9 +155,15 @@ def load_cost_model(path: str | Path | None = None) -> CostModel:
             mc_world_row_ns=float(constants["mc_world_row_ns"]),
             prefix_row_ns=float(constants["prefix_row_ns"]),
             # Added after schema 1 shipped: older calibration files
-            # simply keep the builtin storage rate.
+            # simply keep the builtin rates for fields they predate.
             storage_row_ns=float(
                 constants.get("storage_row_ns", DEFAULT_STORAGE_ROW_NS)
+            ),
+            dp_native_unit_ns=float(
+                constants.get("dp_native_unit_ns", DEFAULT_DP_NATIVE_UNIT_NS)
+            ),
+            parallel_spawn_ms=float(
+                constants.get("parallel_spawn_ms", DEFAULT_PARALLEL_SPAWN_MS)
             ),
             source=str(target),
         )
@@ -206,6 +220,34 @@ def run_calibration(
     dp_prefix = dp_prefix.prefix(150)
     dp_units = exact_cost(len(dp_prefix), 8, 0)
     dp_s = _best_of(lambda: dp_distribution(dp_prefix, 8), repeats)
+
+    # The same DP under the compiled kernel, when this machine has one
+    # (and REPRO_BACKEND does not pin it off).
+    from repro.core import kernels
+
+    backends = kernels.backends_report()
+    dp_native_s: float | None = None
+    try:
+        probe_native = kernels.resolve_backend(None) == "native"
+    except Exception:
+        probe_native = False
+    if probe_native:
+        dp_native_s = _best_of(
+            lambda: dp_distribution(dp_prefix, 8, backend="native"),
+            repeats,
+        )
+
+    # Process-pool spin-up: what one parallel per-ending fan-out pays
+    # before any work happens (prices the planner's worker decision).
+    spawn_s: float | None = None
+    if (os.cpu_count() or 1) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        def spawn_case() -> object:
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                return list(pool.map(int, (0, 1)))
+
+        spawn_s = _best_of(spawn_case, max(1, repeats - 1))
 
     # k-Combo, per enumerated combination.
     combo_prefix = dp_prefix.prefix(12)
@@ -270,6 +312,15 @@ def run_calibration(
     ):
         state_depth += 1
 
+    dp_native_unit_ns = (
+        dp_native_s * 1e9 / dp_units
+        if dp_native_s is not None
+        else DEFAULT_DP_NATIVE_UNIT_NS
+    )
+    parallel_spawn_ms = (
+        spawn_s * 1e3 if spawn_s is not None else DEFAULT_PARALLEL_SPAWN_MS
+    )
+
     constants = {
         "mc_cost_budget": max(1, int(target_ms * 1e6 / dp_unit_ns)),
         "k_combo_max_combinations": max(
@@ -277,12 +328,26 @@ def run_calibration(
         ),
         "state_expansion_max_depth": state_depth,
         "dp_unit_ns": round(dp_unit_ns, 3),
+        "dp_native_unit_ns": round(dp_native_unit_ns, 3),
         "k_combo_unit_ns": round(k_combo_unit_ns, 3),
         "state_unit_ns": round(state_unit_ns, 3),
         "mc_world_row_ns": round(mc_world_row_ns, 3),
         "prefix_row_ns": round(prefix_row_ns, 3),
         "storage_row_ns": round(storage_row_ns, 3),
+        "parallel_spawn_ms": round(parallel_spawn_ms, 3),
     }
+    probes = {
+        "prefix_s": prefix_s,
+        "dp_s": dp_s,
+        "k_combo_s": combo_s,
+        "state_expansion_s": state_s,
+        "mc_s": mc_s,
+        "storage_s": storage_s,
+    }
+    if dp_native_s is not None:
+        probes["dp_native_s"] = dp_native_s
+    if spawn_s is not None:
+        probes["parallel_spawn_s"] = spawn_s
     return {
         "schema": SCHEMA,
         "meta": {
@@ -292,14 +357,8 @@ def run_calibration(
             "target_ms": target_ms,
             "small_case_ms": small_case_ms,
         },
-        "probes": {
-            "prefix_s": prefix_s,
-            "dp_s": dp_s,
-            "k_combo_s": combo_s,
-            "state_expansion_s": state_s,
-            "mc_s": mc_s,
-            "storage_s": storage_s,
-        },
+        "probes": probes,
+        "backends": backends,
         "constants": constants,
     }
 

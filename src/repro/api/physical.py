@@ -148,12 +148,13 @@ class SharedPrefixDPOp(_PmfOp):
 
     name = "SharedPrefixDPOp"
     me_members: int = 0
+    backend: str = "python"
 
     def run(self, prefix: ScoredTable, spec) -> ScorePMF:
         from repro.api import plan as stages
 
         return stages.dp_distribution(
-            prefix, self.k, max_lines=self.max_lines
+            prefix, self.k, max_lines=self.max_lines, backend=self.backend
         )
 
     def cost_units(self) -> float:
@@ -162,10 +163,15 @@ class SharedPrefixDPOp(_PmfOp):
         return float(exact_cost(self.n, self.k, self.me_members))
 
     def unit_ns(self, model) -> float:
+        if self.backend == "native":
+            return model.dp_native_unit_ns
         return model.dp_unit_ns
 
     def describe(self) -> dict[str, Any]:
-        return {**super().describe(), "me_members": self.me_members}
+        document = {**super().describe(), "me_members": self.me_members}
+        if self.backend != "python":
+            document["backend"] = self.backend
+        return document
 
 
 @dataclass(frozen=True)
@@ -175,12 +181,18 @@ class PerEndingDPOp(_PmfOp):
     name = "PerEndingDPOp"
     me_members: int = 0
     ending_units: int = 1
+    backend: str = "python"
+    workers: int = 1
 
     def run(self, prefix: ScoredTable, spec) -> ScorePMF:
         from repro.api import plan as stages
 
         return stages.dp_distribution_per_ending(
-            prefix, self.k, max_lines=self.max_lines
+            prefix,
+            self.k,
+            max_lines=self.max_lines,
+            backend=self.backend,
+            workers=self.workers,
         )
 
     def cost_units(self) -> float:
@@ -188,14 +200,32 @@ class PerEndingDPOp(_PmfOp):
         return float(self.k * self.n * max(1, self.ending_units))
 
     def unit_ns(self, model) -> float:
+        if self.backend == "native":
+            return model.dp_native_unit_ns
         return model.dp_unit_ns
 
+    def explain(self, model) -> dict[str, Any]:
+        node = super().explain(model)
+        if self.workers > 1:
+            # Fan-out divides the serial estimate and pays one pool
+            # spin-up; the estimate stays honest about both.
+            serial = node["est_ms"]
+            node["est_ms"] = round(
+                serial / self.workers + model.parallel_spawn_ms, 4
+            )
+        return node
+
     def describe(self) -> dict[str, Any]:
-        return {
+        document = {
             **super().describe(),
             "me_members": self.me_members,
             "ending_units": self.ending_units,
         }
+        if self.backend != "python":
+            document["backend"] = self.backend
+        if self.workers > 1:
+            document["workers"] = self.workers
+        return document
 
 
 @dataclass(frozen=True)
@@ -315,12 +345,16 @@ class FusedSweepOp(PhysicalOp):
     n: int = 0
     me_members: int = 0
     max_lines: int = 0
+    backend: str = "python"
 
     def run(self, scored: ScoredTable) -> list[ScorePMF]:
         from repro.api import plan as stages
 
         return stages.dp_distribution_sliced(
-            scored, self.requests, max_lines=self.max_lines
+            scored,
+            self.requests,
+            max_lines=self.max_lines,
+            backend=self.backend,
         )
 
     def cost_units(self) -> float:
@@ -330,15 +364,20 @@ class FusedSweepOp(PhysicalOp):
         return float(exact_cost(self.n, k_max, self.me_members))
 
     def unit_ns(self, model) -> float:
+        if self.backend == "native":
+            return model.dp_native_unit_ns
         return model.dp_unit_ns
 
     def describe(self) -> dict[str, Any]:
-        return {
+        document: dict[str, Any] = {
             "requests": [list(pair) for pair in self.requests],
             "n": self.n,
             "me_members": self.me_members,
             "max_lines": self.max_lines,
         }
+        if self.backend != "python":
+            document["backend"] = self.backend
+        return document
 
 
 @dataclass(frozen=True)

@@ -142,6 +142,24 @@ class Planner:
             )
         return spec.algorithm
 
+    def choose_backend(self, max_lines: int) -> str:
+        """Pick the DP kernel backend for this machine and line budget.
+
+        ``native`` whenever the compiled kernel is loadable and the
+        line budget fits its slab preallocation; the ``REPRO_BACKEND``
+        environment variable overrides (and forcing ``native`` on a
+        machine without the kernel raises
+        :class:`~repro.exceptions.KernelBackendError` at plan time —
+        fail fast, not mid-execution).  Backends are byte-identical,
+        so this only ever trades wall-clock.
+        """
+        from repro.core import kernels
+
+        backend = kernels.resolve_backend(None)
+        if backend == "native" and max_lines > kernels.NATIVE_MAX_LINES:
+            return "python"
+        return backend
+
     # ------------------------------------------------------------------
     # Lowering
     # ------------------------------------------------------------------
@@ -192,19 +210,27 @@ class Planner:
             requires = get_semantics(spec.semantics, algorithm).requires
         needs_pmf = not include_semantics or requires != "prefix"
         pmf_op: _PmfOp | None = None
+        backend: str | None = None
         if needs_pmf:
             op_type = PMF_OPERATORS.get(algorithm)
             if op_type is None:
                 raise AlgorithmError(f"unknown algorithm {algorithm!r}")
             common = {"k": spec.k, "n": n, "max_lines": spec.max_lines}
             if op_type is SharedPrefixDPOp:
-                pmf_op = SharedPrefixDPOp(**common, me_members=me_members)
+                backend = self.choose_backend(spec.max_lines)
+                pmf_op = SharedPrefixDPOp(
+                    **common, me_members=me_members, backend=backend
+                )
             elif op_type is PerEndingDPOp:
+                backend = self.choose_backend(spec.max_lines)
+                units = ending_unit_count(prefix)
                 pmf_op = PerEndingDPOp(
                     **common,
                     me_members=me_members,
-                    ending_units=ending_unit_count(prefix),
+                    ending_units=units,
+                    backend=backend,
                 )
+                pmf_op = self._with_workers(pmf_op, units)
             elif op_type is StateExpansionOp:
                 pmf_op = StateExpansionOp(**common, p_tau=spec.p_tau)
             elif op_type is MCSampleOp:
@@ -233,6 +259,11 @@ class Planner:
         notes: tuple[str, ...] = ()
         if spec.algorithm == "auto":
             notes = (f"algorithm resolved by cost model: {algorithm}",)
+        if backend == "native":
+            notes += ("dp backend: native (compiled kernel)",)
+        workers = getattr(pmf_op, "workers", 1)
+        if workers > 1:
+            notes += (f"per-ending fan-out: {workers} workers",)
         return PhysicalPlan(
             logical=logical,
             algorithm=algorithm,
@@ -241,6 +272,21 @@ class Planner:
             semantics_op=semantics_op,
             notes=notes,
         )
+
+    def _with_workers(self, op: PerEndingDPOp, units: int) -> PerEndingDPOp:
+        """Size the per-ending process fan-out from the cost model."""
+        from dataclasses import replace
+
+        from repro.core.kernels.parallel import default_workers
+
+        model = self.cost_model
+        est_serial_ms = model.est_ms(op.cost_units(), op.unit_ns(model))
+        workers = default_workers(
+            units, est_serial_ms, model.parallel_spawn_ms
+        )
+        if workers <= 1:
+            return op
+        return replace(op, workers=workers)
 
     # ------------------------------------------------------------------
     # Multi-query fusion
@@ -290,8 +336,8 @@ class Planner:
                 self._emit(groups, anchor.prefix, taken)
         return groups
 
-    @staticmethod
     def _emit(
+        self,
         groups: list[FusionGroup],
         anchor: ScoredTable,
         members: list[FusionCandidate],
@@ -308,6 +354,7 @@ class Planner:
             n=len(anchor),
             me_members=anchor.me_member_count(),
             max_lines=members[0].max_lines,
+            backend=self.choose_backend(members[0].max_lines),
         )
         groups.append(
             FusionGroup(anchor=anchor, op=op, members=tuple(members))

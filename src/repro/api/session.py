@@ -104,18 +104,45 @@ class _LRU:
     ``get`` calls); concurrent misses on one key may each compute and
     ``put`` the value, which is benign because stage computations are
     deterministic pure functions of the key.
+
+    Capacity is bounded two ways: ``maxsize`` entries always, and —
+    when ``max_bytes`` is set — a byte budget over the sizes callers
+    declare via ``put(..., nbytes=...)``.  Entries stored without a
+    size count zero bytes (session-stage values are heterogeneous
+    Python objects; the byte budget exists for the storage page
+    caches, whose page sizes are known exactly).  Capacity evictions
+    are counted separately from explicit invalidation.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data", "_lock")
+    __slots__ = (
+        "maxsize",
+        "max_bytes",
+        "hits",
+        "misses",
+        "evictions",
+        "capacity_evictions",
+        "current_bytes",
+        "_data",
+        "_sizes",
+        "_lock",
+    )
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(self, maxsize: int, max_bytes: int | None = None) -> None:
         if maxsize < 1:
             raise AlgorithmError(f"cache size must be >= 1, got {maxsize}")
+        if max_bytes is not None and max_bytes < 1:
+            raise AlgorithmError(
+                f"cache byte budget must be >= 1, got {max_bytes}"
+            )
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.capacity_evictions = 0
+        self.current_bytes = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
         self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
@@ -127,12 +154,31 @@ class _LRU:
             self.misses += 1
             return default
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(self, key: Hashable, value: Any, nbytes: int = 0) -> None:
         with self._lock:
+            if key in self._data:
+                self.current_bytes -= self._sizes.get(key, 0)
             self._data[key] = value
             self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+            if nbytes:
+                self._sizes[key] = nbytes
+            else:
+                self._sizes.pop(key, None)
+            self.current_bytes += nbytes
+            self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        # Never evict the entry just inserted, even when it alone
+        # exceeds the byte budget — a cache that cannot hold the
+        # working item would thrash to zero hits.
+        while len(self._data) > self.maxsize or (
+            self.max_bytes is not None
+            and self.current_bytes > self.max_bytes
+            and len(self._data) > 1
+        ):
+            key, _ = self._data.popitem(last=False)
+            self.current_bytes -= self._sizes.pop(key, 0)
+            self.capacity_evictions += 1
 
     def contains(self, key: Hashable) -> bool:
         """Counter-free membership probe (EXPLAIN's predicted hits)."""
@@ -147,6 +193,8 @@ class _LRU:
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._sizes.clear()
+            self.current_bytes = 0
 
     def evict_where(self, predicate: Any) -> list[Any]:
         """Remove entries whose ``predicate(key, value)`` is true.
@@ -161,6 +209,8 @@ class _LRU:
                 if predicate(key, value)
             ]
             values = [self._data.pop(key) for key in doomed]
+            for key in doomed:
+                self.current_bytes -= self._sizes.pop(key, 0)
             self.evictions += len(values)
             return values
 
@@ -170,13 +220,18 @@ class _LRU:
 
     def info(self) -> dict[str, int]:
         with self._lock:
-            return {
+            document = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "size": len(self._data),
                 "maxsize": self.maxsize,
                 "evictions": self.evictions,
             }
+            if self.max_bytes is not None:
+                document["capacity_evictions"] = self.capacity_evictions
+                document["current_bytes"] = self.current_bytes
+                document["max_bytes"] = self.max_bytes
+            return document
 
 
 #: Sentinel distinguishing "absent" from cached ``None`` answers

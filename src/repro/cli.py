@@ -300,6 +300,14 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     else:
         for name, value in document["constants"].items():
             print(f"{name:28s} {value}")
+        native = document["backends"]["native"]
+        if native["available"]:
+            print(
+                "native kernel: available "
+                f"({native['strategy']}, {native['path']})"
+            )
+        else:
+            print(f"native kernel: unavailable ({native['error']})")
     if args.dry_run:
         print("dry run: nothing persisted")
         return 0

@@ -199,6 +199,19 @@ class _Arena:
         self.size = size
 
 
+def _segment_sums(weights: np.ndarray, segments: np.ndarray) -> np.ndarray:
+    """Per-segment sums with a strictly sequential accumulation order.
+
+    ``np.bincount`` scatter-adds ``weights[i]`` into its segment's
+    accumulator in index order, so each segment's sum is the plain
+    left-to-right total — an association that is identical on every
+    platform and trivially replicated by the native kernel's C loop.
+    ``np.add.reduceat`` makes no such promise (its order follows the
+    SIMD lane width), which is why it is banned from the reduce path.
+    """
+    return np.bincount(segments, weights=weights)
+
+
 def _segment_winners(probs: np.ndarray, starts: np.ndarray) -> np.ndarray:
     """Index of the heaviest line per segment (vectorized).
 
@@ -280,13 +293,22 @@ def _reduce_cell(
     :func:`_merge_two` depends on.  A line whose mass cannot even be
     represented as a normal float is unobservable noise, so those
     buckets are dropped (see :data:`_MIN_CELL_MASS`).
+
+    Segment sums go through :func:`_segment_sums` (a ``np.bincount``
+    scatter-add) rather than ``np.add.reduceat``: the reduceat
+    summation order is SIMD-width dependent, while the bincount loop
+    is strictly sequential per segment — the association the native
+    kernel backend replicates exactly, keeping both backends
+    byte-identical on every platform.
     """
     if len(scores) > 1:
         dup = scores[1:] == scores[:-1]
         if dup.any():
-            starts = np.flatnonzero(np.r_[True, ~dup])
+            boundaries = np.r_[True, ~dup]
+            starts = np.flatnonzero(boundaries)
+            segments = np.cumsum(boundaries) - 1
             vectors = vectors[_segment_winners(probs, starts)]
-            probs = np.add.reduceat(probs, starts)
+            probs = _segment_sums(probs, segments)
             scores = scores[starts]
     if len(scores) > max_lines:
         low = scores[0]
@@ -294,10 +316,12 @@ def _reduce_cell(
         bucket = np.minimum(
             ((scores - low) / width).astype(np.int64), max_lines - 1
         )
-        starts = np.flatnonzero(np.r_[True, bucket[1:] != bucket[:-1]])
+        boundaries = np.r_[True, bucket[1:] != bucket[:-1]]
+        starts = np.flatnonzero(boundaries)
+        segments = np.cumsum(boundaries) - 1
         vectors = vectors[_segment_winners(probs, starts)]
-        weighted = np.add.reduceat(probs * scores, starts)
-        probs = np.add.reduceat(probs, starts)
+        weighted = _segment_sums(probs * scores, segments)
+        probs = _segment_sums(probs, segments)
         with np.errstate(invalid="ignore"):
             scores = weighted / probs
         dead = probs < _MIN_CELL_MASS
@@ -341,11 +365,97 @@ def _combine(
     return _reduce_cell(scores, probs, vectors, max_lines)
 
 
+class _PythonEngine:
+    """The numpy cell engine (always available).
+
+    The DP control flow in this module — sweep order, column pruning,
+    emit points — is parameterized over an *engine* so the compiled
+    backend (:class:`repro.core.kernels.native.NativeEngine`) shares
+    the orchestration by construction and can only differ in how a
+    cell's arrays are combined, never in which combinations happen.
+    Both engines produce bit-identical cells.
+
+    Engine protocol:
+
+    * ``const_cell()`` — the {0.0: 1.0} distribution, empty vector;
+    * ``new_chain(ncols)`` — storage handle for one DP column chain
+      (meaningful to the native engine's ping/pong slabs; ``None``
+      here);
+    * ``fold_into(chain, unit, pairs)`` — one :func:`_combine` per
+      ``(skip, take)`` pair;
+    * ``take_reduce(cell, item)`` — :func:`_take_ending` +
+      :func:`_reduce_cell`, exported as ``(scores, probs, ids)``;
+    * ``export_cell(cell)`` — a final cell as numpy arrays;
+    * ``materialize_ids(ids)`` — arena ids to tid tuples;
+    * ``mark()`` / ``release(mark)`` — scratch vector-arena windows.
+    """
+
+    backend = "python"
+
+    __slots__ = ("max_lines", "arena")
+
+    def __init__(self, max_lines: int) -> None:
+        self.max_lines = max_lines
+        self.arena = _Arena()
+
+    def const_cell(self) -> _Cell:
+        return (np.zeros(1), np.ones(1), np.zeros(1, dtype=np.int64))
+
+    def new_chain(self, ncols: int) -> None:
+        return None
+
+    def fold_into(
+        self, chain: None, unit: _Unit, pairs: Sequence[tuple]
+    ) -> list[_Cell | None]:
+        return [
+            _combine(unit, skip, take, self.arena, self.max_lines)
+            for skip, take in pairs
+        ]
+
+    def take_reduce(self, cell: _Cell | None, item) -> _Cell | None:
+        taken = _take_ending(cell, item, self.arena)
+        if taken is None:
+            return None
+        return _reduce_cell(*taken, self.max_lines)
+
+    def export_cell(self, cell: _Cell) -> _Cell:
+        return cell
+
+    def materialize_ids(self, ids: np.ndarray) -> list[tuple]:
+        vector = self.arena.vector
+        return [vector(int(vec_id)) for vec_id in ids]
+
+    def mark(self):
+        return self.arena.mark()
+
+    def release(self, mark) -> None:
+        self.arena.release(mark)
+
+
+def _engine_for(backend: str | None, max_lines: int):
+    """Build the cell engine for one DP run.
+
+    ``backend`` is the resolved planner choice (or ``None`` for auto);
+    the ``REPRO_BACKEND`` environment variable overrides either way.
+    Line budgets beyond the native slab cap silently use the python
+    engine — the budgets that large only appear in exact-reference
+    test helpers, and the outputs are identical regardless.
+    """
+    from repro.core import kernels
+
+    if kernels.resolve_backend(backend) == "native":
+        engine = kernels.native_engine(max_lines)
+        if engine is not None:
+            return engine
+    return _PythonEngine(max_lines)
+
+
 def _dp_run_multi(
     units: Sequence[_Unit],
     ks: Sequence[int],
     exit_enabled: Sequence[bool],
     max_lines: int,
+    backend: str | None = None,
 ) -> dict[int, _Cell | None]:
     """One bottom-up dynamic program, read out at several columns.
 
@@ -370,12 +480,9 @@ def _dp_run_multi(
     if not live:
         return results
     k_min, k_max = live[0], live[-1]
-    arena = _Arena()
-    exit_cell = (
-        np.zeros(1),
-        np.ones(1),
-        np.zeros(1, dtype=np.int64),
-    )
+    engine = _engine_for(backend, max_lines)
+    exit_cell = engine.const_cell()
+    chain = engine.new_chain(k_max + 1)
     # below[j] holds D[r+1][j]; initially r+1 == n (virtual bottom row).
     below: list[_Cell | None] = [None] * (k_max + 1)
     for r in range(n - 1, -1, -1):
@@ -388,17 +495,21 @@ def _dp_run_multi(
         # at most n - r picks (j <= n - r).
         j_low = max(1, k_min - r)
         j_high = min(k_max, n - r)
-        for j in range(j_low, j_high + 1):
-            cur[j] = _combine(unit, below[j], below[j - 1], arena, max_lines)
+        js = range(j_low, j_high + 1)
+        outs = engine.fold_into(
+            chain, unit, [(below[j], below[j - 1]) for j in js]
+        )
+        for j, out in zip(js, outs):
+            cur[j] = out
         below = cur
     for k in live:
         final = below[k]
         if final is None:
             continue
-        scores, probs, ids = final
+        scores, probs, ids = engine.export_cell(final)
         vectors = np.empty(len(ids), dtype=object)
-        for index, vec_id in enumerate(ids):
-            vectors[index] = arena.vector(int(vec_id))
+        for index, vector in enumerate(engine.materialize_ids(ids)):
+            vectors[index] = vector
         results[k] = (scores, probs, vectors)
     return results
 
@@ -408,6 +519,7 @@ def _dp_run(
     k: int,
     exit_enabled: Sequence[bool],
     max_lines: int,
+    backend: str | None = None,
 ) -> _Cell | None:
     """One bottom-up dynamic program over ``units`` (single read-out).
 
@@ -415,7 +527,7 @@ def _dp_run(
     materialized as tid tuples in an object array, or ``None`` when no
     vector can be formed.
     """
-    return _dp_run_multi(units, (k,), exit_enabled, max_lines)[k]
+    return _dp_run_multi(units, (k,), exit_enabled, max_lines, backend)[k]
 
 
 def _compressed_units(
@@ -495,6 +607,7 @@ def dp_distribution(
     k: int,
     *,
     max_lines: int = DEFAULT_MAX_LINES,
+    backend: str | None = None,
 ) -> ScorePMF:
     """Top-k total-score distribution of a rank-ordered scored table.
 
@@ -506,6 +619,9 @@ def dp_distribution(
     :param scored: canonical rank-ordered input.
     :param k: how many tuples a top-k vector holds (>= 1).
     :param max_lines: coalescing budget per distribution.
+    :param backend: kernel backend — ``python``, ``native`` or
+        ``auto``/``None``; results are byte-identical either way (the
+        ``REPRO_BACKEND`` environment variable overrides).
     :returns: the (possibly sub-unit-mass) score distribution, each
         line carrying the most probable vector attaining its score.
     """
@@ -521,11 +637,11 @@ def dp_distribution(
         units = [
             _Unit([(item.score, item.prob, item.tid)]) for item in scored
         ]
-        return _cell_to_pmf(_dp_run(units, k, [True] * n, max_lines))
+        return _cell_to_pmf(_dp_run(units, k, [True] * n, max_lines, backend))
 
     # Mutual-exclusion case (Section 3.3): one shared-prefix forward
     # sweep over all ending units (Section 3.3.3, the O(kmn) path).
-    partial = _shared_prefix_sweep(scored, k, max_lines)
+    partial = _shared_prefix_sweep(scored, k, max_lines, backend)
     merged = _order_cell_vectors(_merge_cells(partial, max_lines), scored)
     return _cell_to_pmf(merged)
 
@@ -570,6 +686,7 @@ def dp_distribution_sliced(
     requests: Sequence[tuple[int, int]],
     *,
     max_lines: int = DEFAULT_MAX_LINES,
+    backend: str | None = None,
 ) -> list[ScorePMF]:
     """Several ``(k, depth)`` distributions from one dynamic program.
 
@@ -614,7 +731,7 @@ def dp_distribution_sliced(
             _Unit([(item.score, item.prob, item.tid)]) for item in scored
         ]
         cells = _dp_run_multi(
-            units, [k for k, _ in requests], [True] * n, max_lines
+            units, [k for k, _ in requests], [True] * n, max_lines, backend
         )
         return [_cell_to_pmf(cells[k]) for k, _ in requests]
 
@@ -625,7 +742,7 @@ def dp_distribution_sliced(
                 "prefix's rule-tuple structure differs (straddled or "
                 "absent ME group)"
             )
-    partial = _shared_prefix_sweep_multi(scored, requests, max_lines)
+    partial = _shared_prefix_sweep_multi(scored, requests, max_lines, backend)
     return [
         _cell_to_pmf(
             _order_cell_vectors(_merge_cells(cells, max_lines), scored)
@@ -637,8 +754,8 @@ def dp_distribution_sliced(
 def _fold_unit(
     state: list[_Cell | None],
     unit: _Unit,
-    arena: _Arena,
-    max_lines: int,
+    engine,
+    chain,
     low: int = 0,
 ) -> list[_Cell | None]:
     """Advance forward DP columns by one unit (non-destructively).
@@ -656,11 +773,15 @@ def _fold_unit(
     pruning in :func:`_dp_run`).  Pruned columns are ``None``.
     """
     columns = len(state)
-    new: list[_Cell | None] = [None] * columns
-    for j in range(columns - 1, max(low, 1) - 1, -1):
-        new[j] = _combine(unit, state[j], state[j - 1], arena, max_lines)
+    js = list(range(columns - 1, max(low, 1) - 1, -1))
+    pairs = [(state[j], state[j - 1]) for j in js]
     if low == 0:
-        new[0] = _combine(unit, state[0], None, arena, max_lines)
+        js.append(0)
+        pairs.append((state[0], None))
+    outs = engine.fold_into(chain, unit, pairs)
+    new: list[_Cell | None] = [None] * columns
+    for j, out in zip(js, outs):
+        new[j] = out
     return new
 
 
@@ -684,6 +805,7 @@ def _shared_prefix_sweep_multi(
     scored: ScoredTable,
     requests: Sequence[tuple[int, int]],
     max_lines: int,
+    backend: str | None = None,
 ) -> list[list[_Cell]]:
     """Per-ending final cells from one forward pass (Section 3.3.3),
     sliced per ``(k, depth)`` request.
@@ -721,7 +843,7 @@ def _shared_prefix_sweep_multi(
     arena footprint tracks the shared prefix, not the whole sweep.
     """
     _count_sweep()
-    arena = _Arena()
+    engine = _engine_for(backend, max_lines)
     k_min = min(k for k, _ in requests)
     k_max = max(k for k, _ in requests)
     multi = {
@@ -732,12 +854,14 @@ def _shared_prefix_sweep_multi(
     members: dict[int, list[tuple[float, float, Any]]] = {g: [] for g in multi}
     rule_order: list[int] = []  # multi groups by first (lead) appearance
     rule_cache: dict[int, _Unit] = {}
-    base_cell: _Cell = (
-        np.zeros(1),
-        np.ones(1),
-        np.zeros(1, dtype=np.int64),
+    ind_state: list[_Cell | None] = (
+        [engine.const_cell()] + [None] * (k_max - 1)
     )
-    ind_state: list[_Cell | None] = [base_cell] + [None] * (k_max - 1)
+    # The shared prefix and the per-ending scratch folds advance on
+    # separate chains: scratch ping/pong must never clobber the live
+    # shared-prefix cells it reads from.
+    ind_chain = engine.new_chain(k_max)
+    scratch_chain = engine.new_chain(k_max)
 
     def folded_rules(
         exclude_group: int | None, row_slack: int
@@ -758,15 +882,16 @@ def _shared_prefix_sweep_multi(
                 unit = rule_cache[g] = _Unit(members[g])
             remaining = len(rules) - index - 1 + row_slack
             state = _fold_unit(
-                state, unit, arena, max_lines, max(0, k_min - 1 - remaining)
+                state, unit, engine, scratch_chain,
+                max(0, k_min - 1 - remaining),
             )
         return state
 
-    def materialize(cell: _Cell) -> _Cell:
-        scores, probs, ids = _reduce_cell(*cell, max_lines)
+    def materialize(exported: _Cell) -> _Cell:
+        scores, probs, ids = exported
         vectors = np.empty(len(ids), dtype=object)
-        for index, vec_id in enumerate(ids):
-            vectors[index] = arena.vector(int(vec_id))
+        for index, vector in enumerate(engine.materialize_ids(ids)):
+            vectors[index] = vector
         return scores, probs, vectors
 
     partial: list[list[_Cell]] = [[] for _ in requests]
@@ -776,15 +901,15 @@ def _shared_prefix_sweep_multi(
         for index, (k, depth) in enumerate(requests):
             if pos >= depth:
                 continue
-            cell = _take_ending(state[k - 1], item, arena)
-            if cell is not None:
-                partial[index].append(materialize(cell))
+            exported = engine.take_reduce(state[k - 1], item)
+            if exported is not None:
+                partial[index].append(materialize(exported))
 
     for start, end in _ending_units(scored):
         # Emit this span's exit cells from the state accumulated so
         # far; the fold chunks are scratch, released after emitting.
         if end > k_min - 1:
-            scratch = arena.mark()
+            scratch = engine.mark()
             if end - start == 1 and not scored.is_lead(start):
                 state = folded_rules(scored[start].group, 0)
                 emit(state, start)
@@ -797,11 +922,11 @@ def _shared_prefix_sweep_multi(
                         state = _fold_unit(
                             state,
                             _Unit([(item.score, item.prob, item.tid)]),
-                            arena,
-                            max_lines,
+                            engine,
+                            scratch_chain,
                             max(0, k_min - 1 - (end - 2 - pos)),
                         )
-            arena.release(scratch)
+            engine.release(scratch)
         # Advance the shared prefix past the span's rows.
         for pos in range(start, end):
             item = scored[pos]
@@ -814,8 +939,8 @@ def _shared_prefix_sweep_multi(
                 ind_state = _fold_unit(
                     ind_state,
                     _Unit([(item.score, item.prob, item.tid)]),
-                    arena,
-                    max_lines,
+                    engine,
+                    ind_chain,
                 )
     return partial
 
@@ -824,10 +949,11 @@ def _shared_prefix_sweep(
     scored: ScoredTable,
     k: int,
     max_lines: int,
+    backend: str | None = None,
 ) -> list[_Cell]:
     """Per-ending final cells for one ``k`` over the whole table."""
     return _shared_prefix_sweep_multi(
-        scored, [(k, len(scored))], max_lines
+        scored, [(k, len(scored))], max_lines, backend
     )[0]
 
 
@@ -855,11 +981,49 @@ def _ending_units(scored: ScoredTable) -> list[tuple[int, int]]:
     return spans
 
 
+def _per_ending_cell(
+    scored: ScoredTable,
+    k: int,
+    start: int,
+    end: int,
+    max_lines: int,
+    backend: str | None = None,
+) -> _Cell | None:
+    """Final cell of one ending unit's bottom-up program (or None).
+
+    The per-span unit of work of :func:`dp_distribution_per_ending`,
+    shared with the process-parallel executor
+    (:mod:`repro.core.kernels.parallel`): the returned cell's vectors
+    are already materialized tid tuples, so it pickles cleanly across
+    a worker-pool boundary.
+    """
+    if end <= k - 1:
+        # A top-k vector's ending tuple sits at position >= k - 1.
+        return None
+    if end - start == 1 and not scored.is_lead(start):
+        pos = start
+        units = _compressed_units(scored, pos, scored[pos].group)
+        item = scored[pos]
+        units.append(_Unit([(item.score, item.prob, item.tid)]))
+        exits = [False] * len(units)
+        exits[-1] = True
+    else:
+        units = _compressed_units(scored, start, None)
+        exits = [False] * len(units)
+        for pos in range(start, end):
+            item = scored[pos]
+            units.append(_Unit([(item.score, item.prob, item.tid)]))
+            exits.append(True)
+    return _dp_run(units, k, exits, max_lines, backend)
+
+
 def dp_distribution_per_ending(
     scored: ScoredTable,
     k: int,
     *,
     max_lines: int = DEFAULT_MAX_LINES,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> ScorePMF:
     """Ablation: one bottom-up dynamic program per ending unit.
 
@@ -872,6 +1036,12 @@ def dp_distribution_per_ending(
     prefix state); kept for the ablation benchmark
     ``benchmarks/bench_ablation_shared_prefix.py``, mirroring
     :func:`dp_distribution_without_lead_regions`.
+
+    Because the per-ending programs are independent, ``workers > 1``
+    fans them out over a process pool (contiguous span chunks, results
+    reassembled in span order — deterministic regardless of worker
+    scheduling); the merged answer is byte-identical to the serial
+    loop.  The sweep counter then reflects only parent-process work.
     """
     if k < 1:
         raise AlgorithmError(f"k must be >= 1, got {k}")
@@ -883,30 +1053,21 @@ def dp_distribution_per_ending(
         units = [
             _Unit([(item.score, item.prob, item.tid)]) for item in scored
         ]
-        return _cell_to_pmf(_dp_run(units, k, [True] * n, max_lines))
+        return _cell_to_pmf(_dp_run(units, k, [True] * n, max_lines, backend))
 
-    partial: list[_Cell] = []
-    for start, end in _ending_units(scored):
-        if end <= k - 1:
-            # A top-k vector's ending tuple sits at position >= k - 1.
-            continue
-        if end - start == 1 and not scored.is_lead(start):
-            pos = start
-            units = _compressed_units(scored, pos, scored[pos].group)
-            item = scored[pos]
-            units.append(_Unit([(item.score, item.prob, item.tid)]))
-            exits = [False] * len(units)
-            exits[-1] = True
-        else:
-            units = _compressed_units(scored, start, None)
-            exits = [False] * len(units)
-            for pos in range(start, end):
-                item = scored[pos]
-                units.append(_Unit([(item.score, item.prob, item.tid)]))
-                exits.append(True)
-        cell = _dp_run(units, k, exits, max_lines)
-        if cell is not None:
-            partial.append(cell)
+    spans = _ending_units(scored)
+    if workers is not None and workers > 1 and len(spans) > 1:
+        from repro.core.kernels.parallel import per_ending_cells
+
+        partial = per_ending_cells(
+            scored, k, spans, max_lines, backend, workers
+        )
+    else:
+        partial = []
+        for start, end in spans:
+            cell = _per_ending_cell(scored, k, start, end, max_lines, backend)
+            if cell is not None:
+                partial.append(cell)
     merged = _order_cell_vectors(_merge_cells(partial, max_lines), scored)
     return _cell_to_pmf(merged)
 

@@ -1,0 +1,84 @@
+"""Process-parallel per-ending execution for large ME tables.
+
+Every ending unit of the per-ending algorithm
+(:func:`repro.core.dp.dp_distribution_per_ending`) is an independent
+bottom-up dynamic program, so they fan out over a process pool with
+no shared state.  Ending spans are split into one contiguous chunk
+per worker; each worker computes its spans' final cells (vectors
+already materialized as tid tuples, so the results pickle cleanly)
+and the parent reassembles them in span order before the usual
+``_merge_cells`` union — making the answer a deterministic function
+of the input, independent of worker scheduling and of
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+__all__ = ["default_workers", "per_ending_cells"]
+
+
+def default_workers(units: int, est_serial_ms: float, spawn_ms: float) -> int:
+    """How many workers the planner should use (1 = stay serial).
+
+    Fan-out pays one pool spin-up (``spawn_ms``, measured by
+    ``repro calibrate``); it is worth it only when the serial estimate
+    dwarfs that and there is real hardware to fan out over.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or units <= 1:
+        return 1
+    if est_serial_ms <= 4.0 * spawn_ms:
+        return 1
+    return min(cpus, units)
+
+
+def _worker(payload: tuple) -> list:
+    scored, k, spans, max_lines, backend = payload
+    from repro.core import dp
+
+    cells = []
+    for start, end in spans:
+        cell = dp._per_ending_cell(scored, k, start, end, max_lines, backend)
+        if cell is not None:
+            cells.append(cell)
+    return cells
+
+
+def per_ending_cells(
+    scored,
+    k: int,
+    spans: Sequence[tuple[int, int]],
+    max_lines: int,
+    backend: str | None,
+    workers: int,
+) -> list:
+    """Final cells for ``spans``, computed across ``workers`` processes.
+
+    Returns exactly what the serial loop would: the non-``None`` final
+    cells in span order.
+    """
+    workers = max(1, min(workers, len(spans)))
+    if workers == 1:
+        return _worker((scored, k, tuple(spans), max_lines, backend))
+    # Contiguous chunks keep each worker's arena footprint local and
+    # make reassembly a plain concatenation in chunk order.
+    chunk_size = (len(spans) + workers - 1) // workers
+    payloads = [
+        (
+            scored,
+            k,
+            tuple(spans[lo : lo + chunk_size]),
+            max_lines,
+            backend,
+        )
+        for lo in range(0, len(spans), chunk_size)
+    ]
+    cells: list = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for chunk_cells in pool.map(_worker, payloads):
+            cells.extend(chunk_cells)
+    return cells

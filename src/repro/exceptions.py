@@ -29,6 +29,16 @@ class ScoringError(ReproError):
     """A scoring function failed or returned a non-numeric value."""
 
 
+class KernelBackendError(ReproError):
+    """A kernel backend was requested that is unavailable or unknown.
+
+    Raised when ``REPRO_BACKEND=native`` (or an explicit
+    ``backend="native"``) is forced on a machine where the compiled
+    kernel could not be built or loaded, or when the backend name is
+    not one of ``python``/``native``/``auto``.
+    """
+
+
 class AlgorithmError(ReproError):
     """An algorithm was invoked with invalid parameters."""
 

@@ -301,6 +301,22 @@ class DatasetCatalog:
             }
         return document
 
+    def storage_info(self) -> dict[str, Any] | None:
+        """Page-cache counters of every disk-backed table, or ``None``.
+
+        One entry per packed table (``item_pages``/``attr_pages``, each
+        with byte-budget fields) — the ``storage`` section of
+        ``/metrics``.  An all-resident catalog reports ``None`` so the
+        section is simply absent.
+        """
+        document: dict[str, Any] = {}
+        for name in self.names():
+            table = self.session.catalog.resolve(name)
+            store = getattr(table, "store", None)
+            if store is not None and hasattr(store, "cache_info"):
+                document[name] = store.cache_info()
+        return document or None
+
     def warm(
         self, k: int, *, scorer: str = "score", p_tau: float = 0.0
     ) -> int:

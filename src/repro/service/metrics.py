@@ -17,7 +17,11 @@ Everything is rendered as one JSON document by
       "breaker": <CircuitBreaker.describe(): trips, open, tracked>,
       "cache": <Session.cache_info() plus per-stage hit rates>,
       "fusion": <Session.fusion_info(): batches, groups, fused_specs,
-                 sweeps_saved>
+                 sweeps_saved>,
+      "storage": per disk-backed table, the page caches'
+                 TableStore.cache_info() — hit/miss/eviction counters
+                 plus the byte-budget fields (absent for all-resident
+                 catalogs)
     }
 
 Histograms use fixed power-of-two bucket upper bounds, so recording
@@ -169,6 +173,7 @@ class ServiceMetrics:
         fusion_info: dict[str, int] | None = None,
         standing_info: dict[str, int] | None = None,
         breaker_info: dict[str, Any] | None = None,
+        storage_info: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """The full metrics document (see the module docstring)."""
         with self._lock:
@@ -232,4 +237,6 @@ class ServiceMetrics:
             document["standing"] = dict(standing_info)
         if breaker_info is not None:
             document["breaker"] = dict(breaker_info)
+        if storage_info is not None:
+            document["storage"] = dict(storage_info)
         return document

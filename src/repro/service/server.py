@@ -660,6 +660,7 @@ class QueryService:
                 session.fusion_info(),
                 self.standing.describe(),
                 breaker.describe() if breaker is not None else None,
+                self.catalog.storage_info(),
             ),
         )
 

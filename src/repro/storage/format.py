@@ -43,6 +43,7 @@ page fetch.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
@@ -69,6 +70,33 @@ _COLUMNS = (
     ("gend.i8", "<i8"),
     ("order.i8", "<i8"),
 )
+
+
+#: Byte budgets of the per-store decoded-page caches.  The entry
+#: counts (64 item pages, 8 attr pages) bound small-tuple tables; the
+#: byte budgets bound tables with large JSON blobs, where 64 pages of
+#: 4096 rows each could otherwise dwarf the mapped columns.  The
+#: ``REPRO_STORE_CACHE_BYTES`` environment variable overrides the
+#: item-page budget (attr pages get a quarter of it).
+DEFAULT_ITEM_CACHE_BYTES = 16 * 1024 * 1024
+DEFAULT_ATTR_CACHE_BYTES = 4 * 1024 * 1024
+STORE_CACHE_ENV = "REPRO_STORE_CACHE_BYTES"
+
+#: Rough decoded footprint of one cached item beyond its tid blob
+#: (a ScoredItem object, two floats, an int, tuple slots).
+_ITEM_OVERHEAD_BYTES = 120
+
+
+def _cache_budgets() -> tuple[int, int]:
+    """The ``(item, attr)`` page-cache byte budgets for new stores."""
+    raw = os.environ.get(STORE_CACHE_ENV, "").strip()
+    if raw:
+        try:
+            total = max(1, int(raw))
+        except ValueError:
+            return DEFAULT_ITEM_CACHE_BYTES, DEFAULT_ATTR_CACHE_BYTES
+        return total, max(1, total // 4)
+    return DEFAULT_ITEM_CACHE_BYTES, DEFAULT_ATTR_CACHE_BYTES
 
 
 class StorageFormatError(DataModelError):
@@ -232,11 +260,15 @@ class TableStore:
         # The page caches reuse the session's staged-LRU machinery
         # (thread-safe, counted) — one items cache shared by every
         # view over this store.  Imported lazily here to keep the
-        # storage package importable without the api layer.
+        # storage package importable without the api layer.  Beyond
+        # the entry count, each cache carries a byte budget (decoded
+        # page sizes come from the blob offset tables, so a store
+        # with huge tuples cannot balloon a 64-entry cache).
         from repro.api.session import _LRU
 
-        self._item_pages = _LRU(64)
-        self._attr_pages = _LRU(8)
+        item_bytes, attr_bytes = _cache_budgets()
+        self._item_pages = _LRU(64, max_bytes=item_bytes)
+        self._attr_pages = _LRU(8, max_bytes=attr_bytes)
 
     # ------------------------------------------------------------------
     # Columns
@@ -341,8 +373,22 @@ class TableStore:
             )
             for index in range(stop - start)
         )
-        self._item_pages.put(page, items)
+        self._item_pages.put(
+            page, items, nbytes=self._page_nbytes("tid", start, stop)
+        )
         return items
+
+    def _page_nbytes(self, stem: str, start: int, stop: int) -> int:
+        """Approximate decoded size of a cached page.
+
+        Blob bytes come exactly from the offset table; the decoded
+        Python objects on top are priced at a flat per-row overhead.
+        """
+        if stop <= start:
+            return 0
+        offsets = self._offsets(stem)
+        blob = int(offsets[stop]) - int(offsets[start])
+        return blob + (stop - start) * _ITEM_OVERHEAD_BYTES
 
     def items(self, start: int, stop: int) -> list[ScoredItem]:
         """Rank-ordered items ``start .. stop`` (page-wise, cached)."""
@@ -411,7 +457,9 @@ class TableStore:
         start = page * self.page_size
         stop = min(start + self.page_size, self.count)
         attrs = tuple(self._blob_slice("attr", start, stop))
-        self._attr_pages.put(page, attrs)
+        self._attr_pages.put(
+            page, attrs, nbytes=self._page_nbytes("attr", start, stop)
+        )
         return attrs
 
     def reconstruct(self) -> UncertainTable:

@@ -58,7 +58,10 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.dp import _merge_parts  # stable k-way merge (shared)
+from repro.core.dp import (  # stable k-way merge + segment sums (shared)
+    _merge_parts,
+    _segment_sums,
+)
 from repro.core.pmf import ScorePMF
 from repro.stream.segments import (
     DEFAULT_SEGMENT_SIZE,
@@ -89,8 +92,9 @@ def _reduce(scores: np.ndarray, probs: np.ndarray, max_lines: int) -> _Cell:
     if len(scores) > 1:
         dup = scores[1:] == scores[:-1]
         if dup.any():
-            starts = np.flatnonzero(np.r_[True, ~dup])
-            probs = np.add.reduceat(probs, starts)
+            boundaries = np.r_[True, ~dup]
+            starts = np.flatnonzero(boundaries)
+            probs = _segment_sums(probs, np.cumsum(boundaries) - 1)
             scores = scores[starts]
     if len(scores) > max_lines:
         low = scores[0]
@@ -98,9 +102,10 @@ def _reduce(scores: np.ndarray, probs: np.ndarray, max_lines: int) -> _Cell:
         bucket = np.minimum(
             ((scores - low) / width).astype(np.int64), max_lines - 1
         )
-        starts = np.flatnonzero(np.r_[True, bucket[1:] != bucket[:-1]])
-        weighted = np.add.reduceat(probs * scores, starts)
-        probs = np.add.reduceat(probs, starts)
+        boundaries = np.r_[True, bucket[1:] != bucket[:-1]]
+        segments = np.cumsum(boundaries) - 1
+        weighted = _segment_sums(probs * scores, segments)
+        probs = _segment_sums(probs, segments)
         scores = weighted / probs
     return scores, probs
 

@@ -102,6 +102,53 @@ def test_page_cache_hits(packed):
     assert store.cache_info()["item_pages"]["size"] == 0
 
 
+def test_page_cache_byte_budget(packed, monkeypatch):
+    _, out, _ = packed
+    # A budget far below one decoded page: the cache keeps exactly the
+    # most recent page (never evicting the entry just inserted) and
+    # counts every capacity eviction.
+    monkeypatch.setenv("REPRO_STORE_CACHE_BYTES", "64")
+    tight = open_store(out)
+    tight.prefix(200)  # several pages at page_size=64
+    info = tight.cache_info()["item_pages"]
+    assert info["max_bytes"] == 64
+    assert info["size"] == 1
+    assert info["capacity_evictions"] >= 2
+    assert 0 < info["current_bytes"]
+    # Re-reading the prefix must still be byte-identical (the budget
+    # trades hits, never answers).
+    assert tight.prefix(200).items == open_store(out).prefix(200).items
+
+    monkeypatch.delenv("REPRO_STORE_CACHE_BYTES")
+    roomy = open_store(out)
+    roomy.prefix(200)
+    info = roomy.cache_info()["item_pages"]
+    assert info["capacity_evictions"] == 0
+    assert info["current_bytes"] <= info["max_bytes"]
+
+
+def test_lru_byte_accounting():
+    from repro.api.session import _LRU
+
+    cache = _LRU(8, max_bytes=100)
+    cache.put("a", "A", nbytes=40)
+    cache.put("b", "B", nbytes=40)
+    assert cache.current_bytes == 80
+    cache.put("c", "C", nbytes=40)  # over budget: evicts "a"
+    assert cache.current_bytes == 80
+    assert cache.get("a") is None
+    assert cache.capacity_evictions == 1
+    # Re-putting a key replaces its size instead of double counting.
+    cache.put("b", "B2", nbytes=10)
+    assert cache.current_bytes == 50
+    cache.clear()
+    assert cache.current_bytes == 0
+    info = cache.info()
+    assert info["max_bytes"] == 100
+    # Unbudgeted caches keep their historical info() shape.
+    assert "max_bytes" not in _LRU(8).info()
+
+
 def test_group_safe_depth_never_splits(packed):
     table, out, _ = packed
     store = open_store(out)
@@ -323,6 +370,27 @@ def test_catalog_disk_source(packed):
         catalog.mutate("events", "expire", {"tid": "T1"})
     reloaded = catalog.reload("events")
     assert reloaded["tuples"] == 500
+
+
+def test_metrics_storage_section(packed):
+    from repro.service.server import QueryService
+
+    _, out, _ = packed
+    catalog = DatasetCatalog({"events": f"disk:{out}"})
+    service = QueryService(catalog, workers=1)
+    try:
+        service.handle("answer", {"table": "events", "k": 3})
+        document = service.metrics_document().document
+        pages = document["storage"]["events"]["item_pages"]
+        assert pages["misses"] > 0
+        assert pages["current_bytes"] > 0
+        assert pages["max_bytes"] > 0
+        assert "capacity_evictions" in pages
+    finally:
+        service.shutdown()
+    # All-resident catalogs carry no storage section at all.
+    resident = DatasetCatalog({"demo": "synthetic:tuples=50,seed=1"})
+    assert resident.storage_info() is None
 
 
 def test_catalog_disk_source_skips_wal(tmp_path, packed):
